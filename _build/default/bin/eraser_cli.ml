@@ -1,0 +1,364 @@
+(* eraser — command-line front end.
+
+     eraser list
+     eraser describe -c sha256_hv
+     eraser run -c alu -e eraser --scale 0.5 --instrument
+     eraser faults -c apb -n 20 *)
+
+open Cmdliner
+open Rtlir
+open Faultsim
+module H = Harness
+
+let circuit_names =
+  List.map (fun (c : Circuits.Bench_circuit.t) -> c.name) Circuits.all
+
+let circuit_conv =
+  let parse s =
+    match Circuits.find s with
+    | c -> Ok c
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown circuit %S (try: %s)" s
+                (String.concat ", " circuit_names)))
+  in
+  Arg.conv (parse, fun ppf (c : Circuits.Bench_circuit.t) ->
+      Format.pp_print_string ppf c.name)
+
+let engine_conv =
+  let table =
+    [
+      ("ifsim", H.Campaign.Ifsim);
+      ("vfsim", H.Campaign.Vfsim);
+      ("z01x", H.Campaign.Z01x_proxy);
+      ("eraser--", H.Campaign.Eraser_mm);
+      ("eraser-", H.Campaign.Eraser_m);
+      ("eraser", H.Campaign.Eraser);
+    ]
+  in
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) table with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown engine %S (try: %s)" s
+                (String.concat ", " (List.map fst table))))
+  in
+  Arg.conv (parse, fun ppf e ->
+      Format.pp_print_string ppf (H.Campaign.engine_name e))
+
+let circuit_arg =
+  Arg.(
+    required
+    & opt (some circuit_conv) None
+    & info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc:"Benchmark circuit name.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "scale" ] ~docv:"S"
+        ~doc:
+          "Scale stimulus length and fault count relative to the paper's \
+           Table II parameters.")
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-12s %-12s %10s %8s@." "name" "paper name" "#stimulus"
+      "#faults";
+    List.iter
+      (fun (c : Circuits.Bench_circuit.t) ->
+        Format.printf "%-12s %-12s %10d %8d@." c.name c.paper_name
+          c.paper_cycles c.paper_faults)
+      Circuits.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark circuits (paper Table II).")
+    Term.(const run $ const ())
+
+(* --- describe --- *)
+
+let describe_cmd =
+  let run (c : Circuits.Bench_circuit.t) =
+    let d = c.build () in
+    let g = Elaborate.build d in
+    Format.printf "%s (%s)@." c.name c.paper_name;
+    Format.printf "  signals            %d@." (Design.num_signals d);
+    Format.printf "  memories           %d@." (Array.length d.mems);
+    Format.printf "  RTL nodes          %d@." (Elaborate.rtl_node_count g);
+    Format.printf "  behavioral nodes   %d@."
+      (Elaborate.behavioral_node_count g);
+    Format.printf "  cells (AST size)   %d@." (Design.cell_count d);
+    Format.printf "  fault sites        %d@."
+      (Array.length (Fault.generate ~seed:0L d));
+    Array.iter
+      (fun (p : Design.proc) ->
+        let cfg = Flow.Cfg.build p.body in
+        Format.printf "  proc %-14s %s, %d decisions, %d segments@." p.pname
+          (match p.trigger with
+          | Design.Comb -> "comb"
+          | Design.Edges _ -> "ff  ")
+          cfg.Flow.Cfg.n_decisions cfg.Flow.Cfg.n_segments)
+      d.procs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "describe"
+       ~doc:"Show a circuit's elaborated structure and CFG statistics.")
+    Term.(const run $ circuit_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv H.Campaign.Eraser
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine: ifsim, vfsim, z01x (explicit-only proxy), eraser--, \
+             eraser-, eraser.")
+  in
+  let instrument_arg =
+    Arg.(
+      value & flag
+      & info [ "instrument" ]
+          ~doc:"Measure behavioral-node time (Table III instrumentation).")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also run the serial oracle and check the detected-fault sets \
+             are identical.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the full campaign result as JSON.")
+  in
+  let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json =
+    let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+    Format.printf "%s on %s: %d cycles, %d faults@."
+      (H.Campaign.engine_name engine) c.name w.Workload.cycles
+      (Array.length faults);
+    let r = H.Campaign.run ~instrument engine g w faults in
+    Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
+      (Fault.count_detected r) (Array.length faults);
+    Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
+    let s = r.Fault.stats in
+    Format.printf "  behavioral good=%d exec=%d skip_explicit=%d \
+                   skip_implicit=%d@."
+      s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
+      s.Stats.bn_skipped_implicit;
+    if instrument then
+      Format.printf "  behavioral-node time %.0f%%@." (Stats.bn_time_pct s);
+    let verdicts = Classify.classify g faults in
+    Format.printf "  adjusted   %.2f%% over %d testable faults@."
+      (Classify.adjusted_coverage verdicts r)
+      (Array.fold_left
+         (fun acc v -> if v = Classify.Testable then acc + 1 else acc)
+         0 verdicts);
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        H.Json_report.campaign ppf ~design
+          ~engine:(H.Campaign.engine_name engine)
+          ~faults ~verdicts r;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Format.printf "  json       %s@." path
+    | None -> ());
+    if verify then begin
+      let oracle = H.Campaign.run H.Campaign.Ifsim g w faults in
+      if Fault.same_verdict oracle r then
+        Format.printf "  verdict    identical to the serial oracle@."
+      else begin
+        Format.printf "  verdict    MISMATCH against the serial oracle@.";
+        exit 1
+      end
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a fault-simulation campaign on one circuit.")
+    Term.(
+      const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
+      $ verify_arg $ json_arg)
+
+(* --- faults --- *)
+
+let faults_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 9999999
+      & info [ "n" ] ~docv:"N" ~doc:"Show at most N faults.")
+  in
+  let run (c : Circuits.Bench_circuit.t) scale n =
+    let d, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+    let verdicts = Classify.classify g faults in
+    let r = H.Campaign.run H.Campaign.Eraser g w faults in
+    Array.iteri
+      (fun i f ->
+        if i < n then
+          Format.printf "%4d  %-30s %-10s %s@." i
+            (Fault.describe d f)
+            (if r.Fault.detected.(i) then
+               Printf.sprintf "DT@%d" r.Fault.detection_cycle.(i)
+             else "live")
+            (match verdicts.(i) with
+            | Classify.Testable -> ""
+            | v -> Classify.verdict_name v))
+      faults;
+    Format.printf "raw coverage %.2f%%, adjusted (testable only) %.2f%%@."
+      r.Fault.coverage_pct
+      (Classify.adjusted_coverage verdicts r);
+    0
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"List the fault sites of a campaign with their verdicts.")
+    Term.(const run $ circuit_arg $ scale_arg $ count_arg)
+
+(* --- export --- *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let export_cmd =
+  let run (c : Circuits.Bench_circuit.t) output =
+    let text = Verilog.to_string (c.build ()) in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export a benchmark circuit as Verilog-2001.")
+    Term.(const run $ circuit_arg $ output_arg)
+
+(* --- run-verilog --- *)
+
+let run_verilog_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Verilog source file.")
+  in
+  let clock_arg =
+    Arg.(
+      value & opt string "clk"
+      & info [ "clock" ] ~docv:"NAME" ~doc:"Clock input name.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "cycles" ] ~docv:"N" ~doc:"Random stimulus length.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-faults" ] ~docv:"N" ~doc:"Fault-list cap.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"Stimulus / sampling seed.")
+  in
+  let run file clock cycles max_faults seed =
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Verilog_parser.parse src with
+    | exception Verilog_parser.Parse_error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        1
+    | exception Verilog_lexer.Lex_error msg ->
+        Format.eprintf "lex error: %s@." msg;
+        1
+    | design -> (
+        match Design.find_signal design clock with
+        | exception Not_found ->
+            Format.eprintf "no input named %S (use --clock)@." clock;
+            1
+        | _ ->
+            let g = Elaborate.build design in
+            let w =
+              Circuits.Bench_circuit.random_workload
+                ~seed:(Int64.of_int seed) design ~cycles
+            in
+            let w =
+              { w with Workload.clock = Design.find_signal design clock }
+            in
+            let faults =
+              Fault.generate ~max_faults ~seed:(Int64.of_int seed) design
+            in
+            Format.printf "%s: %d signals, %d faults, %d cycles@."
+              design.Design.dname
+              (Design.num_signals design)
+              (Array.length faults) cycles;
+            let r = H.Campaign.run H.Campaign.Eraser g w faults in
+            Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
+              (Fault.count_detected r) (Array.length faults);
+            Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
+            Format.printf "  mean detection latency %.1f cycles@."
+              (Fault.mean_detection_latency r);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "run-verilog"
+       ~doc:
+         "Parse a Verilog file and run an Eraser fault campaign with random           stimulus.")
+    Term.(
+      const run $ file_arg $ clock_arg $ cycles_arg $ max_faults_arg
+      $ seed_arg)
+
+(* --- vcd --- *)
+
+let vcd_cmd =
+  let cycles_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cycles" ] ~docv:"N" ~doc:"Cycles of stimulus to record.")
+  in
+  let run (c : Circuits.Bench_circuit.t) output cycles =
+    let path = Option.value output ~default:(c.name ^ ".vcd") in
+    let d = c.build () in
+    let g = Elaborate.build d in
+    let w = c.workload d ~cycles in
+    Sim.Vcd.dump_drive ~path g ~clock:w.Workload.clock ~cycles
+      ~drive:w.Workload.drive;
+    Format.printf "wrote %s (%d cycles)@." path cycles;
+    0
+  in
+  Cmd.v
+    (Cmd.info "vcd"
+       ~doc:"Record a fault-free waveform of a circuit's testbench as VCD.")
+    Term.(const run $ circuit_arg $ output_arg $ cycles_arg)
+
+let () =
+  let doc = "efficient RTL fault simulation with trimmed execution redundancy" in
+  let info = Cmd.info "eraser" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd; describe_cmd; run_cmd; faults_cmd; export_cmd;
+            run_verilog_cmd; vcd_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Array Bits Builder Design Elaborate Fault Faultsim Harness Int64 List Printf Rng Rtlir Workload

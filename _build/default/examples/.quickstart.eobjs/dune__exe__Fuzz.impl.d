@@ -1,0 +1,1 @@
+examples/fuzz.ml: Array Baselines Engine Fault Faultsim Harness Int64 List Printf Sys

@@ -1,0 +1,1 @@
+examples/fuzz.mli:

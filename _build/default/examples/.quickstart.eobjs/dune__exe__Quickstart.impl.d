@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baselines Builder Circuits Design Elaborate Engine Fault Faultsim Printf Rtlir Stats

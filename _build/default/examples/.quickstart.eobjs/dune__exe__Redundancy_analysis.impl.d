@@ -1,0 +1,1 @@
+examples/redundancy_analysis.ml: Array Circuits Fault Faultsim Harness List Printf Stats Sys Workload

@@ -1,0 +1,1 @@
+examples/redundancy_analysis.mli:

@@ -1,0 +1,1 @@
+examples/safety_signoff.ml: Array Circuits Classify Fault Faultsim Harness List Printf Sys Unix

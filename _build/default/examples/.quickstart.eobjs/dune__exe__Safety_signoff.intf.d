@@ -1,0 +1,1 @@
+examples/safety_signoff.mli:

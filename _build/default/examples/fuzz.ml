@@ -1,0 +1,36 @@
+(* Differential fuzz harness: all engines must produce the oracle's
+   detected-fault set on random designs. *)
+open Faultsim
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 100 in
+  let first = try int_of_string Sys.argv.(2) with _ -> 1 in
+  let failures = ref 0 in
+  for seed = first to first + n - 1 do
+    let s = Harness.Rand_design.generate ~seed:(Int64.of_int seed) () in
+    let g = s.Harness.Rand_design.graph in
+    let w = s.Harness.Rand_design.workload in
+    let faults = s.Harness.Rand_design.faults in
+    let oracle = Baselines.Serial.ifsim g w faults in
+    let check name r =
+      if not (Fault.same_verdict oracle r) then begin
+        incr failures;
+        Printf.printf "seed %d: %s MISMATCH\n%!" seed name
+      end
+    in
+    check "vfsim" (Baselines.Serial.vfsim g w faults);
+    List.iter
+      (fun mode ->
+        let cfg = { Engine.Concurrent.default_config with mode } in
+        check
+          (Engine.Concurrent.mode_name mode)
+          (Engine.Concurrent.run ~config:cfg g w faults))
+      [
+        Engine.Concurrent.No_redundancy;
+        Engine.Concurrent.Explicit_only;
+        Engine.Concurrent.Full;
+      ];
+    if seed mod 100 = 0 then Printf.printf "... %d seeds done\n%!" seed
+  done;
+  Printf.printf "fuzz: %d seeds, %d failures\n" n !failures;
+  exit (if !failures = 0 then 0 else 1)

@@ -1,0 +1,68 @@
+(* Redundancy analysis: reproduce, for one circuit, the measurement that
+   motivates the paper (Fig. 1) — how much of the behavioral-node work in a
+   fault campaign is redundant, how much of that redundancy is invisible to
+   input comparison (implicit), and what eliminating it buys.
+
+     dune exec examples/redundancy_analysis.exe -- sha256_hv 0.25 *)
+
+open Faultsim
+module H = Harness
+
+let () =
+  let name = try Sys.argv.(1) with _ -> "sha256_hv" in
+  let scale = try float_of_string Sys.argv.(2) with _ -> 0.25 in
+  let c = Circuits.find name in
+  let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+  Printf.printf "%s: %d cycles, %d faults\n\n" c.Circuits.Bench_circuit.name
+    w.Workload.cycles (Array.length faults);
+  (* instrumented Eraser run: the redundancy census *)
+  let r = H.Campaign.run ~instrument:true H.Campaign.Eraser g w faults in
+  let s = r.Fault.stats in
+  let total = Stats.total_bn_executions s in
+  Printf.printf "behavioral-node time share        %38.0f%%\n"
+    (Stats.bn_time_pct s);
+  Printf.printf "faulty behavioral executions without elimination %12d\n" total;
+  Printf.printf "  executed                        %12d (%5.1f%%)\n"
+    s.Stats.bn_fault_exec
+    (100.0 *. float_of_int s.Stats.bn_fault_exec /. float_of_int total);
+  Printf.printf "  explicit redundancy (inputs unchanged)  %12d (%5.1f%%)\n"
+    s.Stats.bn_skipped_explicit (Stats.explicit_pct s);
+  Printf.printf "  implicit redundancy (Algorithm 1)       %12d (%5.1f%%)\n"
+    s.Stats.bn_skipped_implicit (Stats.implicit_pct s);
+  (* where the executions happen, per behavioral node *)
+  Printf.printf "\nper behavioral node (Eraser):\n";
+  Array.iter
+    (fun (name, e, i) ->
+      if e + i > 0 then
+        Printf.printf "  %-16s executed %8d   implicit skips %8d\n" name e i)
+    s.Stats.per_proc;
+  (* coverage growth over the stimulus, from the recorded detection cycles *)
+  let cycles = w.Workload.cycles in
+  let total = float_of_int (Array.length faults) in
+  Printf.printf "\ncoverage growth:\n";
+  List.iter
+    (fun frac ->
+      let upto = frac * cycles / 100 in
+      let det =
+        Array.fold_left
+          (fun acc c -> if c >= 0 && c <= upto then acc + 1 else acc)
+          0 r.Fault.detection_cycle
+      in
+      Printf.printf "  after %4d cycles (%3d%%): %6.2f%%\n" upto frac
+        (100.0 *. float_of_int det /. total))
+    [ 5; 10; 25; 50; 100 ];
+  (* what the elimination buys: the three ablation engines *)
+  Printf.printf "\nablation (same campaign):\n";
+  let times =
+    List.map
+      (fun e ->
+        let r = H.Campaign.run e g w faults in
+        (e, r.Fault.wall_time))
+      [ H.Campaign.Eraser_mm; H.Campaign.Eraser_m; H.Campaign.Eraser ]
+  in
+  let base = List.assoc H.Campaign.Eraser_mm times in
+  List.iter
+    (fun (e, t) ->
+      Printf.printf "  %-9s %8.3f s  %5.2fx\n" (H.Campaign.engine_name e) t
+        (base /. t))
+    times

@@ -1,0 +1,44 @@
+// A hand-written example for `eraser run-verilog`:
+//   dune exec bin/eraser_cli.exe -- run-verilog -f examples/sample_designs/gray_counter.v
+// An 8-bit Gray-code counter with enable, a binary decoder and a parity
+// tracker. The dbg register bank is deliberately quiescent (captured only
+// on a rare trigger) - the implicit-redundancy population.
+module gray_counter(clk, en, capture, gray, binary, parity, snapshot);
+  input clk;
+  input en;
+  input capture;
+  output [7:0] gray;
+  output [7:0] binary;
+  output parity;
+  output [7:0] snapshot;
+
+  reg [7:0] count;
+  reg par;
+  reg [7:0] snap;
+
+  wire [7:0] next_count;
+  wire [7:0] gray_w;
+  wire [7:0] bin_w;
+
+  assign next_count = count + 8'd1;
+  assign gray_w = count ^ (count >> 1);
+  // Gray-to-binary decoder (prefix xor)
+  assign bin_w = gray_w ^ (gray_w >> 1) ^ (gray_w >> 2) ^ (gray_w >> 3)
+               ^ (gray_w >> 4) ^ (gray_w >> 5) ^ (gray_w >> 6) ^ (gray_w >> 7);
+
+  assign gray = gray_w;
+  assign binary = bin_w;
+  assign parity = par;
+  assign snapshot = snap;
+
+  always @(posedge clk)
+  begin
+    if (en)
+    begin
+      count <= next_count;
+      par <= par ^ (^(gray_w ^ (next_count ^ (next_count >> 1))));
+    end
+    if (capture & en)
+      snap <= bin_w;
+  end
+endmodule

@@ -1,0 +1,29 @@
+// A 16-bit Fibonacci LFSR feeding a rotating checksum over an input byte
+// stream, with a shadow register bank captured on a rare trigger word.
+module lfsr_checksum(clk, in_valid, in_byte, csum, lfsr_out);
+  input clk;
+  input in_valid;
+  input [7:0] in_byte;
+  output [15:0] csum;
+  output [15:0] lfsr_out;
+
+  reg [15:0] lfsr;
+  reg [15:0] acc;
+  reg [15:0] shadow;
+
+  wire feedback;
+  assign feedback = lfsr[15] ^ lfsr[13] ^ lfsr[12] ^ lfsr[10];
+  assign lfsr_out = lfsr;
+  assign csum = acc ^ shadow;
+
+  always @(posedge clk)
+  begin
+    lfsr <= {lfsr[14:0], ~feedback};
+    if (in_valid)
+    begin
+      acc <= {acc[14:0], acc[15]} ^ {8'h00, in_byte} ^ lfsr;
+      if (in_byte == 8'hA5)
+        shadow <= acc;
+    end
+  end
+endmodule

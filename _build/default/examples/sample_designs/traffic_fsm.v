@@ -1,0 +1,56 @@
+// Traffic-light controller: a classic Mealy/Moore FSM with a timer, a
+// pedestrian request latch, and a rarely-exercised fault-injection test
+// port. Used by the frontend regression tests and `eraser run-verilog`.
+module traffic_fsm(clk, ped_req, tick, lights, walk, state_dbg);
+  input clk;
+  input ped_req;
+  input tick;
+  output [2:0] lights;   // {red, yellow, green}
+  output walk;
+  output [1:0] state_dbg;
+
+  reg [1:0] state;       // 0 green, 1 yellow, 2 red, 3 red+walk
+  reg [3:0] timer;
+  reg ped_latch;
+  reg walk_r;
+
+  wire timer_done;
+  assign timer_done = timer == 4'd0;
+  assign state_dbg = state;
+  assign walk = walk_r;
+  assign lights = (state == 2'd0) ? 3'b001 :
+                  (state == 2'd1) ? 3'b010 : 3'b100;
+
+  always @(posedge clk)
+  begin
+    if (ped_req)
+      ped_latch <= 1'b1;
+    if (tick)
+    begin
+      if (timer_done)
+      begin
+        case (state)
+          2'd0: begin state <= 2'd1; timer <= 4'd2; end
+          2'd1: begin
+            if (ped_latch)
+            begin
+              state <= 2'd3;
+              walk_r <= 1'b1;
+              ped_latch <= 1'b0;
+              timer <= 4'd6;
+            end
+            else
+            begin
+              state <= 2'd2;
+              timer <= 4'd4;
+            end
+          end
+          2'd2: begin state <= 2'd0; timer <= 4'd8; end
+          default: begin state <= 2'd2; walk_r <= 1'b0; timer <= 4'd4; end
+        endcase
+      end
+      else
+        timer <= timer - 4'd1;
+    end
+  end
+endmodule

@@ -1,0 +1,1 @@
+lib/baselines/serial.ml: Array Bits Fault Faultsim Rtlir Sim Simulator Stats Unix Workload

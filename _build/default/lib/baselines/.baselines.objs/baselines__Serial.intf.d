@@ -1,0 +1,1 @@
+lib/baselines/serial.mli: Bits Elaborate Fault Faultsim Rtlir Sim Simulator Workload

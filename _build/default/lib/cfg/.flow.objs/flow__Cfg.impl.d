@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Bits Expr List Rtlir Stmt

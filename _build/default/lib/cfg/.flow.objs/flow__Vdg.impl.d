@@ -1,0 +1,1 @@
+lib/cfg/vdg.ml: Array Cfg Expr Int List Rtlir Set

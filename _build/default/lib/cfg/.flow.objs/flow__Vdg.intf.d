@@ -1,0 +1,1 @@
+lib/cfg/vdg.mli: Bits Cfg Expr Rtlir

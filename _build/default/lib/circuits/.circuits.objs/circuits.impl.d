@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Alu64 Apb Bench_circuit Conv_acc Cpu_isa Csr_unit Fpu32 List Mips_cpu Picorv32 Riscv_mini Sha256_c2v Sha256_core Sha256_hv Sodor

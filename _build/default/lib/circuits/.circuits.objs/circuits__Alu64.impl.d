@@ -1,0 +1,1 @@
+lib/circuits/alu64.ml: Bench_circuit Bits Builder Int64 Rtlir

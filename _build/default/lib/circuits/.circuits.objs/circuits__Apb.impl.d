@@ -1,0 +1,1 @@
+lib/circuits/apb.ml: Bench_circuit Bits Builder Design Faultsim Int64 Rtlir

@@ -1,0 +1,1 @@
+lib/circuits/bench_circuit.ml: Design Elaborate Fault Faultsim List Rtlir Workload

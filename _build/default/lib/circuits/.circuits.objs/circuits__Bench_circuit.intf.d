@@ -1,0 +1,1 @@
+lib/circuits/bench_circuit.mli: Bits Design Elaborate Fault Faultsim Rtlir Workload

@@ -1,0 +1,1 @@
+lib/circuits/conv_acc.ml: Array Bench_circuit Bits Builder Design Faultsim Int64 Printf Rtlir

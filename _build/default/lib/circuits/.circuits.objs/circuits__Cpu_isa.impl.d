@@ -1,0 +1,1 @@
+lib/circuits/cpu_isa.ml: Array Bits Int64 Rtlir

@@ -1,0 +1,1 @@
+lib/circuits/csr_unit.ml: Bits Builder Rtlir

@@ -1,0 +1,1 @@
+lib/circuits/fpu32.ml: Bench_circuit Builder Rtlir

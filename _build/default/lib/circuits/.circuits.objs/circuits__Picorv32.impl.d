@@ -1,0 +1,1 @@
+lib/circuits/picorv32.ml: Bench_circuit Bits Builder Cpu_isa Csr_unit Rtlir

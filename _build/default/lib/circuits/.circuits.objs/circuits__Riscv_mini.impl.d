@@ -1,0 +1,1 @@
+lib/circuits/riscv_mini.ml: Bench_circuit Bits Builder Cpu_isa Csr_unit Rtlir

@@ -1,0 +1,1 @@
+lib/circuits/sha256_c2v.ml: Array Bench_circuit Builder Char List Printf Rtlir Sha256_core

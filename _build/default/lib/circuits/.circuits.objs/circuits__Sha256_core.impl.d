@@ -1,0 +1,1 @@
+lib/circuits/sha256_core.ml: Array Bits Builder Design Faultsim Int64 Rtlir

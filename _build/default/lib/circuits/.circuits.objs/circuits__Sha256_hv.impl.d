@@ -1,0 +1,1 @@
+lib/circuits/sha256_hv.ml: Array Bench_circuit Bits Builder Char List Printf Rtlir Sha256_core

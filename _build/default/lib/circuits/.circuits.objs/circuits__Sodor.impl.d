@@ -1,0 +1,1 @@
+lib/circuits/sodor.ml: Bench_circuit Bits Builder Cpu_isa Csr_unit Rtlir

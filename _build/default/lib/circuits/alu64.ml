@@ -1,0 +1,166 @@
+(* 64-bit ALU (paper benchmark "ALU (64)", an arithmetic core).
+
+   Behavioral-heavy: one large edge-triggered case over the opcode with
+   nested conditions (saturation, pass-through ops that ignore one operand —
+   the source of implicit redundancy), plus flag and counter processes. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+type op =
+  | Add
+  | Sub
+  | And_
+  | Or_
+  | Xor_
+  | Nor
+  | Shl_
+  | Shr
+  | Sar
+  | Slt
+  | Sltu
+  | Mul_
+  | Pass_a
+  | Neg_a
+  | Min
+  | Rot
+
+let op_code = function
+  | Add -> 0
+  | Sub -> 1
+  | And_ -> 2
+  | Or_ -> 3
+  | Xor_ -> 4
+  | Nor -> 5
+  | Shl_ -> 6
+  | Shr -> 7
+  | Sar -> 8
+  | Slt -> 9
+  | Sltu -> 10
+  | Mul_ -> 11
+  | Pass_a -> 12
+  | Neg_a -> 13
+  | Min -> 14
+  | Rot -> 15
+
+(* Reference semantics used by the functional tests. *)
+let reference op a b =
+  let open Int64 in
+  let sh = to_int (logand b 0x3FL) in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | And_ -> logand a b
+  | Or_ -> logor a b
+  | Xor_ -> logxor a b
+  | Nor -> lognot (logor a b)
+  | Shl_ -> shift_left a sh
+  | Shr -> shift_right_logical a sh
+  | Sar -> shift_right a sh
+  | Slt -> if compare a b < 0 then 1L else 0L
+  | Sltu -> if unsigned_compare a b < 0 then 1L else 0L
+  | Mul_ -> mul a b
+  | Pass_a -> a
+  | Neg_a -> neg a
+  | Min -> if compare a b < 0 then a else b
+  | Rot -> if sh = 0 then a else logor (shift_left a sh) (shift_right_logical a (64 - sh))
+
+let build () =
+  let ctx = B.create "alu64" in
+  let clk = B.input ctx "clk" 1 in
+  let a = B.input ctx "a" 64 in
+  let b = B.input ctx "b" 64 in
+  let op = B.input ctx "op" 4 in
+  let valid = B.input ctx "valid" 1 in
+  let result = B.reg ctx "result" 64 in
+  let ovf = B.reg ctx "ovf" 1 in
+  let count = B.reg ctx "count" 16 in
+  let shamt = B.wire ctx "shamt" 7 in
+  B.assign ctx shamt (B.zext (B.slice b 5 0) 7);
+  let sum = B.wire ctx "sum" 64 in
+  B.assign ctx sum (a +: b);
+  let diff = B.wire ctx "diff" 64 in
+  B.assign ctx diff (a -: b);
+  let arm o stmts = (Bits.of_int 4 (op_code o), stmts) in
+  B.always_ff ctx ~name:"alu_main" ~clock:clk
+    [
+      B.when_ valid
+        [
+          B.switch op
+            [
+              arm Add
+                [
+                  result <-- sum;
+                  ovf
+                  <-- ((B.bit_ a 63 ==: B.bit_ b 63)
+                      &: (B.bit_ sum 63 <>: B.bit_ a 63));
+                ];
+              arm Sub
+                [
+                  result <-- diff;
+                  ovf
+                  <-- ((B.bit_ a 63 <>: B.bit_ b 63)
+                      &: (B.bit_ diff 63 <>: B.bit_ a 63));
+                ];
+              arm And_ [ result <-- (a &: b); ovf <-- B.gnd ];
+              arm Or_ [ result <-- (a |: b); ovf <-- B.gnd ];
+              arm Xor_ [ result <-- (a ^: b); ovf <-- B.gnd ];
+              arm Nor [ result <-- ~:(a |: b); ovf <-- B.gnd ];
+              arm Shl_ [ result <-- (a <<: shamt); ovf <-- B.gnd ];
+              arm Shr [ result <-- (a >>: shamt); ovf <-- B.gnd ];
+              arm Sar [ result <-- (a >>+ shamt); ovf <-- B.gnd ];
+              arm Slt
+                [ result <-- B.zext (a <+ b) 64; ovf <-- B.gnd ];
+              arm Sltu
+                [ result <-- B.zext (a <: b) 64; ovf <-- B.gnd ];
+              arm Mul_ [ result <-- (a *: b); ovf <-- B.gnd ];
+              arm Pass_a [ result <-- a; ovf <-- B.gnd ];
+              arm Neg_a [ result <-- B.Ops.negate a; ovf <-- B.gnd ];
+              arm Min
+                [
+                  B.if_ (a <+ b) [ result <-- a ] [ result <-- b ];
+                  ovf <-- B.gnd;
+                ];
+            ]
+            ~default:
+              [
+                B.if_ (shamt ==: B.const 7 0)
+                  [ result <-- a ]
+                  [
+                    result
+                    <-- ((a <<: shamt) |: (a >>: (B.const 7 64 -: shamt)));
+                  ];
+                ovf <-- B.gnd;
+              ];
+          count <-- (count +: B.const 16 1);
+        ];
+    ];
+  (* Result-status process: a second behavioral node tracking flags. *)
+  let zero_f = B.wire ctx "zero_f" 1 in
+  let neg_f = B.wire ctx "neg_f" 1 in
+  B.always_comb ctx ~name:"alu_flags"
+    [
+      B.Ops.( =: ) zero_f (~:(B.reduce_or result));
+      B.Ops.( =: ) neg_f (B.bit_ result 63);
+    ];
+  let out_result = B.output ctx "out_result" 64 in
+  let out_flags = B.output ctx "out_flags" 4 in
+  let out_count = B.output ctx "out_count" 16 in
+  B.assign ctx out_result result;
+  B.assign ctx out_flags
+    (B.concat_list [ B.bit_ count 0; ovf; neg_f; zero_f ]);
+  B.assign ctx out_count count;
+  B.finalize ctx
+
+let workload design ~cycles =
+  Bench_circuit.random_workload ~seed:0xA10_64L design ~cycles
+
+let circuit =
+  {
+    Bench_circuit.name = "alu";
+    paper_name = "ALU (64)";
+    build;
+    paper_cycles = 1500;
+    paper_faults = 1182;
+    workload;
+  }

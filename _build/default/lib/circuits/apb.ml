@@ -1,0 +1,152 @@
+(* APB register-file controller (paper benchmark "APB", a communication
+   controller from OpenCores).
+
+   An APB master FSM (IDLE/SETUP/ACCESS) driven by a command port, and an
+   APB slave with a 16-word register file, one wait state on odd-address
+   reads, and a slave-error response for out-of-range addresses.
+   Control-dominated: paper Table III reports 74% behavioral-node time and
+   70% implicit redundancy. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+let m_idle = 0
+let m_setup = 1
+let m_access = 2
+
+let build () =
+  let ctx = B.create "apb" in
+  let clk = B.input ctx "clk" 1 in
+  let cmd_valid = B.input ctx "cmd_valid" 1 in
+  let cmd_write = B.input ctx "cmd_write" 1 in
+  let cmd_addr = B.input ctx "cmd_addr" 5 in
+  let cmd_wdata = B.input ctx "cmd_wdata" 32 in
+  (* master state *)
+  let mstate = B.reg ctx "mstate" 2 in
+  let paddr = B.reg ctx "paddr" 5 in
+  let pwrite = B.reg ctx "pwrite" 1 in
+  let pwdata = B.reg ctx "pwdata" 32 in
+  (* response *)
+  let rsp_valid_r = B.reg ctx "rsp_valid_r" 1 in
+  let rsp_rdata_r = B.reg ctx "rsp_rdata_r" 32 in
+  let rsp_err_r = B.reg ctx "rsp_err_r" 1 in
+  (* slave *)
+  let regfile = B.ram ctx "regfile" ~width:32 ~size:16 in
+  let wait_done = B.reg ctx "wait_done" 1 in
+  let st n = B.const 2 n in
+  let psel = B.wire ctx "psel" 1 in
+  let penable = B.wire ctx "penable" 1 in
+  B.assign ctx psel (mstate <>: st m_idle);
+  B.assign ctx penable (mstate ==: st m_access);
+  let addr_err = B.wire ctx "addr_err" 1 in
+  B.assign ctx addr_err (B.bit_ paddr 4);
+  (* pready: writes and even-address reads complete immediately; odd-address
+     reads take one wait state *)
+  let pready = B.wire ctx "pready" 1 in
+  B.always_comb ctx ~name:"ready_logic"
+    [
+      pready =: B.vdd;
+      B.when_ (penable &: ~:pwrite)
+        [ B.when_ (B.bit_ paddr 0) [ pready =: wait_done ] ];
+    ];
+  (* slave read mux: a behavioral node that statically depends on the whole
+     register file but dynamically reads one word *)
+  let prdata = B.wire ctx "prdata" 32 in
+  B.always_comb ctx ~name:"slave_read"
+    [
+      prdata =: B.const 32 0;
+      B.when_ (psel &: ~:pwrite)
+        [ prdata =: B.read_mem regfile (B.zext (B.slice paddr 3 0) 5) ];
+    ];
+  (* master FSM *)
+  B.always_ff ctx ~name:"master_fsm" ~clock:clk
+    [
+      rsp_valid_r <-- B.gnd;
+      B.switch mstate
+        [
+          ( Bits.of_int 2 m_idle,
+            [
+              B.when_ cmd_valid
+                [
+                  paddr <-- cmd_addr;
+                  pwrite <-- cmd_write;
+                  pwdata <-- cmd_wdata;
+                  mstate <-- st m_setup;
+                ];
+            ] );
+          (Bits.of_int 2 m_setup, [ mstate <-- st m_access ]);
+          ( Bits.of_int 2 m_access,
+            [
+              B.when_ pready
+                [
+                  rsp_valid_r <-- B.vdd;
+                  rsp_err_r <-- addr_err;
+                  B.if_ pwrite
+                    [ rsp_rdata_r <-- B.const 32 0 ]
+                    [ rsp_rdata_r <-- prdata ];
+                  mstate <-- st m_idle;
+                ];
+            ] );
+        ]
+        ~default:[ mstate <-- st m_idle ];
+    ];
+  (* slave: register-file write port and wait-state tracking *)
+  B.always_ff ctx ~name:"slave" ~clock:clk
+    [
+      B.if_ (psel &: penable)
+        [
+          B.when_ (pwrite &: ~:addr_err &: pready)
+            [
+              B.write_mem regfile (B.zext (B.slice paddr 3 0) 5) pwdata;
+            ];
+          wait_done <-- B.vdd;
+        ]
+        [ wait_done <-- B.gnd ];
+    ];
+  let rsp_valid = B.output ctx "rsp_valid" 1 in
+  let rsp_rdata = B.output ctx "rsp_rdata" 32 in
+  let rsp_err = B.output ctx "rsp_err" 1 in
+  let bus_state = B.output ctx "bus_state" 2 in
+  B.assign ctx rsp_valid rsp_valid_r;
+  B.assign ctx rsp_rdata rsp_rdata_r;
+  B.assign ctx rsp_err rsp_err_r;
+  B.assign ctx bus_state mstate;
+  B.finalize ctx
+
+(* Commands are issued every 4 cycles: writes fill the register file, reads
+   verify it, with occasional out-of-range accesses exercising pslverr. *)
+let workload design ~cycles =
+  let clock = Design.find_signal design "clk" in
+  let cmd_valid = Design.find_signal design "cmd_valid" in
+  let cmd_write = Design.find_signal design "cmd_write" in
+  let cmd_addr = Design.find_signal design "cmd_addr" in
+  let cmd_wdata = Design.find_signal design "cmd_wdata" in
+  let drive cycle =
+    let phase = cycle mod 4 and n = cycle / 4 in
+    if phase = 0 then begin
+      let rng = Faultsim.Rng.create (Int64.of_int (0xA9B + (n * 7919))) in
+      let write = n mod 3 <> 2 in
+      let addr =
+        if n mod 11 = 10 then 16 + Faultsim.Rng.int rng 16
+        else Faultsim.Rng.int rng 16
+      in
+      [
+        (cmd_valid, Bits.one 1);
+        (cmd_write, Bits.of_bool write);
+        (cmd_addr, Bits.of_int 5 addr);
+        (cmd_wdata, Faultsim.Rng.bits rng 32);
+      ]
+    end
+    else [ (cmd_valid, Bits.zero 1) ]
+  in
+  { Faultsim.Workload.cycles; clock; drive }
+
+let circuit =
+  {
+    Bench_circuit.name = "apb";
+    paper_name = "APB";
+    build;
+    paper_cycles = 1200;
+    paper_faults = 98;
+    workload;
+  }

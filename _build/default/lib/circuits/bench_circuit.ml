@@ -1,0 +1,41 @@
+open Rtlir
+open Faultsim
+
+type t = {
+  name : string;
+  paper_name : string;
+  build : unit -> Design.t;
+  paper_cycles : int;
+  paper_faults : int;
+  workload : Design.t -> cycles:int -> Workload.t;
+}
+
+let cycles_of c ~scale =
+  max 50 (int_of_float (float_of_int c.paper_cycles *. scale))
+
+let faults_of c ~scale =
+  max 20 (int_of_float (float_of_int c.paper_faults *. scale))
+
+let random_workload ?(directed = [||]) ~seed design ~cycles =
+  let clock = Design.find_signal design "clk" in
+  let inputs =
+    List.filter_map
+      (fun id ->
+        if id = clock then None
+        else Some (id, Design.signal_width design id))
+      design.Design.inputs
+  in
+  {
+    Workload.cycles;
+    clock;
+    drive = Workload.random_drive ~seed ~inputs ~directed ();
+  }
+
+let instantiate c ~scale =
+  let design = c.build () in
+  let graph = Elaborate.build design in
+  let workload = c.workload design ~cycles:(cycles_of c ~scale) in
+  let faults =
+    Fault.generate ~max_faults:(faults_of c ~scale) ~seed:0x5EEDL design
+  in
+  (design, graph, workload, faults)

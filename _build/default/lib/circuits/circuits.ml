@@ -1,0 +1,65 @@
+(* Main module of the circuits library: re-exports each benchmark circuit
+   and the registry of all Table II rows. *)
+
+(** Registry entry type and workload helpers. *)
+module Bench_circuit = Bench_circuit
+
+(** SHA-256 primitives, software reference and the shared API testbench. *)
+module Sha256_core = Sha256_core
+
+(** The compact load/store ISA, assembler helpers, test programs and the
+    golden machine model shared by the processor benchmarks. *)
+module Cpu_isa = Cpu_isa
+
+(** CSR / exception side-unit added to each processor (the
+    dynamically-quiescent logic real cores carry). *)
+module Csr_unit = Csr_unit
+
+(** 64-bit ALU — arithmetic core, behavioral-heavy. *)
+module Alu64 = Alu64
+
+(** FP32 add/multiply pipeline with op-gated dual-path capture registers. *)
+module Fpu32 = Fpu32
+
+(** SHA-256, handwritten style: big behavioral nodes, API read mux. *)
+module Sha256_hv = Sha256_hv
+
+(** SHA-256, Chisel-generated style: flat RTL nodes, one-liner registers. *)
+module Sha256_c2v = Sha256_c2v
+
+(** APB register-file bus controller. *)
+module Apb = Apb
+
+(** Single-stage CPU (ucb-bar sodor style). *)
+module Sodor = Sodor
+
+(** Three-stage pipelined CPU with bypassing (riscv-mini style). *)
+module Riscv_mini = Riscv_mini
+
+(** Multicycle FSM CPU (PicoRV32 style). *)
+module Picorv32 = Picorv32
+
+(** 3x3 convolution accelerator with line buffers and a MAC array. *)
+module Conv_acc = Conv_acc
+
+(** Five-stage pipelined CPU with forwarding and load-use stalls. *)
+module Mips_cpu = Mips_cpu
+
+(** All ten benchmarks, in the paper's Table II order. *)
+let all : Bench_circuit.t list =
+  [
+    Alu64.circuit;
+    Fpu32.circuit;
+    Sha256_hv.circuit;
+    Apb.circuit;
+    Sodor.circuit;
+    Riscv_mini.circuit;
+    Picorv32.circuit;
+    Conv_acc.circuit;
+    Sha256_c2v.circuit;
+    Mips_cpu.circuit;
+  ]
+
+(** Look a circuit up by its short name. Raises [Not_found]. *)
+let find name : Bench_circuit.t =
+  List.find (fun (c : Bench_circuit.t) -> c.name = name) all

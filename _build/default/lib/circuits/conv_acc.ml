@@ -1,0 +1,200 @@
+(* 3x3 convolution accelerator (paper benchmark "Conv_acc", a PE-array
+   LeNet accelerator): two line buffers, a 3x3 sliding window, nine
+   signed multiply-accumulate RTL nodes and a ReLU/saturation stage.
+   Datapath-heavy — most nodes are word-level RTL nodes, with small
+   behavioral control. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+let width = 8 (* image width in pixels *)
+
+let kernel = [| 8; -16; 24; -32; 40; -48; 56; -64; 8 |]
+
+(* software mirror used by the functional tests *)
+type sw = {
+  mutable win : int array;  (* 9 entries, row-major, w.(8) = newest *)
+  lb0 : int array;
+  lb1 : int array;
+  mutable col : int;
+  mutable row : int;
+  mutable out_valid : bool;
+  mutable out : int;
+  mutable checksum : int;
+}
+
+let sw_create () =
+  {
+    win = Array.make 9 0;
+    lb0 = Array.make width 0;
+    lb1 = Array.make width 0;
+    col = 0;
+    row = 0;
+    out_valid = false;
+    out = 0;
+    checksum = 0;
+  }
+
+let sw_step s ~px_valid ~px =
+  if px_valid then begin
+    let top = s.lb1.(s.col) and mid = s.lb0.(s.col) in
+    let w = s.win in
+    let nw =
+      [| w.(1); w.(2); top; w.(4); w.(5); mid; w.(7); w.(8); px |]
+    in
+    (* the accumulation uses the post-shift window *)
+    let acc = ref 0 in
+    Array.iteri (fun i v -> acc := !acc + (v * kernel.(i))) nw;
+    let relu =
+      if !acc < 0 then 0 else if !acc > 0xFFFF then 0xFFFF else !acc
+    in
+    let valid = s.col >= 2 && s.row >= 2 in
+    s.win <- nw;
+    s.lb1.(s.col) <- mid;
+    s.lb0.(s.col) <- px;
+    s.out_valid <- valid;
+    if valid then begin
+      s.out <- relu;
+      s.checksum <- (s.checksum + relu + (s.checksum lsl 3)) land 0xFFFFFFFF
+    end;
+    if s.col = width - 1 then begin
+      s.col <- 0;
+      s.row <- (s.row + 1) land 15
+    end
+    else s.col <- s.col + 1
+  end
+  else s.out_valid <- false
+
+let build () =
+  let ctx = B.create "conv_acc" in
+  let clk = B.input ctx "clk" 1 in
+  let px_valid = B.input ctx "px_valid" 1 in
+  let px_in = B.input ctx "px_in" 8 in
+  let win = Array.init 9 (fun i -> B.reg ctx (Printf.sprintf "w%d%d" (i / 3) (i mod 3)) 8) in
+  let lb0 = B.ram ctx "lb0" ~width:8 ~size:width in
+  let lb1 = B.ram ctx "lb1" ~width:8 ~size:width in
+  let col = B.reg ctx "col" 3 in
+  let row = B.reg ctx "row" 4 in
+  let out_valid_r = B.reg ctx "out_valid_r" 1 in
+  let conv_out_r = B.reg ctx "conv_out_r" 16 in
+  let checksum = B.reg ctx "checksum" 32 in
+  let top = B.wire ctx "top" 8 in
+  let mid = B.wire ctx "mid" 8 in
+  B.assign ctx top (B.read_mem lb1 col);
+  B.assign ctx mid (B.read_mem lb0 col);
+  (* post-shift window taps as wires *)
+  let tap = Array.make 9 B.gnd in
+  for i = 0 to 8 do
+    let src =
+      match i with
+      | 2 -> top
+      | 5 -> mid
+      | 8 -> px_in
+      | _ -> win.(i + 1)
+    in
+    let w = B.wire ctx (Printf.sprintf "tap%d" i) 8 in
+    B.assign ctx w src;
+    tap.(i) <- w
+  done;
+  (* nine signed products and an adder tree, all RTL nodes *)
+  let prod =
+    Array.init 9 (fun i ->
+        let p = B.wire ctx (Printf.sprintf "prod%d" i) 20 in
+        B.assign ctx p
+          (B.zext tap.(i) 20 *: B.constb (Bits.make 20 (Int64.of_int kernel.(i))));
+        p)
+  in
+  let sum01 = B.wire ctx "sum01" 20 in
+  let sum23 = B.wire ctx "sum23" 20 in
+  let sum45 = B.wire ctx "sum45" 20 in
+  let sum67 = B.wire ctx "sum67" 20 in
+  B.assign ctx sum01 (prod.(0) +: prod.(1));
+  B.assign ctx sum23 (prod.(2) +: prod.(3));
+  B.assign ctx sum45 (prod.(4) +: prod.(5));
+  B.assign ctx sum67 (prod.(6) +: prod.(7));
+  let sum0123 = B.wire ctx "sum0123" 20 in
+  let sum4567 = B.wire ctx "sum4567" 20 in
+  B.assign ctx sum0123 (sum01 +: sum23);
+  B.assign ctx sum4567 (sum45 +: sum67);
+  let acc = B.wire ctx "acc" 20 in
+  B.assign ctx acc (sum0123 +: sum4567 +: prod.(8));
+  (* ReLU / saturation: a small branchy behavioral node *)
+  let relu = B.wire ctx "relu" 16 in
+  B.always_comb ctx ~name:"relu_clamp"
+    [
+      B.if_ (B.bit_ acc 19)
+        [ relu =: B.const 16 0 ]
+        [
+          B.if_
+            (B.slice acc 18 16 <>: B.const 3 0)
+            [ relu =: B.const 16 0xFFFF ]
+            [ relu =: B.slice acc 15 0 ];
+        ];
+    ];
+  let window_full = B.wire ctx "window_full" 1 in
+  B.assign ctx window_full
+    ((col >=: B.const 3 2) &: (row >=: B.const 4 2));
+  (* control behavioral node *)
+  B.always_ff ctx ~name:"conv_ctrl" ~clock:clk
+    [
+      B.if_ px_valid
+        [
+          win.(0) <-- win.(1);
+          win.(1) <-- win.(2);
+          win.(2) <-- top;
+          win.(3) <-- win.(4);
+          win.(4) <-- win.(5);
+          win.(5) <-- mid;
+          win.(6) <-- win.(7);
+          win.(7) <-- win.(8);
+          win.(8) <-- px_in;
+          B.write_mem lb1 col mid;
+          B.write_mem lb0 col px_in;
+          out_valid_r <-- window_full;
+          B.when_ window_full
+            [
+              conv_out_r <-- relu;
+              checksum
+              <-- (checksum +: B.zext relu 32
+                  +: (checksum <<: B.const 2 3));
+            ];
+          B.if_
+            (col ==: B.const 3 (width - 1))
+            [ col <-- B.const 3 0; row <-- (row +: B.const 4 1) ]
+            [ col <-- (col +: B.const 3 1) ];
+        ]
+        [ out_valid_r <-- B.gnd ];
+    ];
+  let out name e w =
+    let o = B.output ctx name w in
+    B.assign ctx o e
+  in
+  out "out_valid" out_valid_r 1;
+  out "conv_out" conv_out_r 16;
+  out "checksum_out" checksum 32;
+  B.finalize ctx
+
+(* Pixels arrive on ~3 of every 4 cycles, values seeded per cycle. *)
+let workload design ~cycles =
+  let clock = Design.find_signal design "clk" in
+  let px_valid = Design.find_signal design "px_valid" in
+  let px_in = Design.find_signal design "px_in" in
+  let drive cycle =
+    let rng = Faultsim.Rng.create (Int64.of_int (0xC04 + (cycle * 2654435761))) in
+    let valid = cycle mod 4 <> 3 in
+    [
+      (px_valid, Bits.of_bool valid);
+      (px_in, Faultsim.Rng.bits rng 8);
+    ]
+  in
+  { Faultsim.Workload.cycles; clock; drive }
+
+let circuit =
+  {
+    Bench_circuit.name = "conv_acc";
+    paper_name = "Conv_acc";
+    build;
+    paper_cycles = 4000;
+    paper_faults = 1032;
+    workload;
+  }

@@ -1,0 +1,264 @@
+(* A compact 32-bit load/store ISA shared by the processor benchmarks.
+
+   The paper evaluates on Sodor, RISCV-Mini, PicoRV32 and a MIPS CPU; what
+   matters for fault simulation is the microarchitectural variety
+   (single-stage, pipelined, multicycle-FSM), not the exact RISC-V/MIPS
+   encodings. This ISA keeps decode realistic (register file, ALU, loads,
+   stores, branches, jumps, halt) while staying compact.
+
+   Encoding: [31:28] opcode | [27:24] rd | [23:20] rs1 | [19:16] rs2 |
+             [15:0] imm (sign-extended where used; ALU funct in imm[3:0]). *)
+open Rtlir
+
+let op_alu = 0
+let op_addi = 1
+let op_andi = 2
+let op_ori = 3
+let op_xori = 4
+let op_lui = 5
+let op_lw = 6
+let op_sw = 7
+let op_beq = 8
+let op_bne = 9
+let op_blt = 10
+let op_jal = 11
+let op_halt = 15
+
+let f_add = 0
+let f_sub = 1
+let f_and = 2
+let f_or = 3
+let f_xor = 4
+let f_slt = 5
+let f_sltu = 6
+let f_sll = 7
+let f_srl = 8
+let f_sra = 9
+let f_mul = 10
+
+let encode ~op ~rd ~rs1 ~rs2 ~imm =
+  ((op land 0xF) lsl 28)
+  lor ((rd land 0xF) lsl 24)
+  lor ((rs1 land 0xF) lsl 20)
+  lor ((rs2 land 0xF) lsl 16)
+  lor (imm land 0xFFFF)
+
+let alu f rd rs1 rs2 = encode ~op:op_alu ~rd ~rs1 ~rs2 ~imm:f
+let addi rd rs1 imm = encode ~op:op_addi ~rd ~rs1 ~rs2:0 ~imm
+let andi rd rs1 imm = encode ~op:op_andi ~rd ~rs1 ~rs2:0 ~imm
+let ori rd rs1 imm = encode ~op:op_ori ~rd ~rs1 ~rs2:0 ~imm
+let xori rd rs1 imm = encode ~op:op_xori ~rd ~rs1 ~rs2:0 ~imm
+let lui rd imm = encode ~op:op_lui ~rd ~rs1:0 ~rs2:0 ~imm
+let lw rd rs1 imm = encode ~op:op_lw ~rd ~rs1 ~rs2:0 ~imm
+let sw rs2 rs1 imm = encode ~op:op_sw ~rd:0 ~rs1 ~rs2 ~imm
+let beq rs1 rs2 imm = encode ~op:op_beq ~rd:0 ~rs1 ~rs2 ~imm
+let bne rs1 rs2 imm = encode ~op:op_bne ~rd:0 ~rs1 ~rs2 ~imm
+let blt rs1 rs2 imm = encode ~op:op_blt ~rd:0 ~rs1 ~rs2 ~imm
+let jal rd imm = encode ~op:op_jal ~rd ~rs1:0 ~rs2:0 ~imm
+let halt = encode ~op:op_halt ~rd:0 ~rs1:0 ~rs2:0 ~imm:0
+let nop = addi 0 0 0
+
+let rom_of_program prog imem_size =
+  let contents =
+    Array.init imem_size (fun i ->
+        if i < Array.length prog then
+          Bits.make 32 (Int64.of_int prog.(i))
+        else Bits.make 32 (Int64.of_int halt))
+  in
+  contents
+
+(* Fibonacci: mem[i] <- fib(i) for i in 0..14, then restart forever.
+   x1=i, x2=fib(i), x3=fib(i+1), x4=limit, x5=tmp *)
+let fib_program =
+  [|
+    (* 0 *) addi 1 0 0;
+    (* 1 *) addi 2 0 0;
+    (* 2 *) addi 3 0 1;
+    (* 3 *) addi 4 0 15;
+    (* loop: 4 *) sw 2 1 0;
+    (* 5 *) alu f_add 5 2 3;
+    (* 6 *) alu f_add 2 3 0;
+    (* 7 *) alu f_add 3 5 0;
+    (* 8 *) addi 1 1 1;
+    (* 9 *) bne 1 4 (-5 land 0xFFFF);
+    (* 10 *) jal 0 (-10 land 0xFFFF);
+  |]
+
+(* Reference fib values the tests check in data memory. *)
+let fib_expected =
+  let a = Array.make 15 0 in
+  let x = ref 0 and y = ref 1 in
+  for i = 0 to 14 do
+    a.(i) <- !x land 0xFFFFFFFF;
+    let t = !x + !y in
+    x := !y;
+    y := t
+  done;
+  a
+
+(* GCD of constant pairs, results stored at mem[16+k], repeated forever.
+   x1=a, x2=b, x3=k, x6=base addr. Subtraction-based GCD. *)
+let gcd_program =
+  [|
+    (* 0 *) addi 3 0 0;
+    (* restart: 1 *) addi 1 0 270;
+    (* 2 *) addi 2 0 192;
+    (* 3 *) alu f_add 1 1 3;
+    (* gcd loop: 4 *) beq 1 2 6;
+    (* 5 *) blt 1 2 3;
+    (* 6 *) alu f_sub 1 1 2;
+    (* 7 *) jal 0 (-3 land 0xFFFF);
+    (* swap-ish: 8 *) alu f_sub 2 2 1;
+    (* 9 *) jal 0 (-5 land 0xFFFF);
+    (* done: 10 *) addi 6 0 16;
+    (* 11 *) alu f_add 6 6 3;
+    (* 12 *) sw 1 6 0;
+    (* 13 *) addi 3 3 1;
+    (* 14 *) andi 3 3 7;
+    (* 15 *) jal 0 (-14 land 0xFFFF);
+  |]
+
+(* Memory/logic stress: xorshift PRNG stored in a sliding window, plus
+   read-back accumulation. x1=state, x2=i, x3=tmp, x4=acc *)
+let xorshift_program =
+  [|
+    (* 0 *) lui 1 0x1234;
+    (* 1 *) ori 1 1 0x5678;
+    (* 2 *) addi 2 0 0;
+    (* 3 *) addi 4 0 0;
+    (* loop: 4 *) alu f_sll 3 1 10;
+    (* imm f=sll uses rs2 value; use shift-by-register: set x10 *)
+    (* 5 *) alu f_xor 1 1 3;
+    (* 6 *) alu f_srl 3 1 11;
+    (* 7 *) alu f_xor 1 1 3;
+    (* 8 *) andi 5 2 31;
+    (* 9 *) sw 1 5 32;
+    (* 10 *) lw 6 5 32;
+    (* 11 *) alu f_add 4 4 6;
+    (* 12 *) addi 2 2 1;
+    (* 13 *) sw 4 0 30;
+    (* 14 *) jal 0 (-10 land 0xFFFF);
+  |]
+
+(* Register setup executed before xorshift: x10=13, x11=17 (shift counts). *)
+let xorshift_prelude = [| addi 10 0 13; addi 11 0 7 |]
+
+let xorshift_full =
+  Array.append xorshift_prelude
+    (Array.map
+       (fun i ->
+         (* shift the jump targets: prelude added 2 instructions, but all
+            branches here are relative so no fixup is needed *)
+         i)
+       xorshift_program)
+
+(* Bubble sort: initialise mem[0..7] with constants, sort ascending, then
+   keep re-sorting forever (a stable final memory state for end checks).
+   x1=j, x2/x3=elements, x4=7, x5=pass, x6=scratch *)
+let sort_init_values = [| 42; 7; 99; 3; 77; 1; 55; 23 |]
+
+let sort_expected =
+  let a = Array.copy sort_init_values in
+  Array.sort compare a;
+  a
+
+let sort_program =
+  let init =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i v -> [| addi 6 0 v; sw 6 0 i |])
+            sort_init_values))
+  in
+  let body =
+    [|
+      (* 16 *) addi 4 0 7;
+      (* 17 *) addi 5 0 0;
+      (* pass: 18 *) addi 1 0 0;
+      (* loop: 19 *) lw 2 1 0;
+      (* 20 *) lw 3 1 1;
+      (* 21 *) blt 3 2 2;
+      (* 22 *) jal 0 3;
+      (* swap: 23 *) sw 3 1 0;
+      (* 24 *) sw 2 1 1;
+      (* next: 25 *) addi 1 1 1;
+      (* 26 *) bne 1 4 (-7 land 0xFFFF);
+      (* 27 *) addi 5 5 1;
+      (* 28 *) bne 5 4 (-10 land 0xFFFF);
+      (* 29 *) jal 0 (-12 land 0xFFFF);
+    |]
+  in
+  Array.append init body
+
+(* Software golden model for the ISA, used by processor functional tests. *)
+type machine = {
+  regs : int array;  (* 16 registers, values masked to 32 bits *)
+  mutable pc : int;
+  dmem : int array;
+  imem : int array;
+  mutable halted : bool;
+  mutable retired : int;
+}
+
+let machine_create prog ~dmem_size =
+  { regs = Array.make 16 0; pc = 0; dmem = Array.make dmem_size 0;
+    imem = prog; halted = false; retired = 0 }
+
+let m32 = 0xFFFFFFFF
+
+let sext16 v = if v land 0x8000 <> 0 then v lor lnot 0xFFFF else v
+
+let to_signed32 v = if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let machine_step m =
+  if not m.halted then begin
+    let instr = if m.pc < Array.length m.imem then m.imem.(m.pc) else halt in
+    let op = (instr lsr 28) land 0xF in
+    let rd = (instr lsr 24) land 0xF in
+    let rs1 = (instr lsr 20) land 0xF in
+    let rs2 = (instr lsr 16) land 0xF in
+    let imm = instr land 0xFFFF in
+    let simm = sext16 imm in
+    let v1 = m.regs.(rs1) and v2 = m.regs.(rs2) in
+    let wr rd v = if rd <> 0 then m.regs.(rd) <- v land m32 in
+    let next = ref ((m.pc + 1) land 0xFF) in
+    (match op with
+    | o when o = op_alu -> (
+        let sh = v2 land 31 in
+        match imm land 0xF with
+        | f when f = f_add -> wr rd (v1 + v2)
+        | f when f = f_sub -> wr rd (v1 - v2)
+        | f when f = f_and -> wr rd (v1 land v2)
+        | f when f = f_or -> wr rd (v1 lor v2)
+        | f when f = f_xor -> wr rd (v1 lxor v2)
+        | f when f = f_slt ->
+            wr rd (if to_signed32 v1 < to_signed32 v2 then 1 else 0)
+        | f when f = f_sltu -> wr rd (if v1 < v2 then 1 else 0)
+        | f when f = f_sll -> wr rd (v1 lsl sh)
+        | f when f = f_srl -> wr rd (v1 lsr sh)
+        | f when f = f_sra -> wr rd (to_signed32 v1 asr sh)
+        | f when f = f_mul -> wr rd (v1 * v2)
+        | _ -> ())
+    | o when o = op_addi -> wr rd (v1 + simm)
+    | o when o = op_andi -> wr rd (v1 land (imm land 0xFFFF))
+    | o when o = op_ori -> wr rd (v1 lor (imm land 0xFFFF))
+    | o when o = op_xori -> wr rd (v1 lxor (imm land 0xFFFF))
+    | o when o = op_lui -> wr rd (imm lsl 16)
+    | o when o = op_lw ->
+        wr rd m.dmem.((v1 + simm) land (Array.length m.dmem - 1))
+    | o when o = op_sw ->
+        m.dmem.((v1 + simm) land (Array.length m.dmem - 1)) <- v2
+    | o when o = op_beq -> if v1 = v2 then next := (m.pc + simm) land 0xFF
+    | o when o = op_bne -> if v1 <> v2 then next := (m.pc + simm) land 0xFF
+    | o when o = op_blt ->
+        if to_signed32 v1 < to_signed32 v2 then next := (m.pc + simm) land 0xFF
+    | o when o = op_jal ->
+        wr rd (m.pc + 1);
+        next := (m.pc + simm) land 0xFF
+    | o when o = op_halt ->
+        m.halted <- true;
+        next := m.pc
+    | _ -> ());
+    m.pc <- !next;
+    m.retired <- m.retired + 1
+  end

@@ -1,0 +1,70 @@
+(* Small CSR / exception side-unit shared by the processor benchmarks.
+
+   Real cores carry control/status logic that statically reads wide buses
+   but is dynamically quiescent — exception captures, counters, scratch
+   CSRs. Fault effects that reach these data inputs without triggering the
+   enabling conditions are exactly the implicit redundancy the paper
+   measures. The unit watches a memory bus: misaligned-ish accesses (an
+   address whose low two bits are 11) capture an "exception" record. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+(* [add ctx ~clock ~pc ~bus_valid ~bus_addr ~bus_data] returns the signal to
+   expose as the csr probe output. *)
+let add ctx ~clock ~pc ~bus_valid ~bus_addr ~bus_data =
+  let cycle_csr = B.reg ctx "csr_cycle" 16 in
+  let instret = B.reg ctx "csr_instret" 16 in
+  let mepc = B.reg ctx "csr_mepc" 8 in
+  let mcause = B.reg ctx "csr_mcause" 4 in
+  let mtval = B.reg ctx "csr_mtval" 32 in
+  let mscratch = B.reg ctx "csr_mscratch" 32 in
+  let mtvec = B.reg ctx "csr_mtvec" 32 in
+  let mstatus = B.reg ctx "csr_mstatus" 8 in
+  let excnt = B.reg ctx "csr_excnt" 8 in
+  let dump_r = B.reg ctx "csr_dump" 32 in
+  let exc = B.wire ctx "csr_exc" 1 in
+  B.assign ctx exc
+    (bus_valid &: (B.slice bus_addr 1 0 ==: B.const 2 3));
+  (* CSR writes are driven by stores into a small magic window, as the test
+     programs rarely do *)
+  let csr_we = B.wire ctx "csr_we" 1 in
+  B.assign ctx csr_we
+    (bus_valid &: (B.slice bus_addr 5 2 ==: B.const 4 0xE));
+  let dump = B.wire ctx "csr_dump_en" 1 in
+  B.assign ctx dump
+    (bus_valid &: (B.slice bus_addr 5 0 ==: B.const 6 0x3D));
+  B.always_ff ctx ~name:"csr_unit" ~clock
+    [
+      cycle_csr <-- (cycle_csr +: B.const 16 1);
+      B.when_ bus_valid [ instret <-- (instret +: B.const 16 1) ];
+      B.when_ exc
+        [
+          mepc <-- pc;
+          mcause <-- B.slice bus_addr 3 0;
+          mtval <-- bus_data;
+          excnt <-- (excnt +: B.const 8 1);
+          mstatus <-- (mstatus |: B.const 8 0x80);
+        ];
+      B.when_ csr_we
+        [
+          B.switch (B.slice bus_addr 1 0)
+            [
+              (Bits.of_int 2 0, [ mscratch <-- bus_data ]);
+              (Bits.of_int 2 1, [ mtvec <-- bus_data ]);
+              (Bits.of_int 2 2, [ mstatus <-- B.slice bus_data 7 0 ]);
+            ]
+            ~default:[ mepc <-- B.slice bus_data 7 0 ];
+        ];
+      B.when_ dump
+        [
+          dump_r
+          <-- (mtval ^: mscratch ^: mtvec
+              ^: B.concat_list
+                   [ mstatus; excnt; mepc; B.concat mcause (B.slice instret 3 0) ]
+              ^: B.zext cycle_csr 32);
+        ];
+    ];
+  (* only the dump register is observable: CSR state is detectable only
+     when software actually reads it out *)
+  dump_r

@@ -1,0 +1,307 @@
+(* 32-bit floating-point unit (paper benchmark "FPU (32)").
+
+   Two-stage pipeline: unpack/capture, then add/multiply datapaths built
+   from branchy combinational behavioral nodes (alignment, normalization by
+   binary leading-zero steps, packing with under/overflow cases). Truncating
+   arithmetic, flush-to-zero denormals — the reference model below mirrors
+   the hardware bit-for-bit and exact cases (x+0, powers of two) also match
+   IEEE. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+(* --- software reference, mirroring the RTL algorithm exactly --- *)
+
+let mask n = (1 lsl n) - 1
+
+let unpack x =
+  let s = (x lsr 31) land 1 in
+  let e = (x lsr 23) land 0xFF in
+  let m = if e = 0 then 0 else (1 lsl 23) lor (x land mask 23) in
+  (s, e, m)
+
+let pack_result sign e m =
+  (* e is a 10-bit two's-complement quantity; m a 24-bit mantissa. *)
+  if m = 0 then 0
+  else if e land 0x200 <> 0 || e = 0 then 0 (* underflow / denormal: flush *)
+  else if e >= 255 then (sign lsl 31) lor (0xFF lsl 23) (* overflow: inf *)
+  else (sign lsl 31) lor ((e land 0xFF) lsl 23) lor (m land mask 23)
+
+let normalize m e =
+  (* m: 25-bit sum; e: 10-bit; returns 24-bit mantissa and exponent. *)
+  let m = ref m and e = ref e in
+  if !m land (1 lsl 24) <> 0 then begin
+    m := !m lsr 1;
+    e := (!e + 1) land 0x3FF
+  end
+  else begin
+    if !m land 0xFFFF00 = 0 then begin
+      m := (!m lsl 16) land mask 25;
+      e := (!e - 16) land 0x3FF
+    end;
+    if !m land 0xFF0000 = 0 then begin
+      m := (!m lsl 8) land mask 25;
+      e := (!e - 8) land 0x3FF
+    end;
+    if !m land 0xF00000 = 0 then begin
+      m := (!m lsl 4) land mask 25;
+      e := (!e - 4) land 0x3FF
+    end;
+    if !m land 0xC00000 = 0 then begin
+      m := (!m lsl 2) land mask 25;
+      e := (!e - 2) land 0x3FF
+    end;
+    if !m land 0x800000 = 0 then begin
+      m := (!m lsl 1) land mask 25;
+      e := (!e - 1) land 0x3FF
+    end
+  end;
+  (!m land mask 24, !e)
+
+let ref_add a b =
+  let sa, ea, ma = unpack a and sb, eb, mb = unpack b in
+  let a_ge = (ea lsl 24) lor ma >= (eb lsl 24) lor mb in
+  let el, ml, es, ms, sign =
+    if a_ge then (ea, ma, eb, mb, sa) else (eb, mb, ea, ma, sb)
+  in
+  let d = el - es in
+  let msh = if d >= 26 then 0 else ms lsr d in
+  let m =
+    if sa = sb then (ml + msh) land mask 25
+    else (ml - msh) land mask 25
+  in
+  let m, e = normalize m el in
+  pack_result sign e m
+
+let ref_mul a b =
+  let sa, ea, ma = unpack a and sb, eb, mb = unpack b in
+  let sign = sa lxor sb in
+  if ma = 0 || mb = 0 then 0
+  else begin
+    let p = ma * mb in
+    let m, e =
+      if p land (1 lsl 47) <> 0 then
+        ((p lsr 24) land mask 24, (ea + eb - 126) land 0x3FF)
+      else ((p lsr 23) land mask 24, (ea + eb - 127) land 0x3FF)
+    in
+    pack_result sign e m
+  end
+
+(* --- hardware --- *)
+
+let build () =
+  let ctx = B.create "fpu32" in
+  let clk = B.input ctx "clk" 1 in
+  let in_valid = B.input ctx "in_valid" 1 in
+  let op = B.input ctx "op" 1 in
+  let a = B.input ctx "a" 32 in
+  let b = B.input ctx "b" 32 in
+  (* unpack (RTL nodes) *)
+  let upk name x =
+    let s = B.wire ctx (name ^ "_s") 1 in
+    let e = B.wire ctx (name ^ "_e") 8 in
+    let m = B.wire ctx (name ^ "_m") 24 in
+    B.assign ctx s (B.bit_ x 31);
+    B.assign ctx e (B.slice x 30 23);
+    B.assign ctx m
+      (B.mux
+         (B.slice x 30 23 ==: B.const 8 0)
+         (B.const 24 0)
+         (B.concat B.vdd (B.slice x 22 0)));
+    (s, e, m)
+  in
+  let ua_s, ua_e, ua_m = upk "ua" a in
+  let ub_s, ub_e, ub_m = upk "ub" b in
+  (* Stage 1 registers. The two datapaths have separate, op-gated capture
+     registers (as in a clock-gated FPU): the inactive path's pipeline
+     registers hold their previous operands. *)
+  let r1 name w = B.reg ctx ("s1_" ^ name) w in
+  let s1_valid = r1 "valid" 1
+  and s1_op = r1 "op" 1 in
+  let ra name w = B.reg ctx ("s1a_" ^ name) w in
+  let s1_sa = ra "sa" 1
+  and s1_sb = ra "sb" 1
+  and s1_ea = ra "ea" 8
+  and s1_eb = ra "eb" 8
+  and s1_ma = ra "ma" 24
+  and s1_mb = ra "mb" 24 in
+  let rm name w = B.reg ctx ("s1m_" ^ name) w in
+  let m1_sa = rm "sa" 1
+  and m1_sb = rm "sb" 1
+  and m1_ea = rm "ea" 8
+  and m1_eb = rm "eb" 8
+  and m1_ma = rm "ma" 24
+  and m1_mb = rm "mb" 24 in
+  B.always_ff ctx ~name:"stage1" ~clock:clk
+    [
+      s1_valid <-- in_valid;
+      B.when_ in_valid
+        [
+          s1_op <-- op;
+          B.if_
+            (op ==: B.const 1 0)
+            [
+              s1_sa <-- ua_s;
+              s1_sb <-- ub_s;
+              s1_ea <-- ua_e;
+              s1_eb <-- ub_e;
+              s1_ma <-- ua_m;
+              s1_mb <-- ub_m;
+            ]
+            [
+              m1_sa <-- ua_s;
+              m1_sb <-- ub_s;
+              m1_ea <-- ua_e;
+              m1_eb <-- ub_e;
+              m1_ma <-- ua_m;
+              m1_mb <-- ub_m;
+            ];
+        ];
+    ];
+  (* add path: pick larger operand, align, add/sub *)
+  let a_ge = B.wire ctx "a_ge" 1 in
+  B.assign ctx a_ge (B.concat s1_ea s1_ma >=: B.concat s1_eb s1_mb);
+  let add_sign = B.wire ctx "add_sign" 1 in
+  let add_m = B.wire ctx "add_m" 25 in
+  let add_e = B.wire ctx "add_e" 10 in
+  let el = B.wire ctx "el" 8 in
+  let ml = B.wire ctx "ml" 24 in
+  let msh = B.wire ctx "msh" 24 in
+  B.always_comb ctx ~name:"align_add"
+    [
+      el =: B.mux a_ge s1_ea s1_eb;
+      ml =: B.mux a_ge s1_ma s1_mb;
+      add_sign =: B.mux a_ge s1_sa s1_sb;
+      (let es = B.mux a_ge s1_eb s1_ea in
+       let ms = B.mux a_ge s1_mb s1_ma in
+       let d = el -: es in
+       B.if_
+         (d >=: B.const 8 26)
+         [ msh =: B.const 24 0 ]
+         [ msh =: (ms >>: d) ]);
+      B.if_ (s1_sa ==: s1_sb)
+        [ add_m =: (B.zext ml 25 +: B.zext msh 25) ]
+        [ add_m =: (B.zext ml 25 -: B.zext msh 25) ];
+      add_e =: B.zext el 10;
+    ];
+  (* normalization: carry shift then binary leading-zero steps *)
+  let norm_m = B.wire ctx "norm_m" 25 in
+  let norm_e = B.wire ctx "norm_e" 10 in
+  B.always_comb ctx ~name:"normalize"
+    [
+      norm_m =: add_m;
+      norm_e =: add_e;
+      B.if_ (B.bit_ norm_m 24)
+        [
+          norm_m =: (norm_m >>: B.const 1 1);
+          norm_e =: (norm_e +: B.const 10 1);
+        ]
+        [
+          B.when_
+            (B.slice norm_m 23 8 ==: B.const 16 0)
+            [
+              norm_m =: (norm_m <<: B.const 5 16);
+              norm_e =: (norm_e -: B.const 10 16);
+            ];
+          B.when_
+            (B.slice norm_m 23 16 ==: B.const 8 0)
+            [
+              norm_m =: (norm_m <<: B.const 4 8);
+              norm_e =: (norm_e -: B.const 10 8);
+            ];
+          B.when_
+            (B.slice norm_m 23 20 ==: B.const 4 0)
+            [
+              norm_m =: (norm_m <<: B.const 3 4);
+              norm_e =: (norm_e -: B.const 10 4);
+            ];
+          B.when_
+            (B.slice norm_m 23 22 ==: B.const 2 0)
+            [
+              norm_m =: (norm_m <<: B.const 2 2);
+              norm_e =: (norm_e -: B.const 10 2);
+            ];
+          B.when_
+            (~:(B.bit_ norm_m 23))
+            [
+              norm_m =: (norm_m <<: B.const 1 1);
+              norm_e =: (norm_e -: B.const 10 1);
+            ];
+        ];
+    ];
+  (* multiply path *)
+  let mul_sign = B.wire ctx "mul_sign" 1 in
+  let mul_m = B.wire ctx "mul_m" 24 in
+  let mul_e = B.wire ctx "mul_e" 10 in
+  let mul_zero = B.wire ctx "mul_zero" 1 in
+  B.always_comb ctx ~name:"mulpath"
+    [
+      mul_sign =: (m1_sa ^: m1_sb);
+      mul_zero
+      =: ((m1_ma ==: B.const 24 0) |: (m1_mb ==: B.const 24 0));
+      (let p = B.zext m1_ma 48 *: B.zext m1_mb 48 in
+       let esum = B.zext m1_ea 10 +: B.zext m1_eb 10 in
+       B.if_ (B.bit_ p 47)
+         [
+           mul_m =: B.slice p 47 24;
+           mul_e =: (esum -: B.const 10 126);
+         ]
+         [
+           mul_m =: B.slice p 46 23;
+           mul_e =: (esum -: B.const 10 127);
+         ]);
+    ];
+  (* stage 2: select path and pack, with special cases *)
+  let out_valid = B.reg ctx "out_valid_r" 1 in
+  let out_res = B.reg ctx "out_res_r" 32 in
+  let pack sign e m zero_cond =
+    [
+      B.if_
+        (zero_cond
+        |: (B.bit_ e 9)
+        |: (e ==: B.const 10 0))
+        [ out_res <-- B.const 32 0 ]
+        [
+          B.if_
+            (e >=: B.const 10 255)
+            [
+              out_res
+              <-- B.concat_list [ sign; B.const 8 0xFF; B.const 23 0 ];
+            ]
+            [
+              out_res
+              <-- B.concat_list [ sign; B.slice e 7 0; B.slice m 22 0 ];
+            ];
+        ];
+    ]
+  in
+  B.always_ff ctx ~name:"stage2" ~clock:clk
+    [
+      out_valid <-- s1_valid;
+      B.when_ s1_valid
+        [
+          B.if_
+            (s1_op ==: B.const 1 0)
+            (pack add_sign norm_e (B.slice norm_m 23 0)
+               (B.slice norm_m 23 0 ==: B.const 24 0))
+            (pack mul_sign mul_e mul_m mul_zero);
+        ];
+    ];
+  let ov = B.output ctx "out_valid" 1 in
+  let orr = B.output ctx "out_result" 32 in
+  B.assign ctx ov out_valid;
+  B.assign ctx orr out_res;
+  B.finalize ctx
+
+let workload design ~cycles =
+  Bench_circuit.random_workload ~seed:0xF9032L design ~cycles
+
+let circuit =
+  {
+    Bench_circuit.name = "fpu";
+    paper_name = "FPU (32)";
+    build;
+    paper_cycles = 9000;
+    paper_faults = 1256;
+    workload;
+  }

@@ -1,0 +1,281 @@
+(* Five-stage pipelined CPU (paper benchmark "MIPS CPU", jmahler's
+   mips-cpu): IF | ID | EX | MEM | WB with operand forwarding from EX, MEM
+   and WB, a load-use stall, and branches resolved in EX with a two-cycle
+   flush. The forwarding units are branchy combinational behavioral nodes. *)
+open Rtlir
+module B = Builder
+open B.Ops
+module I = Cpu_isa
+
+let imem_size = 256
+let dmem_size = 64
+
+let build_with ~name ~program () =
+  let ctx = B.create name in
+  let clk = B.input ctx "clk" 1 in
+  let pc = B.reg ctx "pc" 8 in
+  let halted = B.reg ctx "halted" 1 in
+  let retired = B.reg ctx "retired" 32 in
+  (* IF/ID *)
+  let ifid_valid = B.reg ctx "ifid_valid" 1 in
+  let ifid_pc = B.reg ctx "ifid_pc" 8 in
+  let ifid_instr = B.reg ctx "ifid_instr" 32 in
+  (* ID/EX *)
+  let idex_valid = B.reg ctx "idex_valid" 1 in
+  let idex_pc = B.reg ctx "idex_pc" 8 in
+  let idex_op = B.reg ctx "idex_op" 4 in
+  let idex_rd = B.reg ctx "idex_rd" 4 in
+  let idex_funct = B.reg ctx "idex_funct" 4 in
+  let idex_imm = B.reg ctx "idex_imm" 16 in
+  let idex_v1 = B.reg ctx "idex_v1" 32 in
+  let idex_v2 = B.reg ctx "idex_v2" 32 in
+  (* EX/MEM *)
+  let exmem_valid = B.reg ctx "exmem_valid" 1 in
+  let exmem_wb_en = B.reg ctx "exmem_wb_en" 1 in
+  let exmem_rd = B.reg ctx "exmem_rd" 4 in
+  let exmem_alu = B.reg ctx "exmem_alu" 32 in
+  let exmem_is_load = B.reg ctx "exmem_is_load" 1 in
+  let exmem_mem_we = B.reg ctx "exmem_mem_we" 1 in
+  let exmem_addr = B.reg ctx "exmem_addr" 6 in
+  let exmem_sdata = B.reg ctx "exmem_sdata" 32 in
+  (* MEM/WB *)
+  let memwb_valid = B.reg ctx "memwb_valid" 1 in
+  let memwb_wb_en = B.reg ctx "memwb_wb_en" 1 in
+  let memwb_rd = B.reg ctx "memwb_rd" 4 in
+  let memwb_data = B.reg ctx "memwb_data" 32 in
+  let regfile = B.ram ctx "regfile" ~width:32 ~size:16 in
+  let dmem = B.ram ctx "dmem" ~width:32 ~size:dmem_size in
+  let imem = B.rom ctx "imem" (I.rom_of_program program imem_size) in
+  (* ID decode fields *)
+  let opcode = B.wire ctx "opcode" 4 in
+  let rd = B.wire ctx "rd" 4 in
+  let rs1 = B.wire ctx "rs1" 4 in
+  let rs2 = B.wire ctx "rs2" 4 in
+  let imm = B.wire ctx "imm" 16 in
+  B.assign ctx opcode (B.slice ifid_instr 31 28);
+  B.assign ctx rd (B.slice ifid_instr 27 24);
+  B.assign ctx rs1 (B.slice ifid_instr 23 20);
+  B.assign ctx rs2 (B.slice ifid_instr 19 16);
+  B.assign ctx imm (B.slice ifid_instr 15 0);
+  let idex_is_load = B.wire ctx "idex_is_load" 1 in
+  let idex_is_store = B.wire ctx "idex_is_store" 1 in
+  let idex_wb_en = B.wire ctx "idex_wb_en" 1 in
+  B.assign ctx idex_is_load (idex_op ==: B.const 4 I.op_lw);
+  B.assign ctx idex_is_store (idex_op ==: B.const 4 I.op_sw);
+  B.assign ctx idex_wb_en
+    ((idex_op ==: B.const 4 I.op_alu)
+    |: ((idex_op <=: B.const 4 I.op_lw) &: (idex_op >=: B.const 4 I.op_addi))
+    |: (idex_op ==: B.const 4 I.op_jal));
+  (* EX ALU (combinational on ID/EX) *)
+  let simm_ex = B.wire ctx "simm_ex" 32 in
+  B.assign ctx simm_ex (B.sext idex_imm 32);
+  let ex_result = B.wire ctx "ex_result" 32 in
+  let ex_taken = B.wire ctx "ex_taken" 1 in
+  let ex_halt = B.wire ctx "ex_halt" 1 in
+  let sh = B.wire ctx "sh" 6 in
+  B.assign ctx sh (B.zext (B.slice idex_v2 4 0) 6);
+  let opc n = Bits.of_int 4 n in
+  B.always_comb ctx ~name:"ex_alu"
+    [
+      ex_result =: B.const 32 0;
+      ex_taken =: B.gnd;
+      ex_halt =: B.gnd;
+      B.when_ idex_valid
+        [
+          B.switch idex_op
+            [
+              ( opc I.op_alu,
+                [
+                  B.switch idex_funct
+                    [
+                      ( Bits.of_int 4 I.f_add,
+                        [ ex_result =: (idex_v1 +: idex_v2) ] );
+                      ( Bits.of_int 4 I.f_sub,
+                        [ ex_result =: (idex_v1 -: idex_v2) ] );
+                      ( Bits.of_int 4 I.f_and,
+                        [ ex_result =: (idex_v1 &: idex_v2) ] );
+                      ( Bits.of_int 4 I.f_or,
+                        [ ex_result =: (idex_v1 |: idex_v2) ] );
+                      ( Bits.of_int 4 I.f_xor,
+                        [ ex_result =: (idex_v1 ^: idex_v2) ] );
+                      ( Bits.of_int 4 I.f_slt,
+                        [ ex_result =: B.zext (idex_v1 <+ idex_v2) 32 ] );
+                      ( Bits.of_int 4 I.f_sltu,
+                        [ ex_result =: B.zext (idex_v1 <: idex_v2) 32 ] );
+                      ( Bits.of_int 4 I.f_sll,
+                        [ ex_result =: (idex_v1 <<: sh) ] );
+                      ( Bits.of_int 4 I.f_srl,
+                        [ ex_result =: (idex_v1 >>: sh) ] );
+                      ( Bits.of_int 4 I.f_sra,
+                        [ ex_result =: (idex_v1 >>+ sh) ] );
+                      ( Bits.of_int 4 I.f_mul,
+                        [ ex_result =: (idex_v1 *: idex_v2) ] );
+                    ]
+                    ~default:[];
+                ] );
+              (opc I.op_addi, [ ex_result =: (idex_v1 +: simm_ex) ]);
+              ( opc I.op_andi,
+                [ ex_result =: (idex_v1 &: B.zext idex_imm 32) ] );
+              (opc I.op_ori, [ ex_result =: (idex_v1 |: B.zext idex_imm 32) ]);
+              ( opc I.op_xori,
+                [ ex_result =: (idex_v1 ^: B.zext idex_imm 32) ] );
+              ( opc I.op_lui,
+                [ ex_result =: (B.zext idex_imm 32 <<: B.const 5 16) ] );
+              (opc I.op_lw, [ ex_result =: (idex_v1 +: simm_ex) ]);
+              (opc I.op_sw, [ ex_result =: (idex_v1 +: simm_ex) ]);
+              ( opc I.op_beq,
+                [ B.when_ (idex_v1 ==: idex_v2) [ ex_taken =: B.vdd ] ] );
+              ( opc I.op_bne,
+                [ B.when_ (idex_v1 <>: idex_v2) [ ex_taken =: B.vdd ] ] );
+              ( opc I.op_blt,
+                [ B.when_ (idex_v1 <+ idex_v2) [ ex_taken =: B.vdd ] ] );
+              ( opc I.op_jal,
+                [
+                  ex_result =: B.zext (idex_pc +: B.const 8 1) 32;
+                  ex_taken =: B.vdd;
+                ] );
+              (opc I.op_halt, [ ex_halt =: B.vdd ]);
+            ]
+            ~default:[];
+        ];
+    ];
+  let br_target = B.wire ctx "br_target" 8 in
+  B.assign ctx br_target (B.slice (B.zext idex_pc 32 +: simm_ex) 7 0);
+  (* MEM stage combinational read *)
+  let mem_rdata = B.wire ctx "mem_rdata" 32 in
+  B.assign ctx mem_rdata (B.read_mem dmem (B.zext exmem_addr 6));
+  let mem_result = B.wire ctx "mem_result" 32 in
+  B.assign ctx mem_result (B.mux exmem_is_load mem_rdata exmem_alu);
+  (* forwarding at ID read time: EX > MEM > WB > regfile *)
+  let forward name rs =
+    let v = B.wire ctx name 32 in
+    B.always_comb ctx ~name:(name ^ "_fw")
+      [
+        v =: B.read_mem regfile (B.zext rs 5);
+        B.when_
+          (memwb_valid &: memwb_wb_en &: (memwb_rd ==: rs))
+          [ v =: memwb_data ];
+        B.when_
+          (exmem_valid &: exmem_wb_en &: (exmem_rd ==: rs))
+          [ v =: mem_result ];
+        B.when_
+          (idex_valid &: idex_wb_en &: (idex_rd ==: rs)
+          &: ~:idex_is_load)
+          [ v =: ex_result ];
+        B.when_ (rs ==: B.const 4 0) [ v =: B.const 32 0 ];
+      ];
+    v
+  in
+  let id_v1 = forward "id_v1" rs1 in
+  let id_v2 = forward "id_v2" rs2 in
+  (* load-use stall *)
+  let stall = B.wire ctx "stall" 1 in
+  B.assign ctx stall
+    (ifid_valid &: idex_valid &: idex_is_load
+    &: (idex_rd <>: B.const 4 0)
+    &: ((idex_rd ==: rs1) |: (idex_rd ==: rs2)));
+  let flush = B.wire ctx "flush" 1 in
+  B.assign ctx flush ex_taken;
+  (* IF stage *)
+  B.always_ff ctx ~name:"if_stage" ~clock:clk
+    [
+      B.when_ ex_halt [ halted <-- B.vdd ];
+      B.if_
+        (halted |: ex_halt)
+        [ ifid_valid <-- B.gnd ]
+        [
+          B.if_ flush
+            [ pc <-- br_target; ifid_valid <-- B.gnd ]
+            [
+              B.when_ (~:stall)
+                [
+                  pc <-- (pc +: B.const 8 1);
+                  ifid_valid <-- B.vdd;
+                  ifid_pc <-- pc;
+                  ifid_instr <-- B.read_mem imem pc;
+                ];
+            ];
+        ];
+    ];
+  (* ID stage *)
+  B.always_ff ctx ~name:"id_stage" ~clock:clk
+    [
+      B.if_
+        (flush |: stall |: ~:ifid_valid |: halted)
+        [ idex_valid <-- B.gnd ]
+        [
+          idex_valid <-- B.vdd;
+          idex_pc <-- ifid_pc;
+          idex_op <-- opcode;
+          idex_rd <-- rd;
+          idex_funct <-- B.slice imm 3 0;
+          idex_imm <-- imm;
+          idex_v1 <-- id_v1;
+          idex_v2 <-- id_v2;
+        ];
+    ];
+  (* EX stage *)
+  B.always_ff ctx ~name:"ex_stage" ~clock:clk
+    [
+      exmem_valid <-- (idex_valid &: ~:ex_halt);
+      exmem_wb_en <-- idex_wb_en;
+      exmem_rd <-- idex_rd;
+      exmem_alu <-- ex_result;
+      exmem_is_load <-- idex_is_load;
+      exmem_mem_we <-- idex_is_store;
+      exmem_addr <-- B.slice (idex_v1 +: simm_ex) 5 0;
+      exmem_sdata <-- idex_v2;
+    ];
+  (* MEM stage: data-memory write and MEM/WB capture *)
+  B.always_ff ctx ~name:"mem_stage" ~clock:clk
+    [
+      memwb_valid <-- exmem_valid;
+      memwb_wb_en <-- exmem_wb_en;
+      memwb_rd <-- exmem_rd;
+      memwb_data <-- mem_result;
+      B.when_ (exmem_valid &: exmem_mem_we)
+        [ B.write_mem dmem (B.zext exmem_addr 6) exmem_sdata ];
+    ];
+  (* WB stage *)
+  B.always_ff ctx ~name:"wb_stage" ~clock:clk
+    [
+      B.when_ memwb_valid
+        [
+          retired <-- (retired +: B.const 32 1);
+          B.when_
+            (memwb_wb_en &: (memwb_rd <>: B.const 4 0))
+            [ B.write_mem regfile (B.zext memwb_rd 5) memwb_data ];
+        ];
+    ];
+  let out name e w =
+    let o = B.output ctx name w in
+    B.assign ctx o e
+  in
+  let probe =
+    Csr_unit.add ctx ~clock:clk ~pc
+      ~bus_valid:(exmem_valid &: exmem_mem_we)
+      ~bus_addr:exmem_addr ~bus_data:exmem_sdata
+  in
+  out "pc_out" pc 8;
+  out "retired_out" (B.slice retired 15 0) 16;
+  out "mem_bus"
+    (B.concat_list
+       [ exmem_valid &: exmem_mem_we; exmem_addr; exmem_sdata ])
+    39;
+  out "csr_probe_out" probe 32;
+  out "halted_out" halted 1;
+  B.finalize ctx
+
+let build () = build_with ~name:"mips_cpu" ~program:I.sort_program ()
+
+let circuit =
+  {
+    Bench_circuit.name = "mips";
+    paper_name = "MIPS CPU";
+    build;
+    paper_cycles = 1200;
+    paper_faults = 1346;
+    workload =
+      (fun design ~cycles ->
+        Bench_circuit.random_workload ~seed:0x3195L design ~cycles);
+  }

@@ -1,0 +1,213 @@
+(* Multicycle FSM CPU (paper benchmark "PicoRV32", YosysHQ's
+   size-optimised core): one instruction walks through
+   FETCH / DECODE / EXEC / MEM / WB states, latching operands along the
+   way. The state register changes every cycle, so most fault activity at
+   the big behavioral node is explicit (paper Table III: 86% explicit). *)
+open Rtlir
+module B = Builder
+open B.Ops
+module I = Cpu_isa
+
+let imem_size = 256
+let dmem_size = 64
+let s_fetch = 0
+let s_decode = 1
+let s_exec = 2
+let s_mem = 3
+let s_wb = 4
+
+let build_with ~name ~program () =
+  let ctx = B.create name in
+  let clk = B.input ctx "clk" 1 in
+  let state = B.reg ctx "state" 3 in
+  let pc = B.reg ctx "pc" 8 in
+  let instr = B.reg ctx "instr" 32 in
+  let v1 = B.reg ctx "v1" 32 in
+  let v2 = B.reg ctx "v2" 32 in
+  let alu_r = B.reg ctx "alu_r" 32 in
+  let wb_en_r = B.reg ctx "wb_en_r" 1 in
+  let next_pc_r = B.reg ctx "next_pc_r" 8 in
+  let mem_rdata = B.reg ctx "mem_rdata" 32 in
+  let halted = B.reg ctx "halted" 1 in
+  let retired = B.reg ctx "retired" 32 in
+  let regfile = B.ram ctx "regfile" ~width:32 ~size:16 in
+  let dmem = B.ram ctx "dmem" ~width:32 ~size:dmem_size in
+  let imem = B.rom ctx "imem" (I.rom_of_program program imem_size) in
+  (* decode-field RTL nodes *)
+  let opcode = B.wire ctx "opcode" 4 in
+  let rd = B.wire ctx "rd" 4 in
+  let rs1 = B.wire ctx "rs1" 4 in
+  let rs2 = B.wire ctx "rs2" 4 in
+  let imm = B.wire ctx "imm" 16 in
+  let simm = B.wire ctx "simm" 32 in
+  B.assign ctx opcode (B.slice instr 31 28);
+  B.assign ctx rd (B.slice instr 27 24);
+  B.assign ctx rs1 (B.slice instr 23 20);
+  B.assign ctx rs2 (B.slice instr 19 16);
+  B.assign ctx imm (B.slice instr 15 0);
+  B.assign ctx simm (B.sext imm 32);
+  let is_load = B.wire ctx "is_load" 1 in
+  let is_store = B.wire ctx "is_store" 1 in
+  let is_branch = B.wire ctx "is_branch" 1 in
+  B.assign ctx is_load (opcode ==: B.const 4 I.op_lw);
+  B.assign ctx is_store (opcode ==: B.const 4 I.op_sw);
+  B.assign ctx is_branch
+    ((opcode ==: B.const 4 I.op_beq)
+    |: (opcode ==: B.const 4 I.op_bne)
+    |: (opcode ==: B.const 4 I.op_blt));
+  let mem_addr = B.wire ctx "mem_addr" 6 in
+  B.assign ctx mem_addr (B.slice (v1 +: simm) 5 0);
+  let pc_br = B.wire ctx "pc_br" 8 in
+  B.assign ctx pc_br (B.slice (B.zext pc 32 +: simm) 7 0);
+  let pc_plus1 = B.wire ctx "pc_plus1" 8 in
+  B.assign ctx pc_plus1 (pc +: B.const 8 1);
+  let st n = B.const 3 n in
+  let opc n = Bits.of_int 4 n in
+  let sh = B.wire ctx "sh" 6 in
+  B.assign ctx sh (B.zext (B.slice v2 4 0) 6);
+  B.always_ff ctx ~name:"cpu_fsm" ~clock:clk
+    [
+      B.when_ (~:halted)
+        [
+          B.switch state
+            [
+              ( Bits.of_int 3 s_fetch,
+                [
+                  instr <-- B.read_mem imem pc;
+                  state <-- st s_decode;
+                ] );
+              ( Bits.of_int 3 s_decode,
+                [
+                  v1
+                  <-- B.mux (rs1 ==: B.const 4 0) (B.const 32 0)
+                        (B.read_mem regfile (B.zext rs1 5));
+                  v2
+                  <-- B.mux (rs2 ==: B.const 4 0) (B.const 32 0)
+                        (B.read_mem regfile (B.zext rs2 5));
+                  state <-- st s_exec;
+                ] );
+              ( Bits.of_int 3 s_exec,
+                [
+                  wb_en_r <-- B.gnd;
+                  next_pc_r <-- pc_plus1;
+                  B.switch opcode
+                    [
+                      ( opc I.op_alu,
+                        [
+                          wb_en_r <-- B.vdd;
+                          B.switch (B.slice imm 3 0)
+                            [
+                              (Bits.of_int 4 I.f_add, [ alu_r <-- (v1 +: v2) ]);
+                              (Bits.of_int 4 I.f_sub, [ alu_r <-- (v1 -: v2) ]);
+                              (Bits.of_int 4 I.f_and, [ alu_r <-- (v1 &: v2) ]);
+                              (Bits.of_int 4 I.f_or, [ alu_r <-- (v1 |: v2) ]);
+                              (Bits.of_int 4 I.f_xor, [ alu_r <-- (v1 ^: v2) ]);
+                              ( Bits.of_int 4 I.f_slt,
+                                [ alu_r <-- B.zext (v1 <+ v2) 32 ] );
+                              ( Bits.of_int 4 I.f_sltu,
+                                [ alu_r <-- B.zext (v1 <: v2) 32 ] );
+                              (Bits.of_int 4 I.f_sll, [ alu_r <-- (v1 <<: sh) ]);
+                              (Bits.of_int 4 I.f_srl, [ alu_r <-- (v1 >>: sh) ]);
+                              (Bits.of_int 4 I.f_sra, [ alu_r <-- (v1 >>+ sh) ]);
+                              (Bits.of_int 4 I.f_mul, [ alu_r <-- (v1 *: v2) ]);
+                            ]
+                            ~default:[ wb_en_r <-- B.gnd ];
+                        ] );
+                      ( opc I.op_addi,
+                        [ wb_en_r <-- B.vdd; alu_r <-- (v1 +: simm) ] );
+                      ( opc I.op_andi,
+                        [ wb_en_r <-- B.vdd; alu_r <-- (v1 &: B.zext imm 32) ] );
+                      ( opc I.op_ori,
+                        [ wb_en_r <-- B.vdd; alu_r <-- (v1 |: B.zext imm 32) ] );
+                      ( opc I.op_xori,
+                        [ wb_en_r <-- B.vdd; alu_r <-- (v1 ^: B.zext imm 32) ] );
+                      ( opc I.op_lui,
+                        [
+                          wb_en_r <-- B.vdd;
+                          alu_r <-- (B.zext imm 32 <<: B.const 5 16);
+                        ] );
+                      (opc I.op_lw, []);
+                      (opc I.op_sw, []);
+                      ( opc I.op_beq,
+                        [ B.when_ (v1 ==: v2) [ next_pc_r <-- pc_br ] ] );
+                      ( opc I.op_bne,
+                        [ B.when_ (v1 <>: v2) [ next_pc_r <-- pc_br ] ] );
+                      ( opc I.op_blt,
+                        [ B.when_ (v1 <+ v2) [ next_pc_r <-- pc_br ] ] );
+                      ( opc I.op_jal,
+                        [
+                          wb_en_r <-- B.vdd;
+                          alu_r <-- B.zext pc_plus1 32;
+                          next_pc_r <-- pc_br;
+                        ] );
+                      (opc I.op_halt, [ halted <-- B.vdd ]);
+                    ]
+                    ~default:[];
+                  B.if_
+                    (is_load |: is_store)
+                    [ state <-- st s_mem ]
+                    [ state <-- st s_wb ];
+                ] );
+              ( Bits.of_int 3 s_mem,
+                [
+                  B.if_ is_load
+                    [
+                      mem_rdata <-- B.read_mem dmem (B.zext mem_addr 6);
+                      wb_en_r <-- B.vdd;
+                    ]
+                    [ B.write_mem dmem (B.zext mem_addr 6) v2 ];
+                  state <-- st s_wb;
+                ] );
+              ( Bits.of_int 3 s_wb,
+                [
+                  B.when_
+                    (wb_en_r &: (rd <>: B.const 4 0))
+                    [
+                      B.write_mem regfile (B.zext rd 5)
+                        (B.mux is_load mem_rdata alu_r);
+                    ];
+                  retired <-- (retired +: B.const 32 1);
+                  pc <-- next_pc_r;
+                  state <-- st s_fetch;
+                ] );
+            ]
+            ~default:[ state <-- st s_fetch ];
+        ];
+    ];
+  let out name e w =
+    let o = B.output ctx name w in
+    B.assign ctx o e
+  in
+  let probe =
+    Csr_unit.add ctx ~clock:clk ~pc
+      ~bus_valid:((state ==: B.const 3 s_mem) &: is_store &: ~:halted)
+      ~bus_addr:mem_addr ~bus_data:v2
+  in
+  out "pc_out" pc 8;
+  out "state_out" state 3;
+  out "retired_out" (B.slice retired 15 0) 16;
+  out "mem_bus"
+    (B.concat_list
+       [
+         (state ==: B.const 3 s_mem) &: is_store &: ~:halted;
+         mem_addr;
+         v2;
+       ])
+    39;
+  out "csr_probe_out" probe 32;
+  out "halted_out" halted 1;
+  B.finalize ctx
+
+let build () = build_with ~name:"picorv32" ~program:I.xorshift_full ()
+
+let circuit =
+  {
+    Bench_circuit.name = "picorv32";
+    paper_name = "PicoRV32";
+    build;
+    paper_cycles = 4000;
+    paper_faults = 1040;
+    workload =
+      (fun design ~cycles ->
+        Bench_circuit.random_workload ~seed:0x91C0L design ~cycles);
+  }

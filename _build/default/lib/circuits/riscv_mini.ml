@@ -1,0 +1,222 @@
+(* Three-stage pipelined CPU (paper benchmark "RISCV Mini", ucb-bar's
+   riscv-mini): Fetch | Execute | Writeback with full bypassing, branch
+   resolution in X (one-cycle flush), and store commit in W so that all
+   architectural state retires in order. *)
+open Rtlir
+module B = Builder
+open B.Ops
+module I = Cpu_isa
+
+let imem_size = 256
+let dmem_size = 64
+
+let build_with ~name ~program () =
+  let ctx = B.create name in
+  let clk = B.input ctx "clk" 1 in
+  (* fetch *)
+  let pc = B.reg ctx "pc" 8 in
+  let fx_valid = B.reg ctx "fx_valid" 1 in
+  let fx_pc = B.reg ctx "fx_pc" 8 in
+  let fx_instr = B.reg ctx "fx_instr" 32 in
+  (* execute/writeback pipeline register *)
+  let xw_valid = B.reg ctx "xw_valid" 1 in
+  let xw_wb_en = B.reg ctx "xw_wb_en" 1 in
+  let xw_rd = B.reg ctx "xw_rd" 4 in
+  let xw_data = B.reg ctx "xw_data" 32 in
+  let xw_mem_we = B.reg ctx "xw_mem_we" 1 in
+  let xw_mem_addr = B.reg ctx "xw_mem_addr" 6 in
+  let xw_mem_data = B.reg ctx "xw_mem_data" 32 in
+  let halted = B.reg ctx "halted" 1 in
+  let retired = B.reg ctx "retired" 32 in
+  let regfile = B.ram ctx "regfile" ~width:32 ~size:16 in
+  let dmem = B.ram ctx "dmem" ~width:32 ~size:dmem_size in
+  let imem = B.rom ctx "imem" (I.rom_of_program program imem_size) in
+  (* decode fields of the instruction in X *)
+  let opcode = B.wire ctx "opcode" 4 in
+  let rd = B.wire ctx "rd" 4 in
+  let rs1 = B.wire ctx "rs1" 4 in
+  let rs2 = B.wire ctx "rs2" 4 in
+  let imm = B.wire ctx "imm" 16 in
+  let simm = B.wire ctx "simm" 32 in
+  B.assign ctx opcode (B.slice fx_instr 31 28);
+  B.assign ctx rd (B.slice fx_instr 27 24);
+  B.assign ctx rs1 (B.slice fx_instr 23 20);
+  B.assign ctx rs2 (B.slice fx_instr 19 16);
+  B.assign ctx imm (B.slice fx_instr 15 0);
+  B.assign ctx simm (B.sext imm 32);
+  (* register read with bypass from the instruction in W *)
+  let bypass name rs =
+    let v = B.wire ctx name 32 in
+    B.always_comb ctx ~name:(name ^ "_bp")
+      [
+        v =: B.read_mem regfile (B.zext rs 5);
+        B.when_ (rs ==: B.const 4 0) [ v =: B.const 32 0 ];
+        B.when_
+          (xw_valid &: xw_wb_en &: (xw_rd ==: rs) &: (rs <>: B.const 4 0))
+          [ v =: xw_data ];
+      ];
+    v
+  in
+  let rs1val = bypass "rs1val" rs1 in
+  let rs2val = bypass "rs2val" rs2 in
+  let pc_plus1 = B.wire ctx "pc_plus1" 8 in
+  B.assign ctx pc_plus1 (pc +: B.const 8 1);
+  let br_target = B.wire ctx "br_target" 8 in
+  B.assign ctx br_target (B.slice (B.zext fx_pc 32 +: simm) 7 0);
+  let mem_addr = B.wire ctx "mem_addr" 6 in
+  B.assign ctx mem_addr (B.slice (rs1val +: simm) 5 0);
+  (* load value with store-to-load bypass from W *)
+  let load_val = B.wire ctx "load_val" 32 in
+  B.always_comb ctx ~name:"load_bp"
+    [
+      load_val =: B.read_mem dmem (B.zext mem_addr 6);
+      B.when_
+        (xw_valid &: xw_mem_we &: (xw_mem_addr ==: mem_addr))
+        [ load_val =: xw_mem_data ];
+    ];
+  (* execute *)
+  let x_wb_en = B.wire ctx "x_wb_en" 1 in
+  let x_data = B.wire ctx "x_data" 32 in
+  let x_mem_we = B.wire ctx "x_mem_we" 1 in
+  let x_taken = B.wire ctx "x_taken" 1 in
+  let x_halt = B.wire ctx "x_halt" 1 in
+  let opc n = Bits.of_int 4 n in
+  let sh = B.wire ctx "sh" 6 in
+  B.always_comb ctx ~name:"execute"
+    [
+      x_wb_en =: B.gnd;
+      x_data =: B.const 32 0;
+      x_mem_we =: B.gnd;
+      x_taken =: B.gnd;
+      x_halt =: B.gnd;
+      sh =: B.zext (B.slice rs2val 4 0) 6;
+      B.when_ fx_valid
+        [
+          B.switch opcode
+            [
+              ( opc I.op_alu,
+                [
+                  x_wb_en =: B.vdd;
+                  B.switch (B.slice imm 3 0)
+                    [
+                      (Bits.of_int 4 I.f_add, [ x_data =: (rs1val +: rs2val) ]);
+                      (Bits.of_int 4 I.f_sub, [ x_data =: (rs1val -: rs2val) ]);
+                      (Bits.of_int 4 I.f_and, [ x_data =: (rs1val &: rs2val) ]);
+                      (Bits.of_int 4 I.f_or, [ x_data =: (rs1val |: rs2val) ]);
+                      (Bits.of_int 4 I.f_xor, [ x_data =: (rs1val ^: rs2val) ]);
+                      ( Bits.of_int 4 I.f_slt,
+                        [ x_data =: B.zext (rs1val <+ rs2val) 32 ] );
+                      ( Bits.of_int 4 I.f_sltu,
+                        [ x_data =: B.zext (rs1val <: rs2val) 32 ] );
+                      (Bits.of_int 4 I.f_sll, [ x_data =: (rs1val <<: sh) ]);
+                      (Bits.of_int 4 I.f_srl, [ x_data =: (rs1val >>: sh) ]);
+                      (Bits.of_int 4 I.f_sra, [ x_data =: (rs1val >>+ sh) ]);
+                      (Bits.of_int 4 I.f_mul, [ x_data =: (rs1val *: rs2val) ]);
+                    ]
+                    ~default:[ x_wb_en =: B.gnd ];
+                ] );
+              (opc I.op_addi, [ x_wb_en =: B.vdd; x_data =: (rs1val +: simm) ]);
+              ( opc I.op_andi,
+                [ x_wb_en =: B.vdd; x_data =: (rs1val &: B.zext imm 32) ] );
+              ( opc I.op_ori,
+                [ x_wb_en =: B.vdd; x_data =: (rs1val |: B.zext imm 32) ] );
+              ( opc I.op_xori,
+                [ x_wb_en =: B.vdd; x_data =: (rs1val ^: B.zext imm 32) ] );
+              ( opc I.op_lui,
+                [
+                  x_wb_en =: B.vdd;
+                  x_data =: (B.zext imm 32 <<: B.const 5 16);
+                ] );
+              (opc I.op_lw, [ x_wb_en =: B.vdd; x_data =: load_val ]);
+              (opc I.op_sw, [ x_mem_we =: B.vdd ]);
+              ( opc I.op_beq,
+                [ B.when_ (rs1val ==: rs2val) [ x_taken =: B.vdd ] ] );
+              ( opc I.op_bne,
+                [ B.when_ (rs1val <>: rs2val) [ x_taken =: B.vdd ] ] );
+              ( opc I.op_blt,
+                [ B.when_ (rs1val <+ rs2val) [ x_taken =: B.vdd ] ] );
+              ( opc I.op_jal,
+                [
+                  x_wb_en =: B.vdd;
+                  x_data =: B.zext (fx_pc +: B.const 8 1) 32;
+                  x_taken =: B.vdd;
+                ] );
+              (opc I.op_halt, [ x_halt =: B.vdd ]);
+            ]
+            ~default:[];
+        ];
+    ];
+  (* fetch stage: pc update and F/X capture, with branch flush *)
+  B.always_ff ctx ~name:"fetch" ~clock:clk
+    [
+      B.if_
+        (halted |: x_halt)
+        [ fx_valid <-- B.gnd ]
+        [
+          B.if_ x_taken
+            [ pc <-- br_target; fx_valid <-- B.gnd ]
+            [
+              pc <-- pc_plus1;
+              fx_valid <-- B.vdd;
+              fx_pc <-- pc;
+              fx_instr <-- B.read_mem imem pc;
+            ];
+        ];
+      B.when_ x_halt [ halted <-- B.vdd ];
+    ];
+  (* X/W capture *)
+  B.always_ff ctx ~name:"xstage" ~clock:clk
+    [
+      xw_valid <-- (fx_valid &: ~:x_halt);
+      xw_wb_en <-- x_wb_en;
+      xw_rd <-- rd;
+      xw_data <-- x_data;
+      xw_mem_we <-- x_mem_we;
+      xw_mem_addr <-- mem_addr;
+      xw_mem_data <-- rs2val;
+    ];
+  (* writeback: commits registers, stores and the retire counter *)
+  B.always_ff ctx ~name:"writeback" ~clock:clk
+    [
+      B.when_ xw_valid
+        [
+          retired <-- (retired +: B.const 32 1);
+          B.when_
+            (xw_wb_en &: (xw_rd <>: B.const 4 0))
+            [ B.write_mem regfile (B.zext xw_rd 5) xw_data ];
+          B.when_ xw_mem_we
+            [ B.write_mem dmem (B.zext xw_mem_addr 6) xw_mem_data ];
+        ];
+    ];
+  let out name e w =
+    let o = B.output ctx name w in
+    B.assign ctx o e
+  in
+  let probe =
+    Csr_unit.add ctx ~clock:clk ~pc
+      ~bus_valid:(xw_valid &: xw_mem_we)
+      ~bus_addr:xw_mem_addr ~bus_data:xw_mem_data
+  in
+  out "pc_out" pc 8;
+  out "retired_out" (B.slice retired 15 0) 16;
+  out "mem_bus"
+    (B.concat_list
+       [ xw_valid &: xw_mem_we; xw_mem_addr; xw_mem_data ])
+    39;
+  out "csr_probe_out" probe 32;
+  out "halted_out" halted 1;
+  B.finalize ctx
+
+let build () = build_with ~name:"riscv_mini" ~program:I.gcd_program ()
+
+let circuit =
+  {
+    Bench_circuit.name = "riscv_mini";
+    paper_name = "RISCV Mini";
+    build;
+    paper_cycles = 6000;
+    paper_faults = 526;
+    workload =
+      (fun design ~cycles ->
+        Bench_circuit.random_workload ~seed:0x3157L design ~cycles);
+  }

@@ -1,0 +1,201 @@
+(* SHA-256, Chisel-generated style (paper benchmark "SHA256_C2V").
+
+   Functionally identical to {!Sha256_hv}, but the whole round datapath and
+   the FSM next-state logic are flattened into word-level RTL nodes
+   (continuous assignments), and each register gets its own trivial
+   one-assignment behavioral node — the shape Chisel emits. Behavioral-node
+   time is a tiny share of the total (paper: ~1%), which is the regime where
+   implicit-redundancy elimination stops paying. *)
+open Rtlir
+module B = Builder
+open B.Ops
+module C = Sha256_core
+
+let build () =
+  let ctx = B.create "sha256_c2v" in
+  let clk = B.input ctx "clk" 1 in
+  let start = B.input ctx "start" 1 in
+  let word_valid = B.input ctx "word_valid" 1 in
+  let word_in = B.input ctx "word_in" 32 in
+  let read_addr = B.input ctx "read_addr" 5 in
+  let state = B.reg ctx "state" 3 in
+  let t = B.reg ctx "t" 7 in
+  let regs =
+    Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "r%c" (Char.chr (97 + i))) 32)
+  in
+  let hh = Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "hh%d" i) 32) in
+  let dig = Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "dig%d" i) 32) in
+  let done_r = B.reg ctx "done_r" 1 in
+  let w_mem = B.ram ctx "w_mem" ~width:32 ~size:16 in
+  let k_rom = B.rom ctx "k_rom" (C.k_rom ()) in
+  let st n = B.const 3 n in
+  let in_idle = B.wire ctx "in_idle" 1 in
+  let in_load = B.wire ctx "in_load" 1 in
+  let in_rounds = B.wire ctx "in_rounds" 1 in
+  let in_final = B.wire ctx "in_final" 1 in
+  let in_done = B.wire ctx "in_done" 1 in
+  B.assign ctx in_idle (state ==: st C.s_idle);
+  B.assign ctx in_load (state ==: st C.s_load);
+  B.assign ctx in_rounds (state ==: st C.s_rounds);
+  B.assign ctx in_final (state ==: st C.s_final);
+  B.assign ctx in_done (state ==: st C.s_done);
+  (* Flat datapath: every intermediate is an RTL node. *)
+  let wire_eq name w e =
+    let s = B.wire ctx name w in
+    B.assign ctx s e;
+    s
+  in
+  let rdw i name = wire_eq name 32 (B.read_mem w_mem (t +: B.const 7 i)) in
+  let w14 = rdw 14 "w14" in
+  let w9 = rdw 9 "w9" in
+  let w1 = rdw 1 "w1" in
+  let w0 = rdw 0 "w0" in
+  let ss1 = wire_eq "ss1" 32 (C.small_sigma1 w14) in
+  let ss0 = wire_eq "ss0" 32 (C.small_sigma0 w1) in
+  let w_sched = wire_eq "w_sched" 32 (ss1 +: w9 +: ss0 +: w0) in
+  let w_t = wire_eq "w_t" 32 (B.mux (t <: B.const 7 16) w0 w_sched) in
+  let k_t = wire_eq "k_t" 32 (B.read_mem k_rom (B.slice t 5 0)) in
+  let ra = regs.(0)
+  and rb = regs.(1)
+  and rc = regs.(2)
+  and rd = regs.(3)
+  and re_ = regs.(4)
+  and rf = regs.(5)
+  and rg = regs.(6)
+  and rh = regs.(7) in
+  let bs1 = wire_eq "bs1" 32 (C.big_sigma1 re_) in
+  let bs0 = wire_eq "bs0" 32 (C.big_sigma0 ra) in
+  let ch_w = wire_eq "ch_w" 32 (C.ch re_ rf rg) in
+  let maj_w = wire_eq "maj_w" 32 (C.maj ra rb rc) in
+  let t1 = wire_eq "t1" 32 (rh +: bs1 +: ch_w +: k_t +: w_t) in
+  let t2 = wire_eq "t2" 32 (bs0 +: maj_w) in
+  let last_load = wire_eq "last_load" 1 (word_valid &: (t ==: B.const 7 15)) in
+  let last_round = wire_eq "last_round" 1 (t ==: B.const 7 63) in
+  let next_state =
+    wire_eq "next_state" 3
+      (B.cases state (st C.s_idle)
+         [
+           (st C.s_idle, B.mux start (st C.s_load) (st C.s_idle));
+           (st C.s_load, B.mux last_load (st C.s_rounds) (st C.s_load));
+           ( st C.s_rounds,
+             B.mux last_round (st C.s_final) (st C.s_rounds) );
+           (st C.s_final, st C.s_done);
+           (st C.s_done, st C.s_idle);
+         ])
+  in
+  let t_plus1 = wire_eq "t_plus1" 7 (t +: B.const 7 1) in
+  let next_t =
+    wire_eq "next_t" 7
+      (B.cases state (B.const 7 0)
+         [
+           (st C.s_load,
+            B.mux last_load (B.const 7 0)
+              (B.mux word_valid t_plus1 t));
+           (st C.s_rounds, B.mux last_round t t_plus1);
+         ])
+  in
+  let round_en = in_rounds in
+  (* Per-register next-value RTL nodes and one-liner register processes. *)
+  let next_of name cur round_v =
+    wire_eq name 32
+      (B.mux round_en round_v cur)
+  in
+  let start_load = wire_eq "start_load" 1 (in_idle &: start) in
+  let reg_next i cur round_v =
+    let n =
+      next_of (Printf.sprintf "next_r%d" i) cur round_v
+    in
+    wire_eq
+      (Printf.sprintf "next_r%d_i" i)
+      32
+      (B.mux start_load (B.const 32 C.h_init.(i)) n)
+  in
+  let nexts =
+    [|
+      reg_next 0 ra (t1 +: t2);
+      reg_next 1 rb ra;
+      reg_next 2 rc rb;
+      reg_next 3 rd rc;
+      reg_next 4 re_ (rd +: t1);
+      reg_next 5 rf re_;
+      reg_next 6 rg rf;
+      reg_next 7 rh rg;
+    |]
+  in
+  Array.iteri
+    (fun i r ->
+      B.always_ff ctx ~name:(Printf.sprintf "reg_r%d" i) ~clock:clk
+        [ r <-- nexts.(i) ])
+    regs;
+  Array.iteri
+    (fun i h ->
+      let n =
+        wire_eq (Printf.sprintf "next_hh%d" i) 32
+          (B.mux start_load
+             (B.const 32 C.h_init.(i))
+             (B.mux in_final (h +: regs.(i)) h))
+      in
+      B.always_ff ctx ~name:(Printf.sprintf "reg_hh%d" i) ~clock:clk
+        [ h <-- n ])
+    hh;
+  Array.iteri
+    (fun i dg ->
+      let n =
+        wire_eq (Printf.sprintf "next_dig%d" i) 32
+          (B.mux in_final (hh.(i) +: regs.(i)) dg)
+      in
+      B.always_ff ctx ~name:(Printf.sprintf "reg_dig%d" i) ~clock:clk
+        [ dg <-- n ])
+    dig;
+  B.always_ff ctx ~name:"reg_state" ~clock:clk [ state <-- next_state ];
+  B.always_ff ctx ~name:"reg_t" ~clock:clk [ t <-- next_t ];
+  B.always_ff ctx ~name:"reg_done" ~clock:clk [ done_r <-- in_done ];
+  (* The W memory keeps a (tiny) behavioral node with a branch, as Chisel
+     emits for Mem write ports. *)
+  let w_addr = wire_eq "w_addr" 7 (B.zext (B.slice t 3 0) 7) in
+  B.always_ff ctx ~name:"w_port" ~clock:clk
+    [
+      B.if_
+        (in_load &: word_valid)
+        [ B.write_mem w_mem w_addr word_in ]
+        [ B.when_ in_rounds [ B.write_mem w_mem w_addr w_t ] ];
+    ];
+  (* flattened API read mux (a Chisel-emitted priority chain of RTL nodes) *)
+  let dig_mux =
+    wire_eq "dig_mux" 32
+      (B.cases
+         (B.slice read_addr 2 0)
+         (B.const 32 0)
+         (List.init 8 (fun i -> (B.const 3 i, dig.(i)))))
+  in
+  let status =
+    wire_eq "status" 32
+      (B.concat_list
+         [ B.const 29 0; done_r; ~:in_idle; B.reduce_or t ])
+  in
+  let w_word =
+    wire_eq "w_word" 32
+      (B.read_mem w_mem (B.zext (B.slice read_addr 3 0) 7))
+  in
+  let api_rdata =
+    wire_eq "api_rdata" 32
+      (B.mux (B.bit_ read_addr 4) w_word
+         (B.mux (B.bit_ read_addr 3) status dig_mux))
+  in
+  let done_o = B.output ctx "done" 1 in
+  B.assign ctx done_o done_r;
+  let rdata_o = B.output ctx "rdata" 32 in
+  B.assign ctx rdata_o api_rdata;
+  let busy = B.output ctx "busy" 1 in
+  B.assign ctx busy (~:in_idle);
+  B.finalize ctx
+
+let circuit =
+  {
+    Bench_circuit.name = "sha256_c2v";
+    paper_name = "SHA256_C2V";
+    build;
+    paper_cycles = 4000;
+    paper_faults = 2174;
+    workload = (fun design ~cycles -> C.workload ~seed:0xC2FL design ~cycles);
+  }

@@ -1,0 +1,159 @@
+(* SHA-256 primitives shared by the handwritten-Verilog-style (HV) and
+   Chisel-generated-style (C2V) benchmark circuits, plus a pure-software
+   compression used as the functional-test reference. *)
+open Rtlir
+module B = Builder
+open B.Ops
+
+let k_table =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+    0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+    0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+    0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+    0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+    0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+    0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+    0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+    0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+    0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+  |]
+
+let h_init =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
+let k_rom () = Array.map (fun k -> Bits.make 32 (Int64.of_int k)) k_table
+
+(* Expression-level primitives (operands are 32-bit expressions). *)
+
+let rotr e n =
+  (e >>: B.const 6 n) |: (e <<: B.const 6 (32 - n))
+
+let big_sigma0 a = rotr a 2 ^: rotr a 13 ^: rotr a 22
+let big_sigma1 e = rotr e 6 ^: rotr e 11 ^: rotr e 25
+let small_sigma0 x = rotr x 7 ^: rotr x 18 ^: (x >>: B.const 6 3)
+let small_sigma1 x = rotr x 17 ^: rotr x 19 ^: (x >>: B.const 6 10)
+let ch e f g = (e &: f) ^: (~:e &: g)
+let maj a b c = (a &: b) ^: (a &: c) ^: (b &: c)
+
+(* Software reference: compress one 16-word block from the standard initial
+   hash, returning the 8 digest words. All arithmetic on int masked to 32
+   bits. *)
+let sw_compress block =
+  assert (Array.length block = 16);
+  let m = 0xFFFFFFFF in
+  let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land m in
+  let w = Array.make 64 0 in
+  Array.blit block 0 w 0 16;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land m
+  done;
+  let a = ref h_init.(0)
+  and b = ref h_init.(1)
+  and c = ref h_init.(2)
+  and d = ref h_init.(3)
+  and e = ref h_init.(4)
+  and f = ref h_init.(5)
+  and g = ref h_init.(6)
+  and h = ref h_init.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = !e land !f lxor (lnot !e land !g) land m in
+    let t1 = (!h + s1 + (ch land m) + k_table.(t) + w.(t)) land m in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let mj = !a land !b lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + mj) land m in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land m;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land m
+  done;
+  [|
+    (h_init.(0) + !a) land m;
+    (h_init.(1) + !b) land m;
+    (h_init.(2) + !c) land m;
+    (h_init.(3) + !d) land m;
+    (h_init.(4) + !e) land m;
+    (h_init.(5) + !f) land m;
+    (h_init.(6) + !g) land m;
+    (h_init.(7) + !h) land m;
+  |]
+
+(* The padded single-block message for "abc". *)
+let abc_block =
+  [|
+    0x61626380; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0x18;
+  |]
+
+(* Known digest of "abc" (FIPS 180-2 test vector). *)
+let abc_digest =
+  [|
+    0xba7816bf; 0x8f01cfea; 0x414140de; 0x5dae2223; 0xb00361a3; 0x96177a9c;
+    0xb410ff61; 0xf20015ad;
+  |]
+
+(* Shared testbench: a block every [period] cycles — start pulse, 16 load
+   cycles, then idle while the core runs its 64 rounds. Block 0 is "abc";
+   later blocks are seeded random. *)
+let period = 84
+
+let block_words ~seed blk =
+  if blk = 0 then abc_block
+  else begin
+    let rng = Faultsim.Rng.create (Int64.add seed (Int64.of_int blk)) in
+    Array.init 16 (fun _ -> Int64.to_int (Int64.logand (Faultsim.Rng.next rng) 0xFFFFFFFFL))
+  end
+
+let workload ~seed design ~cycles =
+  let clock = Design.find_signal design "clk" in
+  let start = Design.find_signal design "start" in
+  let word_valid = Design.find_signal design "word_valid" in
+  let word_in = Design.find_signal design "word_in" in
+  let read_addr = Design.find_signal design "read_addr" in
+  let drive cycle =
+    let blk = cycle / period and phase = cycle mod period in
+    (* the verification environment polls status while the core is busy and
+       reads the digest words out near the end of each block *)
+    let ra =
+      if phase >= 70 then phase mod 8 (* digest readout *)
+      else if cycle mod 7 = 0 then 16 + (cycle * 5 mod 16) (* message words *)
+      else 8 (* status *)
+    in
+    let common =
+      [ (read_addr, Bits.of_int 5 ra) ]
+    in
+    if phase = 0 then
+      (start, Bits.one 1)
+      :: (word_valid, Bits.zero 1)
+      :: (word_in, Bits.zero 32)
+      :: common
+    else if phase >= 1 && phase <= 16 then
+      (start, Bits.zero 1)
+      :: (word_valid, Bits.one 1)
+      :: ( word_in,
+           Bits.make 32 (Int64.of_int (block_words ~seed blk).(phase - 1)) )
+      :: common
+    else
+      (start, Bits.zero 1)
+      :: (word_valid, Bits.zero 1)
+      :: (word_in, Bits.zero 32)
+      :: common
+  in
+  { Faultsim.Workload.cycles; clock; drive }
+
+(* FSM state encoding shared by both variants. *)
+let s_idle = 0
+let s_load = 1
+let s_rounds = 2
+let s_final = 3
+let s_done = 4

@@ -1,0 +1,155 @@
+(* SHA-256, handwritten-Verilog style (paper benchmark "SHA256_HV").
+
+   The round datapath lives in one big combinational behavioral node and the
+   state machine in one edge-triggered behavioral node — the style of
+   secworks/sha256. Behavioral-node time dominates, and most redundancy is
+   implicit (paper Table III: 86% implicit). *)
+open Rtlir
+module B = Builder
+open B.Ops
+module C = Sha256_core
+
+let build () =
+  let ctx = B.create "sha256_hv" in
+  let clk = B.input ctx "clk" 1 in
+  let start = B.input ctx "start" 1 in
+  let word_valid = B.input ctx "word_valid" 1 in
+  let word_in = B.input ctx "word_in" 32 in
+  let read_addr = B.input ctx "read_addr" 5 in
+  let state = B.reg ctx "state" 3 in
+  let t = B.reg ctx "t" 7 in
+  let regs = Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "r%c" (Char.chr (97 + i))) 32) in
+  let hh = Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "hh%d" i) 32) in
+  let dig = Array.init 8 (fun i -> B.reg ctx (Printf.sprintf "dig%d" i) 32) in
+  let done_r = B.reg ctx "done_r" 1 in
+  let w_mem = B.ram ctx "w_mem" ~width:32 ~size:16 in
+  let k_rom = B.rom ctx "k_rom" (C.k_rom ()) in
+  let ra = regs.(0)
+  and rb = regs.(1)
+  and rc = regs.(2)
+  and rd = regs.(3)
+  and re_ = regs.(4)
+  and rf = regs.(5)
+  and rg = regs.(6)
+  and rh = regs.(7) in
+  (* Handwritten-style combinational behavioral node: the whole round
+     datapath with branches, computed with blocking assignments. *)
+  let w_t = B.wire ctx "w_t" 32 in
+  let t1 = B.wire ctx "t1" 32 in
+  let t2 = B.wire ctx "t2" 32 in
+  let rdw i = B.read_mem w_mem (t +: B.const 7 i) in
+  B.always_comb ctx ~name:"round_comb"
+    [
+      w_t
+      =: (C.small_sigma1 (rdw 14) +: rdw 9 +: C.small_sigma0 (rdw 1) +: rdw 0);
+      B.if_
+        (t <: B.const 7 16)
+        [ w_t =: rdw 0 ]
+        [];
+      t1
+      =: (rh +: C.big_sigma1 re_ +: C.ch re_ rf rg
+          +: B.read_mem k_rom (B.slice t 5 0)
+          +: w_t);
+      t2 =: (C.big_sigma0 ra +: C.maj ra rb rc);
+    ];
+  let st n = Bits.of_int 3 n in
+  B.always_ff ctx ~name:"sha_fsm" ~clock:clk
+    [
+      B.switch state
+        [
+          ( st C.s_idle,
+            [
+              done_r <-- B.gnd;
+              B.when_ start
+                ([
+                   state <-- B.constb (st C.s_load);
+                   t <-- B.const 7 0;
+                 ]
+                @ List.concat
+                    (List.init 8 (fun i ->
+                         [
+                           regs.(i) <-- B.const 32 C.h_init.(i);
+                           hh.(i) <-- B.const 32 C.h_init.(i);
+                         ])));
+            ] );
+          ( st C.s_load,
+            [
+              B.when_ word_valid
+                [
+                  B.write_mem w_mem (B.zext (B.slice t 3 0) 7) word_in;
+                  B.if_
+                    (t ==: B.const 7 15)
+                    [ state <-- B.constb (st C.s_rounds); t <-- B.const 7 0 ]
+                    [ t <-- (t +: B.const 7 1) ];
+                ];
+            ] );
+          ( st C.s_rounds,
+            [
+              rh <-- rg;
+              rg <-- rf;
+              rf <-- re_;
+              re_ <-- (rd +: t1);
+              rd <-- rc;
+              rc <-- rb;
+              rb <-- ra;
+              ra <-- (t1 +: t2);
+              B.write_mem w_mem (B.zext (B.slice t 3 0) 7) w_t;
+              B.if_
+                (t ==: B.const 7 63)
+                [ state <-- B.constb (st C.s_final) ]
+                [ t <-- (t +: B.const 7 1) ];
+            ] );
+          ( st C.s_final,
+            List.init 8 (fun i -> hh.(i) <-- (hh.(i) +: regs.(i)))
+            @ List.init 8 (fun i -> dig.(i) <-- (hh.(i) +: regs.(i)))
+            @ [ state <-- B.constb (st C.s_done) ] );
+          (st C.s_done, [ done_r <-- B.vdd; state <-- B.constb (st C.s_idle) ]);
+        ]
+        ~default:[ state <-- B.constb (st C.s_idle) ];
+    ];
+  (* API read mux, as on the secworks core: one behavioral node statically
+     reads the whole register map but dynamically only the polled word. *)
+  let api_rdata = B.wire ctx "api_rdata" 32 in
+  B.always_comb ctx ~name:"api_read"
+    [
+      B.switch (B.slice read_addr 4 3)
+        [
+          ( Bits.of_int 2 0,
+            [
+              B.switch (B.slice read_addr 2 0)
+                (List.init 8 (fun i ->
+                     (Bits.of_int 3 i, [ api_rdata =: dig.(i) ])))
+                ~default:[ api_rdata =: B.const 32 0 ];
+            ] );
+          ( Bits.of_int 2 1,
+            [
+              api_rdata
+              =: B.concat_list
+                   [
+                     B.const 29 0;
+                     done_r;
+                     state <>: B.constb (st C.s_idle);
+                     B.reduce_or t;
+                   ];
+            ] );
+        ]
+        ~default:
+          [ api_rdata =: B.read_mem w_mem (B.zext (B.slice read_addr 3 0) 7) ];
+    ];
+  let done_o = B.output ctx "done" 1 in
+  B.assign ctx done_o done_r;
+  let rdata_o = B.output ctx "rdata" 32 in
+  B.assign ctx rdata_o api_rdata;
+  let busy = B.output ctx "busy" 1 in
+  B.assign ctx busy (state <>: B.constb (st C.s_idle));
+  B.finalize ctx
+
+let circuit =
+  {
+    Bench_circuit.name = "sha256_hv";
+    paper_name = "SHA256_HV";
+    build;
+    paper_cycles = 2600;
+    paper_faults = 660;
+    workload = (fun design ~cycles -> C.workload ~seed:0x5AAL design ~cycles);
+  }

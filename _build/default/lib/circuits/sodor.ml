@@ -1,0 +1,165 @@
+(* Single-stage CPU (paper benchmark "Sodor Core", ucb-bar's 1-stage).
+
+   Fetch, decode, execute and writeback all happen in one cycle: a big
+   combinational behavioral node computes the ALU result, branch target and
+   memory controls; an edge-triggered node commits architectural state and
+   drives trace outputs (the observation points). *)
+open Rtlir
+module B = Builder
+open B.Ops
+module I = Cpu_isa
+
+let imem_size = 256
+let dmem_size = 64
+
+let build_with ~name ~program () =
+  let ctx = B.create name in
+  let clk = B.input ctx "clk" 1 in
+  let pc = B.reg ctx "pc" 8 in
+  let halted = B.reg ctx "halted" 1 in
+  let retired = B.reg ctx "retired" 32 in
+  let regfile = B.ram ctx "regfile" ~width:32 ~size:16 in
+  let dmem = B.ram ctx "dmem" ~width:32 ~size:dmem_size in
+  let imem = B.rom ctx "imem" (I.rom_of_program program imem_size) in
+  let instr = B.wire ctx "instr" 32 in
+  B.assign ctx instr (B.read_mem imem pc);
+  let opcode = B.wire ctx "opcode" 4 in
+  let rd = B.wire ctx "rd" 4 in
+  let rs1 = B.wire ctx "rs1" 4 in
+  let rs2 = B.wire ctx "rs2" 4 in
+  let imm = B.wire ctx "imm" 16 in
+  B.assign ctx opcode (B.slice instr 31 28);
+  B.assign ctx rd (B.slice instr 27 24);
+  B.assign ctx rs1 (B.slice instr 23 20);
+  B.assign ctx rs2 (B.slice instr 19 16);
+  B.assign ctx imm (B.slice instr 15 0);
+  let simm = B.wire ctx "simm" 32 in
+  B.assign ctx simm (B.sext imm 32);
+  let rs1val = B.wire ctx "rs1val" 32 in
+  let rs2val = B.wire ctx "rs2val" 32 in
+  B.assign ctx rs1val
+    (B.mux (rs1 ==: B.const 4 0) (B.const 32 0)
+       (B.read_mem regfile (B.zext rs1 5)));
+  B.assign ctx rs2val
+    (B.mux (rs2 ==: B.const 4 0) (B.const 32 0)
+       (B.read_mem regfile (B.zext rs2 5)));
+  let pc_plus1 = B.wire ctx "pc_plus1" 8 in
+  B.assign ctx pc_plus1 (pc +: B.const 8 1);
+  let pc_br = B.wire ctx "pc_br" 8 in
+  B.assign ctx pc_br (B.slice (B.zext pc 32 +: simm) 7 0);
+  let mem_addr = B.wire ctx "mem_addr" 6 in
+  B.assign ctx mem_addr (B.slice (rs1val +: simm) 5 0);
+  let load_val = B.wire ctx "load_val" 32 in
+  B.assign ctx load_val (B.read_mem dmem (B.zext mem_addr 6));
+  (* decode + execute *)
+  let wb_en = B.wire ctx "wb_en" 1 in
+  let wb_data = B.wire ctx "wb_data" 32 in
+  let next_pc = B.wire ctx "next_pc" 8 in
+  let mem_we = B.wire ctx "mem_we" 1 in
+  let do_halt = B.wire ctx "do_halt" 1 in
+  let opc n = Bits.of_int 4 n in
+  let sh = B.wire ctx "sh" 6 in
+  B.always_comb ctx ~name:"execute"
+    [
+      wb_en =: B.gnd;
+      wb_data =: B.const 32 0;
+      next_pc =: pc_plus1;
+      mem_we =: B.gnd;
+      do_halt =: B.gnd;
+      sh =: B.zext (B.slice rs2val 4 0) 6;
+      B.switch opcode
+        [
+          ( opc I.op_alu,
+            [
+              wb_en =: B.vdd;
+              B.switch (B.slice imm 3 0)
+                [
+                  (Bits.of_int 4 I.f_add, [ wb_data =: (rs1val +: rs2val) ]);
+                  (Bits.of_int 4 I.f_sub, [ wb_data =: (rs1val -: rs2val) ]);
+                  (Bits.of_int 4 I.f_and, [ wb_data =: (rs1val &: rs2val) ]);
+                  (Bits.of_int 4 I.f_or, [ wb_data =: (rs1val |: rs2val) ]);
+                  (Bits.of_int 4 I.f_xor, [ wb_data =: (rs1val ^: rs2val) ]);
+                  ( Bits.of_int 4 I.f_slt,
+                    [ wb_data =: B.zext (rs1val <+ rs2val) 32 ] );
+                  ( Bits.of_int 4 I.f_sltu,
+                    [ wb_data =: B.zext (rs1val <: rs2val) 32 ] );
+                  (Bits.of_int 4 I.f_sll, [ wb_data =: (rs1val <<: sh) ]);
+                  (Bits.of_int 4 I.f_srl, [ wb_data =: (rs1val >>: sh) ]);
+                  (Bits.of_int 4 I.f_sra, [ wb_data =: (rs1val >>+ sh) ]);
+                  (Bits.of_int 4 I.f_mul, [ wb_data =: (rs1val *: rs2val) ]);
+                ]
+                ~default:[ wb_en =: B.gnd ];
+            ] );
+          (opc I.op_addi, [ wb_en =: B.vdd; wb_data =: (rs1val +: simm) ]);
+          ( opc I.op_andi,
+            [ wb_en =: B.vdd; wb_data =: (rs1val &: B.zext imm 32) ] );
+          ( opc I.op_ori,
+            [ wb_en =: B.vdd; wb_data =: (rs1val |: B.zext imm 32) ] );
+          ( opc I.op_xori,
+            [ wb_en =: B.vdd; wb_data =: (rs1val ^: B.zext imm 32) ] );
+          ( opc I.op_lui,
+            [ wb_en =: B.vdd; wb_data =: (B.zext imm 32 <<: B.const 5 16) ] );
+          (opc I.op_lw, [ wb_en =: B.vdd; wb_data =: load_val ]);
+          (opc I.op_sw, [ mem_we =: B.vdd ]);
+          ( opc I.op_beq,
+            [ B.when_ (rs1val ==: rs2val) [ next_pc =: pc_br ] ] );
+          ( opc I.op_bne,
+            [ B.when_ (rs1val <>: rs2val) [ next_pc =: pc_br ] ] );
+          ( opc I.op_blt,
+            [ B.when_ (rs1val <+ rs2val) [ next_pc =: pc_br ] ] );
+          ( opc I.op_jal,
+            [
+              wb_en =: B.vdd;
+              wb_data =: B.zext pc_plus1 32;
+              next_pc =: pc_br;
+            ] );
+          (opc I.op_halt, [ do_halt =: B.vdd; next_pc =: pc ]);
+        ]
+        ~default:[];
+    ];
+  (* commit *)
+  B.always_ff ctx ~name:"commit" ~clock:clk
+    [
+      B.when_ (~:halted)
+        [
+          pc <-- next_pc;
+          halted <-- do_halt;
+          retired <-- (retired +: B.const 32 1);
+          B.when_
+            (wb_en &: (rd <>: B.const 4 0))
+            [ B.write_mem regfile (B.zext rd 5) wb_data ];
+          B.when_ mem_we [ B.write_mem dmem (B.zext mem_addr 6) rs2val ];
+        ];
+    ];
+  let out name e w =
+    let o = B.output ctx name w in
+    B.assign ctx o e
+  in
+  (* Observation points model the core's real interface: program counter,
+     the data-memory bus, and the halt line — register writebacks are not
+     directly observable, as on the original cores. *)
+  let probe =
+    Csr_unit.add ctx ~clock:clk ~pc
+      ~bus_valid:(mem_we &: ~:halted)
+      ~bus_addr:mem_addr ~bus_data:rs2val
+  in
+  out "pc_out" (B.zext pc 8) 8;
+  out "retired_out" (B.slice retired 15 0) 16;
+  out "mem_bus" (B.concat_list [ mem_we &: ~:halted; mem_addr; rs2val ]) 39;
+  out "csr_probe_out" probe 32;
+  out "halted_out" halted 1;
+  B.finalize ctx
+
+let build () = build_with ~name:"sodor" ~program:I.fib_program ()
+
+let circuit =
+  {
+    Bench_circuit.name = "sodor";
+    paper_name = "Sodor Core";
+    build;
+    paper_cycles = 3000;
+    paper_faults = 1252;
+    workload =
+      (fun design ~cycles ->
+        Bench_circuit.random_workload ~seed:0x50D0L design ~cycles);
+  }

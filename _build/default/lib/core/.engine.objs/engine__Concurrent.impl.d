@@ -1,0 +1,1 @@
+lib/core/concurrent.ml: Access Array Bits Cfg Compile Design Elaborate Eval Fault Faultsim Flow Format Hashtbl List Rtlir Sim Stats Sys Unix Vdg Workload

@@ -1,0 +1,1 @@
+lib/core/concurrent.mli: Bits Elaborate Fault Faultsim Rtlir Workload

@@ -1,0 +1,893 @@
+open Rtlir
+open Flow
+open Sim
+open Faultsim
+
+type mode = No_redundancy | Explicit_only | Full
+
+let mode_name = function
+  | No_redundancy -> "eraser--"
+  | Explicit_only -> "eraser-"
+  | Full -> "eraser"
+
+type config = {
+  mode : mode;
+  defer_edge_eval : bool;
+  instrument : bool;
+  exact_mem_check : bool;
+}
+
+let default_config =
+  {
+    mode = Full;
+    defer_edge_eval = true;
+    instrument = false;
+    exact_mem_check = true;
+  }
+
+(* Growable int vector used for per-node fault sets. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 64 0; len = 0 }
+  let clear v = v.len <- 0
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let d = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 d 0 v.len;
+      v.data <- d
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let iter f v =
+    for i = 0 to v.len - 1 do
+      f v.data.(i)
+    done
+end
+
+type comb_kind =
+  | Kassign of {
+      target : int;
+      eval : Compile.compiled_expr;
+      reads : int array;
+      read_mems : int array;
+    }
+  | Kproc of {
+      pid : int;
+      cp : Compile.t;
+      reads : int array;
+      read_mems : int array;
+      writes : int array;  (* blocking targets; covered on every path *)
+    }
+
+let edge_fired edge ~old_b ~new_b =
+  match edge with
+  | Design.Posedge -> (not (Bits.bit old_b 0)) && Bits.bit new_b 0
+  | Design.Negedge -> Bits.bit old_b 0 && not (Bits.bit new_b 0)
+
+let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
+    faults =
+  let t_start = Unix.gettimeofday () in
+  let d = g.design in
+  let nsig = Design.num_signals d in
+  let nmem = Array.length d.mems in
+  let nproc = Array.length d.procs in
+  let nfaults = Array.length faults in
+  let stats = Stats.create () in
+  let mem_size m = d.mems.(m).size in
+  (* ---- good state ---- *)
+  let values = Array.init nsig (fun i -> Bits.zero d.signals.(i).width) in
+  let mems =
+    Array.map
+      (fun (m : Design.mem) ->
+        match m.init with
+        | Some a -> Array.copy a
+        | None -> Array.make m.size (Bits.zero m.data_width))
+      d.mems
+  in
+  (* ---- fault bookkeeping ---- *)
+  let live = Array.make nfaults true in
+  let detected = Array.make nfaults false in
+  let detection_cycle = Array.make nfaults (-1) in
+  let n_live = ref nfaults in
+  let diffs : (int, Bits.t) Hashtbl.t array =
+    Array.init nsig (fun _ -> Hashtbl.create 4)
+  in
+  let mem_diffs : (int, Bits.t) Hashtbl.t array =
+    Array.init nmem (fun _ -> Hashtbl.create 16)
+  in
+  let mem_fault_words : (int, int) Hashtbl.t array =
+    Array.init nmem (fun _ -> Hashtbl.create 8)
+  in
+  let site_faults = Array.make nsig [] in
+  let transients_at : (int, Fault.t list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (f : Fault.t) ->
+      match f.stuck with
+      | Fault.Stuck_at_0 | Fault.Stuck_at_1 ->
+          site_faults.(f.signal) <- f.fid :: site_faults.(f.signal)
+      | Fault.Flip_at c ->
+          Hashtbl.replace transients_at c
+            (f :: (try Hashtbl.find transients_at c with Not_found -> [])))
+    faults;
+  let force_if_site f id v =
+    let fa = faults.(f) in
+    if fa.Fault.signal = id then Fault.force fa v else v
+  in
+  (* ---- dirty tracking over topological comb positions ---- *)
+  let ncomb = Array.length g.comb_nodes in
+  let good_dirty = Array.make ncomb false in
+  let fault_dirty = Array.make ncomb false in
+  let dirty_hi = ref (-1) in
+  let dirty_lo = ref ncomb in
+  (* node being evaluated right now: no self-triggering on own writes *)
+  let current_pos = ref (-1) in
+  let touch pos =
+    if pos > !dirty_hi then dirty_hi := pos;
+    if pos < !dirty_lo then dirty_lo := pos
+  in
+  let mark_good_fanout id =
+    let fo = g.fanout_comb.(id) in
+    for i = 0 to Array.length fo - 1 do
+      let pos = fo.(i) in
+      if pos <> !current_pos then begin
+        good_dirty.(pos) <- true;
+        fault_dirty.(pos) <- true;
+        touch pos
+      end
+    done
+  in
+  let mark_fault_fanout id =
+    let fo = g.fanout_comb.(id) in
+    for i = 0 to Array.length fo - 1 do
+      let pos = fo.(i) in
+      if pos <> !current_pos then begin
+        fault_dirty.(pos) <- true;
+        touch pos
+      end
+    done
+  in
+  let mark_mem_good_fanout m =
+    let fo = g.fanout_mem.(m) in
+    for i = 0 to Array.length fo - 1 do
+      let pos = fo.(i) in
+      good_dirty.(pos) <- true;
+      fault_dirty.(pos) <- true;
+      touch pos
+    done
+  in
+  let mark_mem_fault_fanout m =
+    let fo = g.fanout_mem.(m) in
+    for i = 0 to Array.length fo - 1 do
+      let pos = fo.(i) in
+      fault_dirty.(pos) <- true;
+      touch pos
+    done
+  in
+  (* ---- diff store ---- *)
+  let set_diff id f v =
+    let tbl = diffs.(id) in
+    if Bits.equal v values.(id) then begin
+      if Hashtbl.mem tbl f then begin
+        Hashtbl.remove tbl f;
+        mark_fault_fanout id
+      end
+    end
+    else
+      match Hashtbl.find_opt tbl f with
+      | Some old when Bits.equal old v -> ()
+      | Some _ | None ->
+          Hashtbl.replace tbl f v;
+          mark_fault_fanout id
+  in
+  let fault_value f id =
+    match Hashtbl.find_opt diffs.(id) f with
+    | Some v -> v
+    | None -> values.(id)
+  in
+  let visible f id =
+    match Hashtbl.find_opt diffs.(id) f with
+    | Some v -> not (Bits.equal v values.(id))
+    | None -> false
+  in
+  let mem_key m f a = (f * d.mems.(m).size) + a in
+  let fault_mem_value f m a =
+    match Hashtbl.find_opt mem_diffs.(m) (mem_key m f a) with
+    | Some v -> v
+    | None -> mems.(m).(a)
+  in
+  let mem_visible f m = Hashtbl.mem mem_fault_words.(m) f in
+  let mem_words_bump m f delta =
+    let tbl = mem_fault_words.(m) in
+    let c = (match Hashtbl.find_opt tbl f with Some c -> c | None -> 0) + delta in
+    if c <= 0 then Hashtbl.remove tbl f else Hashtbl.replace tbl f c
+  in
+  let set_mem_diff m f a v =
+    let key = mem_key m f a in
+    let tbl = mem_diffs.(m) in
+    if Bits.equal v mems.(m).(a) then begin
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.remove tbl key;
+        mem_words_bump m f (-1);
+        mark_mem_fault_fanout m
+      end
+    end
+    else
+      match Hashtbl.find_opt tbl key with
+      | Some old when Bits.equal old v -> ()
+      | Some _ ->
+          Hashtbl.replace tbl key v;
+          mark_mem_fault_fanout m
+      | None ->
+          Hashtbl.add tbl key v;
+          mem_words_bump m f 1;
+          mark_mem_fault_fanout m
+  in
+  (* ---- good writes (with fault-site injection and stale-diff sweep) ---- *)
+  let scratch_dead = ref [] in
+  let write_good id v =
+    if not (Bits.equal values.(id) v) then begin
+      values.(id) <- v;
+      let tbl = diffs.(id) in
+      if Hashtbl.length tbl > 0 then begin
+        scratch_dead := [];
+        Hashtbl.iter
+          (fun f fv ->
+            if (not live.(f)) || Bits.equal fv v then
+              scratch_dead := f :: !scratch_dead)
+          tbl;
+        List.iter (Hashtbl.remove tbl) !scratch_dead
+      end;
+      mark_good_fanout id
+    end;
+    List.iter
+      (fun f -> if live.(f) then set_diff id f (Fault.force faults.(f) v))
+      site_faults.(id)
+  in
+  let write_good_mem m a v =
+    if not (Bits.equal mems.(m).(a) v) then begin
+      mems.(m).(a) <- v;
+      mark_mem_good_fanout m
+    end
+  in
+  (* ---- readers / writers ---- *)
+  let good_reader =
+    {
+      Access.get = (fun id -> values.(id));
+      get_mem = (fun m a -> mems.(m).(a));
+    }
+  in
+  let cur_fault = ref (-1) in
+  let fault_reader =
+    {
+      Access.get = (fun id -> fault_value !cur_fault id);
+      get_mem = (fun m a -> fault_mem_value !cur_fault m a);
+    }
+  in
+  let bad_write kind _ _ = failwith ("concurrent: unexpected " ^ kind) in
+  let comb_good_writer =
+    {
+      Access.set_blocking = write_good;
+      set_nonblocking = bad_write "nonblocking write in comb process";
+      write_mem = (fun _ -> bad_write "memory write in comb process" 0);
+    }
+  in
+  let comb_fault_writer =
+    {
+      Access.set_blocking =
+        (fun id v -> set_diff id !cur_fault (force_if_site !cur_fault id v));
+      set_nonblocking = bad_write "nonblocking write in comb process";
+      write_mem = (fun _ -> bad_write "memory write in comb process" 0);
+    }
+  in
+  let cur_good_writes = ref [] in
+  let cur_good_mem_writes = ref [] in
+  let ff_good_writer =
+    {
+      Access.set_blocking = bad_write "blocking write in ff process";
+      set_nonblocking =
+        (fun id v -> cur_good_writes := (id, v) :: !cur_good_writes);
+      write_mem =
+        (fun m a v ->
+          cur_good_mem_writes := (m, a, v) :: !cur_good_mem_writes);
+    }
+  in
+  let fault_nba = ref [] in
+  let fault_nba_mem = ref [] in
+  let cur_pid = ref (-1) in
+  let ff_fault_writer =
+    {
+      Access.set_blocking = bad_write "blocking write in ff process";
+      set_nonblocking =
+        (fun id v -> fault_nba := (!cur_fault, id, v) :: !fault_nba);
+      write_mem =
+        (fun m a v ->
+          fault_nba_mem := (!cur_pid, !cur_fault, m, a, v) :: !fault_nba_mem);
+    }
+  in
+  (* ---- compiled nodes ---- *)
+  let compiled_proc = Array.make nproc None in
+  let get_cp pid =
+    match compiled_proc.(pid) with
+    | Some cp -> cp
+    | None ->
+        let cp = Compile.proc ~mem_size d.procs.(pid).body in
+        compiled_proc.(pid) <- Some cp;
+        cp
+  in
+  let per_proc_exec = Array.make nproc 0 in
+  let per_proc_impl = Array.make nproc 0 in
+  let record = Array.make nproc [||] in
+  let record_of pid =
+    if Array.length record.(pid) = 0 then
+      record.(pid) <- Array.make (Array.length (get_cp pid).cfg.nodes) 0;
+    record.(pid)
+  in
+  let comb_kinds =
+    Array.mapi
+      (fun pos node ->
+        match node with
+        | Elaborate.Cassign i ->
+            let a = d.assigns.(i) in
+            Kassign
+              {
+                target = a.target;
+                eval = Compile.expr ~mem_size a.expr;
+                reads = g.comb_reads.(pos);
+                read_mems = g.comb_read_mems.(pos);
+              }
+        | Elaborate.Cproc pid ->
+            ignore (record_of pid);
+            Kproc
+              {
+                pid;
+                cp = get_cp pid;
+                reads = g.comb_reads.(pos);
+                read_mems = g.comb_read_mems.(pos);
+                writes = g.comb_writes.(pos);
+              })
+      g.comb_nodes
+  in
+  Array.iter (fun pid -> ignore (record_of pid)) g.ff_procs;
+  (* ---- per-node fault set collection ---- *)
+  let stamp = Array.make nfaults 0 in
+  let gen = ref 0 in
+  let fset = Ivec.create () in
+  let begin_set () =
+    incr gen;
+    Ivec.clear fset
+  in
+  let add_fault f =
+    if live.(f) && stamp.(f) <> !gen then begin
+      stamp.(f) <- !gen;
+      Ivec.push fset f
+    end
+  in
+  let add_sig_faults id =
+    let tbl = diffs.(id) in
+    if Hashtbl.length tbl > 0 then begin
+      scratch_dead := [];
+      Hashtbl.iter
+        (fun f _ ->
+          if live.(f) then add_fault f else scratch_dead := f :: !scratch_dead)
+        tbl;
+      List.iter (Hashtbl.remove tbl) !scratch_dead
+    end
+  in
+  let add_mem_faults m =
+    Hashtbl.iter (fun f _ -> if live.(f) then add_fault f) mem_fault_words.(m)
+  in
+  let add_all_live () =
+    for f = 0 to nfaults - 1 do
+      add_fault f
+    done
+  in
+  (* ---- Algorithm 1: the implicit-redundancy walk ---- *)
+  let input_diff f reads read_mems =
+    Array.exists (visible f) reads || Array.exists (mem_visible f) read_mems
+  in
+  let mem_word_diff f m a =
+    match Hashtbl.find_opt mem_diffs.(m) (mem_key m f a) with
+    | Some v -> not (Bits.equal v mems.(m).(a))
+    | None -> false
+  in
+  let walk_redundant (cp : Compile.t) rec_arr =
+    (* fast path: no blocking writes in the body, so every read is external
+       and selectors can be re-evaluated against pre-execution state.
+       Memory dependencies are checked per word: the site's address is
+       recomputed under the good values (equal to the fault's, since the
+       address's signal reads were already checked invisible). Selector
+       memory reads need no pre-check — the selector itself is re-evaluated
+       under the fault overlay. *)
+    let f = !cur_fault in
+    let nodes = cp.cfg.nodes in
+    let vdg = cp.vdg in
+    let site_clean (m, size, caddr) =
+      if config.exact_mem_check then
+        not (mem_word_diff f m (Eval.wrap_address (caddr good_reader) size))
+      else not (mem_visible f m)
+    in
+    let rec walk cur =
+      match nodes.(cur) with
+      | Cfg.Exit -> true
+      | Cfg.Decision dec ->
+          let gc = rec_arr.(cur) in
+          if Compile.fault_choice cp cur fault_reader <> gc then false
+          else walk dec.targets.(gc)
+      | Cfg.Segment s ->
+          if not vdg.Vdg.interesting.(cur) then walk vdg.Vdg.next.(cur)
+          else if
+            Array.exists (visible f) s.reads
+            || not (Array.for_all site_clean cp.seg_sites.(cur))
+          then false
+          else walk vdg.Vdg.next.(cur)
+    in
+    if cp.has_blocking then
+      Vdg.redundant vdg
+        ~good_choice:(fun id -> rec_arr.(id))
+        ~eval_good:(fun e -> Eval.eval ~mem_size good_reader e)
+        ~eval_fault:(fun e -> Eval.eval ~mem_size fault_reader e)
+        ~visible:(visible f)
+        ~mem_word_visible:(fun m addr ->
+          if config.exact_mem_check then
+            mem_word_diff f m (Eval.wrap_address addr d.mems.(m).size)
+          else mem_visible f m)
+    else walk cp.cfg.entry
+  in
+  (* ---- instrumentation ---- *)
+  let bn_clock = ref 0.0 in
+  let bn_begin () = if config.instrument then bn_clock := Unix.gettimeofday () in
+  let bn_end () =
+    if config.instrument then
+      stats.Stats.bn_seconds <-
+        stats.Stats.bn_seconds +. (Unix.gettimeofday () -. !bn_clock)
+  in
+  (* ---- combinational settle ---- *)
+  let process_comb pos =
+    let gd = good_dirty.(pos) and fd = fault_dirty.(pos) in
+    good_dirty.(pos) <- false;
+    fault_dirty.(pos) <- false;
+    match comb_kinds.(pos) with
+    | Kassign a ->
+        if gd then begin
+          stats.Stats.rtl_good_eval <- stats.Stats.rtl_good_eval + 1;
+          write_good a.target (a.eval good_reader)
+        end;
+        if gd || fd then begin
+          begin_set ();
+          Array.iter add_sig_faults a.reads;
+          Array.iter add_mem_faults a.read_mems;
+          add_sig_faults a.target;
+          Ivec.iter
+            (fun f ->
+              cur_fault := f;
+              stats.Stats.rtl_fault_eval <- stats.Stats.rtl_fault_eval + 1;
+              set_diff a.target f (force_if_site f a.target (a.eval fault_reader)))
+            fset
+        end
+    | Kproc p ->
+        bn_begin ();
+        if gd then begin
+          stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+          Compile.exec p.cp ~record:record.(p.pid) good_reader comb_good_writer
+        end;
+        if gd || fd then begin
+          let live_at = !n_live in
+          begin_set ();
+          (match config.mode with
+          | No_redundancy when gd -> add_all_live ()
+          | No_redundancy | Explicit_only | Full ->
+              Array.iter add_sig_faults p.reads;
+              Array.iter add_mem_faults p.read_mems;
+              Array.iter add_sig_faults p.writes);
+          (* Faults sited on a blocking-write target must always execute:
+             forcing the bit at an intermediate write can steer a later
+             branch even when the final forced value happens to equal the
+             good value (so no diff survives to flag them). *)
+          Array.iter
+            (fun t -> List.iter add_fault site_faults.(t))
+            p.writes;
+          let site_on_target f =
+            (not (Fault.is_transient faults.(f)))
+            &&
+            let fs = faults.(f).Fault.signal in
+            Array.exists (fun t -> t = fs) p.writes
+          in
+          let executed = ref 0 and implicit = ref 0 and expl = ref 0 in
+          Ivec.iter
+            (fun f ->
+              cur_fault := f;
+              let idiff = input_diff f p.reads p.read_mems in
+              let must_exec =
+                match config.mode with
+                | No_redundancy -> true
+                | Explicit_only -> idiff || site_on_target f
+                | Full ->
+                    (idiff || site_on_target f)
+                    &&
+                    if
+                      (not (site_on_target f))
+                      && walk_redundant p.cp record.(p.pid)
+                    then begin
+                      incr implicit;
+                      per_proc_impl.(p.pid) <- per_proc_impl.(p.pid) + 1;
+                      false
+                    end
+                    else true
+              in
+              if must_exec then begin
+                incr executed;
+                per_proc_exec.(p.pid) <- per_proc_exec.(p.pid) + 1;
+                stats.Stats.bn_fault_exec <- stats.Stats.bn_fault_exec + 1;
+                Compile.exec p.cp fault_reader comb_fault_writer
+              end
+              else if not (idiff && config.mode = Full) then incr expl;
+              if not must_exec then
+                (* reconcile: the faulty execution would write the good
+                   values (comb bodies assign every target on every path) *)
+                Array.iter
+                  (fun t -> set_diff t f (force_if_site f t values.(t)))
+                  p.writes)
+            fset;
+          stats.Stats.bn_skipped_implicit <-
+            stats.Stats.bn_skipped_implicit + !implicit;
+          if gd then
+            stats.Stats.bn_skipped_explicit <-
+              stats.Stats.bn_skipped_explicit + live_at - !executed - !implicit
+          else
+            stats.Stats.bn_skipped_explicit <-
+              stats.Stats.bn_skipped_explicit + !expl
+        end;
+        bn_end ()
+  in
+  let settle () =
+    let pos = ref !dirty_lo in
+    while !pos <= !dirty_hi do
+      if good_dirty.(!pos) || fault_dirty.(!pos) then begin
+        current_pos := !pos;
+        process_comb !pos;
+        current_pos := -1
+      end;
+      incr pos
+    done;
+    dirty_lo := ncomb;
+    dirty_hi := -1
+  in
+  (* ---- clock edge tracking ---- *)
+  let nclk = Array.length g.clocks in
+  let prev_clock_good = Array.map (fun c -> values.(c)) g.clocks in
+  let prev_clock_diff : (int, Bits.t) Hashtbl.t array =
+    Array.init nclk (fun _ -> Hashtbl.create 4)
+  in
+  let good_fired = Array.make nproc false in
+  (* ---- the edge-triggered phase of one time slot ---- *)
+  let step () =
+    settle ();
+    let rounds = ref 0 in
+    let continue = ref true in
+    while !continue do
+      incr rounds;
+      if !rounds > 16 then failwith "concurrent: clock cascade did not settle";
+      Array.fill good_fired 0 nproc false;
+      let fired_list = ref [] in
+      let suppress = ref [] in
+      let solo = ref [] in
+      for ci = 0 to nclk - 1 do
+        let c = g.clocks.(ci) in
+        let old_g = prev_clock_good.(ci) and new_g = values.(c) in
+        if not (Bits.equal old_g new_g) then
+          List.iter
+            (fun (pid, edge) ->
+              if edge_fired edge ~old_b:old_g ~new_b:new_g then begin
+                if not good_fired.(pid) then begin
+                  good_fired.(pid) <- true;
+                  fired_list := pid :: !fired_list
+                end
+              end)
+            g.ff_of_clock.(c);
+        if config.defer_edge_eval then begin
+          (* per-fault edge divergence for faults with a diff on this clock
+             now or at the previous slot *)
+          begin_set ();
+          add_sig_faults c;
+          Hashtbl.iter
+            (fun f _ -> if live.(f) then add_fault f)
+            prev_clock_diff.(ci);
+          Ivec.iter
+            (fun f ->
+              let old_f =
+                match Hashtbl.find_opt prev_clock_diff.(ci) f with
+                | Some v -> v
+                | None -> old_g
+              in
+              let new_f = fault_value f c in
+              List.iter
+                (fun (pid, edge) ->
+                  let gf = edge_fired edge ~old_b:old_g ~new_b:new_g in
+                  let ff = edge_fired edge ~old_b:old_f ~new_b:new_f in
+                  if gf && not ff then suppress := (pid, f) :: !suppress
+                  else if (not gf) && ff then solo := (pid, f) :: !solo)
+                g.ff_of_clock.(c))
+            fset
+        end;
+        prev_clock_good.(ci) <- new_g;
+        Hashtbl.reset prev_clock_diff.(ci);
+        Hashtbl.iter
+          (fun f v -> if live.(f) then Hashtbl.add prev_clock_diff.(ci) f v)
+          diffs.(c)
+      done;
+      let fired = List.sort compare !fired_list in
+      if fired = [] && !solo = [] then continue := false
+      else begin
+        let good_writes_of = Hashtbl.create 8 in
+        let good_mem_writes_of = Hashtbl.create 8 in
+        fault_nba := [];
+        fault_nba_mem := [];
+        let preserved = ref [] in
+        let preserved_mem = ref [] in
+        let recon = ref [] in
+        let executed_pairs = Hashtbl.create 16 in
+        let preserve_for pid f =
+          List.iter
+            (fun (id, _) -> preserved := (f, id, fault_value f id) :: !preserved)
+            (try Hashtbl.find good_writes_of pid with Not_found -> []);
+          List.iter
+            (fun (m, a, _) ->
+              preserved_mem := (f, m, a, fault_mem_value f m a) :: !preserved_mem)
+            (try Hashtbl.find good_mem_writes_of pid with Not_found -> [])
+        in
+        bn_begin ();
+        List.iter
+          (fun pid ->
+            let cp = get_cp pid in
+            cur_pid := pid;
+            cur_good_writes := [];
+            cur_good_mem_writes := [];
+            stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+            Compile.exec cp ~record:record.(pid) good_reader ff_good_writer;
+            Hashtbl.replace good_writes_of pid (List.rev !cur_good_writes);
+            Hashtbl.replace good_mem_writes_of pid
+              (List.rev !cur_good_mem_writes);
+            let reads = g.proc_reads.(pid) in
+            let read_mems = g.proc_read_mems.(pid) in
+            let suppressed_here =
+              List.filter (fun (p, _) -> p = pid) !suppress
+            in
+            let is_suppressed f =
+              List.exists (fun (_, sf) -> sf = f) suppressed_here
+            in
+            let live_at = !n_live in
+            begin_set ();
+            (match config.mode with
+            | No_redundancy -> add_all_live ()
+            | Explicit_only | Full ->
+                Array.iter add_sig_faults reads;
+                Array.iter add_mem_faults read_mems;
+                Array.iter add_sig_faults g.proc_nb_writes.(pid);
+                Array.iter add_mem_faults g.proc_write_mems.(pid));
+            let executed = ref 0 and implicit = ref 0 and expl = ref 0 in
+            Ivec.iter
+              (fun f ->
+                if not (is_suppressed f) then begin
+                  cur_fault := f;
+                  let idiff = input_diff f reads read_mems in
+                  let must_exec =
+                    match config.mode with
+                    | No_redundancy -> true
+                    | Explicit_only -> idiff
+                    | Full ->
+                        idiff
+                        &&
+                        if walk_redundant cp record.(pid) then begin
+                          incr implicit;
+                          per_proc_impl.(pid) <- per_proc_impl.(pid) + 1;
+                          false
+                        end
+                        else true
+                  in
+                  if must_exec then begin
+                    incr executed;
+                    per_proc_exec.(pid) <- per_proc_exec.(pid) + 1;
+                    stats.Stats.bn_fault_exec <-
+                      stats.Stats.bn_fault_exec + 1;
+                    Hashtbl.replace executed_pairs (pid, f) ();
+                    preserve_for pid f;
+                    Compile.exec cp fault_reader ff_fault_writer
+                  end
+                  else begin
+                    if not (idiff && config.mode = Full) then incr expl;
+                    recon := (pid, f) :: !recon
+                  end
+                end)
+              fset;
+            stats.Stats.bn_skipped_implicit <-
+              stats.Stats.bn_skipped_implicit + !implicit;
+            stats.Stats.bn_skipped_explicit <-
+              stats.Stats.bn_skipped_explicit + live_at
+              - List.length suppressed_here
+              - !executed - !implicit)
+          fired;
+        (* suppressed faults keep their (and the good network's) old register
+           values: capture them before the commit moves the good values *)
+        List.iter
+          (fun (pid, f) -> if good_fired.(pid) then preserve_for pid f)
+          !suppress;
+        (* solo activations: the faulty network sees an edge the good one
+           does not *)
+        List.iter
+          (fun (pid, f) ->
+            if (not good_fired.(pid)) && live.(f) then begin
+              cur_fault := f;
+              cur_pid := pid;
+              stats.Stats.bn_fault_exec <- stats.Stats.bn_fault_exec + 1;
+              per_proc_exec.(pid) <- per_proc_exec.(pid) + 1;
+              Hashtbl.replace executed_pairs (pid, f) ();
+              Compile.exec (get_cp pid) fault_reader ff_fault_writer
+            end)
+          !solo;
+        bn_end ();
+        (* ---- commit ---- *)
+        List.iter
+          (fun pid ->
+            List.iter
+              (fun (id, v) -> write_good id v)
+              (Hashtbl.find good_writes_of pid);
+            List.iter
+              (fun (m, a, v) -> write_good_mem m a v)
+              (Hashtbl.find good_mem_writes_of pid))
+          fired;
+        List.iter (fun (f, id, v) -> if live.(f) then set_diff id f v)
+          (List.rev !preserved);
+        List.iter
+          (fun (f, m, a, v) -> if live.(f) then set_mem_diff m f a v)
+          (List.rev !preserved_mem);
+        List.iter
+          (fun (pid, f) ->
+            if live.(f) then
+              List.iter
+                (fun (id, v) -> set_diff id f (force_if_site f id v))
+                (Hashtbl.find good_writes_of pid))
+          !recon;
+        List.iter
+          (fun (f, id, v) ->
+            if live.(f) then set_diff id f (force_if_site f id v))
+          (List.rev !fault_nba);
+        (* Memory commits must respect each faulty network's program order
+           across processes: the same memory may be written by several
+           processes, and a fault that executed its own copy of one process
+           still follows the good copies of all the others. For every fault
+           touched this batch, replay its effective write sequence in
+           process order: suppressed process -> no writes, executed
+           process -> its own writes, otherwise -> the good writes. *)
+        let fault_mem_writes = Hashtbl.create 8 in
+        List.iter
+          (fun (pid, f, m, a, v) ->
+            if live.(f) then
+              match Hashtbl.find_opt fault_mem_writes (pid, f) with
+              | None -> Hashtbl.add fault_mem_writes (pid, f) (ref [ (m, a, v) ])
+              | Some l -> l := (m, a, v) :: !l)
+          (List.rev !fault_nba_mem);
+        let any_good_mem_write =
+          List.exists (fun pid -> Hashtbl.find good_mem_writes_of pid <> []) fired
+        in
+        let involved = Hashtbl.create 16 in
+        let involve f = if live.(f) then Hashtbl.replace involved f () in
+        if any_good_mem_write || Hashtbl.length fault_mem_writes > 0 then begin
+          Hashtbl.iter (fun (_, f) () -> involve f) executed_pairs;
+          List.iter (fun (_, f) -> involve f) !suppress;
+          List.iter (fun (_, f) -> involve f) !recon
+        end;
+        let solo_pids_of f =
+          List.filter_map
+            (fun (pid, sf) ->
+              if sf = f && not good_fired.(pid) then Some pid else None)
+            !solo
+        in
+        let is_suppressed_at pid f =
+          List.exists (fun (p, sf) -> p = pid && sf = f) !suppress
+        in
+        Hashtbl.iter
+          (fun f () ->
+            let pids = List.sort_uniq compare (fired @ solo_pids_of f) in
+            List.iter
+              (fun pid ->
+                if is_suppressed_at pid f then ()
+                else if Hashtbl.mem executed_pairs (pid, f) then
+                  match Hashtbl.find_opt fault_mem_writes (pid, f) with
+                  | Some l ->
+                      List.iter
+                        (fun (m, a, v) -> set_mem_diff m f a v)
+                        (List.rev !l)
+                  | None -> ()
+                else if good_fired.(pid) then
+                  List.iter
+                    (fun (m, a, v) -> set_mem_diff m f a v)
+                    (Hashtbl.find good_mem_writes_of pid))
+              pids)
+          involved;
+        settle ()
+      end
+    done
+  in
+  (* ---- observation ---- *)
+  let observe cycle =
+    (match probe with
+    | Some f ->
+        f cycle
+          (fun fid id -> fault_value fid id)
+          (fun fid m a -> fault_mem_value fid m a)
+    | None -> ());
+    Array.iter
+      (fun o ->
+        let tbl = diffs.(o) in
+        if Hashtbl.length tbl > 0 then begin
+          scratch_dead := [];
+          Hashtbl.iter
+            (fun f v ->
+              if live.(f) && not (Bits.equal v values.(o)) then
+                scratch_dead := f :: !scratch_dead)
+            tbl;
+          List.iter
+            (fun f ->
+              detected.(f) <- true;
+              detection_cycle.(f) <- cycle;
+              live.(f) <- false;
+              decr n_live)
+            !scratch_dead
+        end)
+      g.outputs;
+    !n_live > 0
+  in
+  (* ---- initialisation ---- *)
+  Array.iter
+    (fun (f : Fault.t) ->
+      set_diff f.signal f.fid (Fault.force f values.(f.signal)))
+    faults;
+  for pos = 0 to ncomb - 1 do
+    good_dirty.(pos) <- true;
+    fault_dirty.(pos) <- true
+  done;
+  dirty_lo := 0;
+  dirty_hi := ncomb - 1;
+  settle ();
+  for ci = 0 to nclk - 1 do
+    let c = g.clocks.(ci) in
+    prev_clock_good.(ci) <- values.(c);
+    Hashtbl.reset prev_clock_diff.(ci);
+    Hashtbl.iter
+      (fun f v -> if live.(f) then Hashtbl.add prev_clock_diff.(ci) f v)
+      diffs.(c)
+  done;
+  (* ---- drive the workload ---- *)
+  let inject_transients cycle =
+    match Hashtbl.find_opt transients_at cycle with
+    | None -> ()
+    | Some l ->
+        List.iter
+          (fun (f : Fault.t) ->
+            if live.(f.fid) then begin
+              let cur = fault_value f.fid f.signal in
+              set_diff f.signal f.fid
+                (Bits.force_bit cur f.bit (not (Bits.bit cur f.bit)))
+            end)
+          l
+  in
+  Workload.run ~on_cycle_start:inject_transients w ~set_input:write_good
+    ~step ~observe;
+  stats.Stats.per_proc <-
+    Array.mapi
+      (fun pid (p : Design.proc) ->
+        (p.pname, per_proc_exec.(pid), per_proc_impl.(pid)))
+      d.procs;
+  (match Sys.getenv_opt "ERASER_PROC_STATS" with
+  | Some _ ->
+      Array.iter
+        (fun (name, e, i) ->
+          Format.eprintf "proc %-16s exec=%d impl=%d@." name e i)
+        stats.Stats.per_proc
+  | None -> ());
+  let wall = Unix.gettimeofday () -. t_start in
+  stats.Stats.total_seconds <- wall;
+  Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()

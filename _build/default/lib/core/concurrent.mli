@@ -1,0 +1,64 @@
+(** The Eraser concurrent (batched) RTL fault-simulation engine
+    (paper Section IV, Fig. 4).
+
+    One good network is simulated; each fault is carried as a sparse set of
+    {e diffs} — (signal, fault) and (memory word, fault) entries holding the
+    faulty network's value where it differs from the good value (the
+    visible bad gates). RTL nodes are re-evaluated per fault only when the
+    fault has a visible diff on the node's cone (steps 2-3). Behavioral
+    nodes activated by the good network process their fault copies under one
+    of three redundancy policies (steps 4-6):
+
+    - {!No_redundancy} (Eraser--): every live fault executes its copy at
+      every good activation;
+    - {!Explicit_only} (Eraser-): faults whose inputs carry no diff are
+      skipped (input-comparison redundancy, as in prior multi-level
+      concurrent simulators);
+    - {!Full} (Eraser): additionally, faults whose inputs do differ run
+      Algorithm 1 over the visibility dependency graph; provably
+      path-and-dependency-identical executions are skipped.
+
+    Skipped and path-diverged fault copies are reconciled at the
+    nonblocking-commit phase so the diff store stays exact. Clock-cone
+    faults are tracked through per-fault edge detection; with
+    [defer_edge_eval] (the paper's fake-event fix) edge evaluation is
+    postponed until the combinational settle completes, and the faulty edge
+    is derived from the fault's own clock view. Disabling it reproduces the
+    premature-activation bug the paper describes (fault copies blindly
+    follow good edges), for the regression test. *)
+
+open Rtlir
+open Faultsim
+
+type mode = No_redundancy | Explicit_only | Full
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  defer_edge_eval : bool;
+  instrument : bool;
+  exact_mem_check : bool;
+      (** per-word memory visibility in the Algorithm 1 walk (the default);
+          [false] falls back to the conservative whole-memory rule — the
+          ablation axis DESIGN.md calls out *)
+}
+
+val default_config : config
+
+(** Run a fault-simulation campaign. The result's detected set matches the
+    serial per-fault oracle for any mode. Setting the environment variable
+    [ERASER_PROC_STATS] prints per-process executed/implicit counters to
+    stderr at the end of the run (a profiling aid). *)
+val run :
+  ?config:config ->
+  ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  Elaborate.t ->
+  Workload.t ->
+  Fault.t array ->
+  Fault.result
+
+(** [run ?probe] — when given, [probe cycle view mem_view] is called at every
+    observation point; [view fault_id signal_id] reads the faulty network's
+    current value (good value overlaid with the fault's diffs). Used by the
+    differential tests to localise divergences. *)

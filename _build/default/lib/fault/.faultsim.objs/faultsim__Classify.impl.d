@@ -1,0 +1,1 @@
+lib/fault/classify.ml: Array Bits Design Elaborate Expr Fault List Queue Rtlir Sim Stmt

@@ -1,0 +1,1 @@
+lib/fault/classify.mli: Bits Elaborate Fault Rtlir

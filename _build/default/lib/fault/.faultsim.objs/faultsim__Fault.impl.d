@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Bits Design List Printf Rng Rtlir Stats

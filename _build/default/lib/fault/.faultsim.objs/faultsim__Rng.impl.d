@@ -1,0 +1,1 @@
+lib/fault/rng.ml: Array Int64 Rtlir

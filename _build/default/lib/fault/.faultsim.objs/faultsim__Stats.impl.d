@@ -1,0 +1,1 @@
+lib/fault/stats.ml: Array Format

@@ -1,0 +1,1 @@
+lib/fault/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/fault/workload.ml: Array Bits Int64 List Rng Rtlir

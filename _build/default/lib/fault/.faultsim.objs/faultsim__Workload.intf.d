@@ -1,0 +1,1 @@
+lib/fault/workload.mli: Bits Rtlir

@@ -1,0 +1,159 @@
+open Rtlir
+
+type verdict =
+  | Untestable_constant
+  | Untestable_unobservable
+  | Testable
+
+let verdict_name = function
+  | Untestable_constant -> "untestable (constant site)"
+  | Untestable_unobservable -> "untestable (unobservable site)"
+  | Testable -> "testable"
+
+(* 2-state constant propagation over continuous assignments. A register no
+   process writes keeps its initial zero value; combinational processes are
+   treated as unknown (their branch structure is not folded). *)
+let constants (g : Elaborate.t) =
+  let d = g.design in
+  let nsig = Design.num_signals d in
+  let consts : Bits.t option array = Array.make nsig None in
+  (* written registers are unknown; unwritten registers are constant zero *)
+  let written = Array.make nsig false in
+  Array.iter
+    (fun (p : Design.proc) ->
+      List.iter (fun id -> written.(id) <- true) (Stmt.write_signals p.body))
+    d.procs;
+  Array.iter
+    (fun (s : Design.signal) ->
+      if s.kind = Design.Reg && not written.(s.id) then
+        consts.(s.id) <- Some (Bits.zero s.width))
+    d.signals;
+  let mem_size m = d.mems.(m).Design.size in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (a : Design.assign) ->
+        if consts.(a.target) = None then begin
+          let known = ref true in
+          let reader =
+            {
+              Sim.Access.get =
+                (fun id ->
+                  match consts.(id) with
+                  | Some v -> v
+                  | None ->
+                      known := false;
+                      Bits.zero (Design.signal_width d id));
+              get_mem =
+                (fun m a ->
+                  (* ROM words are constants; RAM contents are not *)
+                  if d.mems.(m).Design.rom then
+                    match d.mems.(m).Design.init with
+                    | Some init -> init.(a)
+                    | None -> Bits.zero (Design.mem_width d m)
+                  else begin
+                    known := false;
+                    Bits.zero (Design.mem_width d m)
+                  end);
+            }
+          in
+          let v = Sim.Eval.eval ~mem_size reader a.expr in
+          if !known then begin
+            consts.(a.target) <- Some v;
+            changed := true
+          end
+        end)
+      d.assigns
+  done;
+  consts
+
+(* Reverse reachability from the outputs over the structural dependency
+   graph. Nodes are signals plus memories (offset by the signal count). *)
+let observable (g : Elaborate.t) =
+  let d = g.design in
+  let nsig = Design.num_signals d in
+  let nmem = Array.length d.mems in
+  let n = nsig + nmem in
+  (* deps.(x) = nodes that x structurally influences *)
+  let influences = Array.make n [] in
+  let add_edge src dst = influences.(src) <- dst :: influences.(src) in
+  Array.iter
+    (fun (a : Design.assign) ->
+      List.iter (fun r -> add_edge r a.target) (Expr.read_signals a.expr);
+      List.iter (fun m -> add_edge (nsig + m) a.target) (Expr.read_mems a.expr))
+    d.assigns;
+  Array.iter
+    (fun (p : Design.proc) ->
+      let srcs =
+        Stmt.read_signals p.body
+        @ (match p.trigger with
+          | Design.Comb -> []
+          | Design.Edges edges -> List.map snd edges)
+      in
+      let mem_srcs = Stmt.read_mems p.body in
+      let sig_dsts = Stmt.write_signals p.body in
+      let mem_dsts = List.map (fun m -> nsig + m) (Stmt.write_mems p.body) in
+      List.iter
+        (fun src ->
+          List.iter (add_edge src) sig_dsts;
+          List.iter (add_edge src) mem_dsts)
+        srcs;
+      List.iter
+        (fun m ->
+          List.iter (add_edge (nsig + m)) sig_dsts;
+          List.iter (add_edge (nsig + m)) mem_dsts)
+        mem_srcs)
+    d.procs;
+  (* backward BFS from outputs *)
+  let reaches_output = Array.make n false in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src dsts -> List.iter (fun dst -> preds.(dst) <- src :: preds.(dst)) dsts)
+    influences;
+  let queue = Queue.create () in
+  List.iter
+    (fun o ->
+      reaches_output.(o) <- true;
+      Queue.push o queue)
+    d.outputs;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not reaches_output.(p) then begin
+          reaches_output.(p) <- true;
+          Queue.push p queue
+        end)
+      preds.(x)
+  done;
+  reaches_output
+
+let classify (g : Elaborate.t) faults =
+  let consts = constants g in
+  let reach = observable g in
+  Array.map
+    (fun (f : Fault.t) ->
+      let stuck_value =
+        match f.stuck with
+        | Fault.Stuck_at_0 -> Some false
+        | Fault.Stuck_at_1 -> Some true
+        | Fault.Flip_at _ -> None
+      in
+      match (consts.(f.signal), stuck_value) with
+      | Some c, Some v when Bits.bit c f.bit = v -> Untestable_constant
+      | _ ->
+          if reach.(f.signal) then Testable else Untestable_unobservable)
+    faults
+
+let adjusted_coverage verdicts (r : Fault.result) =
+  let testable = ref 0 and detected = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v = Testable then begin
+        incr testable;
+        if r.Fault.detected.(i) then incr detected
+      end)
+    verdicts;
+  if !testable = 0 then 100.0
+  else 100.0 *. float_of_int !detected /. float_of_int !testable

@@ -1,0 +1,37 @@
+(** Static fault classification, in the style of a commercial tool's fault
+    classes: before simulating, prove some faults untestable so they can be
+    excluded from the coverage denominator (and from the campaign).
+
+    Two sound proofs are implemented:
+
+    - {e constant site}: 2-state constant propagation over continuous
+      assignments (registers that no process writes hold their reset value
+      forever and participate); a stuck-at equal to the proven constant can
+      never create a difference;
+    - {e unobservable site}: reverse structural reachability from the
+      output ports over signal/memory dependencies (processes
+      conservatively connect all their reads and triggers to all their
+      writes); a fault outside every output cone can never be detected.
+
+    Both are conservative: [Testable] means "not proven untestable". The
+    test suite checks soundness against simulation — a fault classified
+    untestable is never detected by any engine. *)
+
+open Rtlir
+
+type verdict =
+  | Untestable_constant
+  | Untestable_unobservable
+  | Testable
+
+val verdict_name : verdict -> string
+
+(** Per-signal constant values proven by the propagation (exposed for tests
+    and for the CLI's describe output). *)
+val constants : Elaborate.t -> Bits.t option array
+
+val classify : Elaborate.t -> Fault.t array -> verdict array
+
+(** [adjusted_coverage verdicts result] — detected over testable faults, in
+    percent (the "fault coverage" a tool reports after classification). *)
+val adjusted_coverage : verdict array -> Fault.result -> float

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG.
+
+    Used for fault-list sampling and stimulus generation so campaigns are
+    reproducible across engines and runs. *)
+
+type t
+
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] draws uniformly from [0 .. bound-1]; [bound > 0]. *)
+val int : t -> int -> int
+
+(** [bits t width] draws a uniform bit vector of the given width. *)
+val bits : t -> int -> Rtlir.Bits.t
+
+val bool : t -> bool
+
+(** Fisher-Yates shuffle (in place). *)
+val shuffle : t -> 'a array -> unit

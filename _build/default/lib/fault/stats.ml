@@ -1,0 +1,59 @@
+type t = {
+  mutable bn_good : int;
+  mutable bn_fault_exec : int;
+  mutable bn_skipped_explicit : int;
+  mutable bn_skipped_implicit : int;
+  mutable rtl_good_eval : int;
+  mutable rtl_fault_eval : int;
+  mutable bn_seconds : float;
+  mutable total_seconds : float;
+  mutable per_proc : (string * int * int) array;
+}
+
+let create () =
+  {
+    bn_good = 0;
+    bn_fault_exec = 0;
+    bn_skipped_explicit = 0;
+    bn_skipped_implicit = 0;
+    rtl_good_eval = 0;
+    rtl_fault_eval = 0;
+    bn_seconds = 0.0;
+    total_seconds = 0.0;
+    per_proc = [||];
+  }
+
+let total_bn_executions t =
+  t.bn_fault_exec + t.bn_skipped_explicit + t.bn_skipped_implicit
+
+let eliminated t = t.bn_skipped_explicit + t.bn_skipped_implicit
+
+let pct part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let explicit_pct t = pct t.bn_skipped_explicit (total_bn_executions t)
+let implicit_pct t = pct t.bn_skipped_implicit (total_bn_executions t)
+
+let bn_time_pct t =
+  if t.total_seconds <= 0.0 then 0.0
+  else 100.0 *. t.bn_seconds /. t.total_seconds
+
+let add a b =
+  {
+    bn_good = a.bn_good + b.bn_good;
+    bn_fault_exec = a.bn_fault_exec + b.bn_fault_exec;
+    bn_skipped_explicit = a.bn_skipped_explicit + b.bn_skipped_explicit;
+    bn_skipped_implicit = a.bn_skipped_implicit + b.bn_skipped_implicit;
+    rtl_good_eval = a.rtl_good_eval + b.rtl_good_eval;
+    rtl_fault_eval = a.rtl_fault_eval + b.rtl_fault_eval;
+    bn_seconds = a.bn_seconds +. b.bn_seconds;
+    total_seconds = a.total_seconds +. b.total_seconds;
+    per_proc = Array.append a.per_proc b.per_proc;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "bn_good=%d bn_fault_exec=%d skip_explicit=%d skip_implicit=%d \
+     rtl_good=%d rtl_fault=%d bn_time=%.3fs total=%.3fs"
+    t.bn_good t.bn_fault_exec t.bn_skipped_explicit t.bn_skipped_implicit
+    t.rtl_good_eval t.rtl_fault_eval t.bn_seconds t.total_seconds

@@ -1,0 +1,48 @@
+(** Execution counters backing Fig. 1(b) and Table III.
+
+    Counting convention: at every activation of a behavioral node in the
+    good network, each live fault either executes its faulty copy, is
+    skipped as explicitly redundant (its inputs equal the good inputs — it
+    never even enters the node's processing set), or is skipped as
+    implicitly redundant (inputs differ but Algorithm 1 proves the execution
+    path and its data dependencies unaffected). Total behavioral-node
+    executions without any elimination is therefore
+    [bn_good + bn_fault_exec + bn_skipped_explicit + bn_skipped_implicit]
+    minus the good share, matching the paper's "#Total BN Execution". *)
+
+type t = {
+  mutable bn_good : int;  (** good behavioral executions *)
+  mutable bn_fault_exec : int;  (** faulty behavioral executions performed *)
+  mutable bn_skipped_explicit : int;
+  mutable bn_skipped_implicit : int;
+  mutable rtl_good_eval : int;  (** good RTL-node evaluations *)
+  mutable rtl_fault_eval : int;  (** faulty RTL-node evaluations *)
+  mutable bn_seconds : float;
+      (** wall time inside behavioral execution (only when instrumented) *)
+  mutable total_seconds : float;
+  mutable per_proc : (string * int * int) array;
+      (** per behavioral node: (name, faulty executions, implicit skips) —
+          filled by the concurrent engine *)
+}
+
+val create : unit -> t
+
+(** Faulty behavioral executions had no elimination been applied. *)
+val total_bn_executions : t -> int
+
+(** Eliminated faulty executions (explicit + implicit). *)
+val eliminated : t -> int
+
+(** Percentages of {e eliminated} executions, as Table III reports them:
+    [explicit_pct] + [implicit_pct] <= 100 (the remainder executed). Both
+    are relative to the total faulty executions without elimination. *)
+val explicit_pct : t -> float
+
+val implicit_pct : t -> float
+
+(** Share of instrumented behavioral time in total time, in percent. *)
+val bn_time_pct : t -> float
+
+val add : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+open Rtlir
+
+type t = {
+  cycles : int;
+  clock : int;
+  drive : int -> (int * Bits.t) list;
+}
+
+let run ?(on_cycle_start = fun _ -> ()) w ~set_input ~step ~observe =
+  let continue = ref true in
+  let cycle = ref 0 in
+  while !continue && !cycle < w.cycles do
+    on_cycle_start !cycle;
+    List.iter (fun (id, v) -> set_input id v) (w.drive !cycle);
+    set_input w.clock (Bits.one 1);
+    step ();
+    set_input w.clock (Bits.zero 1);
+    step ();
+    continue := observe !cycle;
+    incr cycle
+  done
+
+let random_drive ~seed ~inputs ?(directed = [||]) () =
+  (* Cycle-indexed determinism: each cycle reseeds from (seed, cycle) so
+     the drive function is a pure function of the cycle number, no matter
+     in which order engines query it. *)
+  let n_directed = Array.length directed in
+  fun cycle ->
+    if cycle < n_directed then directed.(cycle)
+    else begin
+      let rng = Rng.create (Int64.add seed (Int64.of_int (cycle * 2654435761))) in
+      List.map (fun (id, width) -> (id, Rng.bits rng width)) inputs
+    end

@@ -1,0 +1,39 @@
+(** Testbench protocol shared by every engine.
+
+    A workload drives one clock input and, per cycle, a set of data inputs.
+    Every engine runs the identical protocol so that detected-fault sets are
+    comparable:
+
+    cycle k:  apply [drive k] and raise the clock, step (registers capture),
+              lower the clock, step, observe the output ports. *)
+
+open Rtlir
+
+type t = {
+  cycles : int;
+  clock : int;  (** signal id of the clock input *)
+  drive : int -> (int * Bits.t) list;
+      (** cycle number -> input assignments (the clock must not appear) *)
+}
+
+(** [run w ~set_input ~step ~observe] executes the protocol against an
+    engine. [observe cycle] is called once per cycle, after the falling
+    edge, when outputs are stable; it returns [true] to continue and [false]
+    to stop early (e.g. all faults detected). *)
+val run :
+  ?on_cycle_start:(int -> unit) ->
+  t ->
+  set_input:(int -> Bits.t -> unit) ->
+  step:(unit -> unit) ->
+  observe:(int -> bool) ->
+  unit
+
+(** Convenience: build a [drive] function from a per-cycle random vector
+    generator over the given (signal, width) inputs, with a fixed prefix of
+    directed vectors. *)
+val random_drive :
+  seed:int64 ->
+  inputs:(int * int) list ->
+  ?directed:(int * Bits.t) list array ->
+  unit ->
+  int -> (int * Bits.t) list

@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Baselines Circuits Engine Rtlir

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Campaign Circuits Engine Fault Faultsim List Rtlir Stats Workload

@@ -1,0 +1,1 @@
+lib/harness/json_report.ml: Array Buffer Char Classify Fault Faultsim Format Printf Rtlir Stats String

@@ -1,0 +1,1 @@
+lib/harness/json_report.mli: Faultsim Format Rtlir

@@ -1,0 +1,1 @@
+lib/harness/rand_design.ml: Array Bits Builder Design Elaborate Expr Fault Faultsim Int64 List Printf Rng Rtlir Stmt Workload

@@ -1,0 +1,1 @@
+lib/harness/rand_design.mli: Design Elaborate Fault Faultsim Rtlir Workload

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Campaign Experiments Format List String Sys

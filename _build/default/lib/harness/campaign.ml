@@ -1,0 +1,38 @@
+
+
+
+type engine = Ifsim | Vfsim | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
+
+let engine_name = function
+  | Ifsim -> "IFsim"
+  | Vfsim -> "VFsim"
+  | Z01x_proxy -> "Z01X*"
+  | Eraser_mm -> "Eraser--"
+  | Eraser_m -> "Eraser-"
+  | Eraser -> "Eraser"
+
+let all_engines = [ Ifsim; Vfsim; Z01x_proxy; Eraser_mm; Eraser_m; Eraser ]
+
+let concurrent_mode = function
+  | Z01x_proxy | Eraser_m -> Engine.Concurrent.Explicit_only
+  | Eraser_mm -> Engine.Concurrent.No_redundancy
+  | Eraser -> Engine.Concurrent.Full
+  | Ifsim | Vfsim -> invalid_arg "concurrent_mode"
+
+let run ?(instrument = false) engine (g : Rtlir.Elaborate.t) w faults =
+  match engine with
+  | Ifsim -> Baselines.Serial.ifsim g w faults
+  | Vfsim -> Baselines.Serial.vfsim g w faults
+  | Z01x_proxy | Eraser_mm | Eraser_m | Eraser ->
+      let config =
+        {
+          Engine.Concurrent.default_config with
+          mode = concurrent_mode engine;
+          instrument;
+        }
+      in
+      Engine.Concurrent.run ~config g w faults
+
+let run_circuit ?instrument engine (c : Circuits.Bench_circuit.t) ~scale =
+  let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+  run ?instrument engine g w faults

@@ -1,0 +1,37 @@
+(** Campaign runner: one entry point over every engine in the evaluation.
+
+    Engines (paper Section V-A):
+    - [Ifsim] — Iverilog-force-style baseline: interpreted, event-driven,
+      one full simulation per fault;
+    - [Vfsim] — Verilator-based fault simulator: compiled, cycle-based, one
+      simulation per fault;
+    - [Z01x_proxy] — stand-in for the commercial Z01X: the concurrent
+      engine with explicit (input-comparison) redundancy elimination only
+      (see DESIGN.md for why this proxy is faithful);
+    - [Eraser_mm] ("Eraser--") — concurrent, no redundancy elimination;
+    - [Eraser_m] ("Eraser-") — concurrent, explicit elimination;
+    - [Eraser] — concurrent, explicit + implicit (Algorithm 1). *)
+
+
+
+
+type engine = Ifsim | Vfsim | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
+
+val engine_name : engine -> string
+val all_engines : engine list
+
+val run :
+  ?instrument:bool ->
+  engine ->
+  Rtlir.Elaborate.t ->
+  Faultsim.Workload.t ->
+  Faultsim.Fault.t array ->
+  Faultsim.Fault.result
+
+(** Instantiate a registered circuit and run it on one engine. *)
+val run_circuit :
+  ?instrument:bool ->
+  engine ->
+  Circuits.Bench_circuit.t ->
+  scale:float ->
+  Faultsim.Fault.result

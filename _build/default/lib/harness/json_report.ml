@@ -1,0 +1,63 @@
+open Faultsim
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let kind_name (f : Fault.t) =
+  match f.stuck with
+  | Fault.Stuck_at_0 -> "stuck-at-0"
+  | Fault.Stuck_at_1 -> "stuck-at-1"
+  | Fault.Flip_at c -> Printf.sprintf "flip@%d" c
+
+let verdict_key = function
+  | Classify.Testable -> "testable"
+  | Classify.Untestable_constant -> "untestable-constant"
+  | Classify.Untestable_unobservable -> "untestable-unobservable"
+
+let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
+  let s = r.Fault.stats in
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"design\": \"%s\",@."
+    (escape design.Rtlir.Design.dname);
+  Format.fprintf ppf "  \"engine\": \"%s\",@." (escape engine);
+  Format.fprintf ppf "  \"faults\": %d,@." (Array.length faults);
+  Format.fprintf ppf "  \"detected\": %d,@." (Fault.count_detected r);
+  Format.fprintf ppf "  \"coverage_pct\": %.4f,@." r.Fault.coverage_pct;
+  Format.fprintf ppf "  \"adjusted_coverage_pct\": %.4f,@."
+    (Classify.adjusted_coverage verdicts r);
+  Format.fprintf ppf "  \"wall_time_s\": %.6f,@." r.Fault.wall_time;
+  Format.fprintf ppf "  \"mean_detection_latency\": %.2f,@."
+    (Fault.mean_detection_latency r);
+  Format.fprintf ppf
+    "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
+     \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
+     \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d },@."
+    s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
+    s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval;
+  Format.fprintf ppf "  \"fault_list\": [@.";
+  Array.iteri
+    (fun i (f : Fault.t) ->
+      Format.fprintf ppf
+        "    { \"id\": %d, \"signal\": \"%s\", \"bit\": %d, \"kind\": \
+         \"%s\", \"class\": \"%s\", \"detected\": %b, \"cycle\": %d }%s@."
+        f.fid
+        (escape (Rtlir.Design.signal_name design f.signal))
+        f.bit (kind_name f)
+        (verdict_key verdicts.(i))
+        r.Fault.detected.(i) r.Fault.detection_cycle.(i)
+        (if i = Array.length faults - 1 then "" else ","))
+    faults;
+  Format.fprintf ppf "  ]@.";
+  Format.fprintf ppf "}@."

@@ -1,0 +1,14 @@
+(** Machine-readable campaign results (JSON), for CI dashboards and
+    post-processing. Hand-rolled emitter — no external dependency. *)
+
+(** [campaign ppf ~design ~engine ~faults ~verdicts result] writes one JSON
+    object: campaign metadata, the redundancy statistics, and one record per
+    fault (site, kind, static classification, detection verdict and cycle). *)
+val campaign :
+  Format.formatter ->
+  design:Rtlir.Design.t ->
+  engine:string ->
+  faults:Faultsim.Fault.t array ->
+  verdicts:Faultsim.Classify.verdict array ->
+  Faultsim.Fault.result ->
+  unit

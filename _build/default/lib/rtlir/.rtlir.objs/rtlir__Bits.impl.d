@@ -1,0 +1,1 @@
+lib/rtlir/bits.ml: Format Int64 Stdlib

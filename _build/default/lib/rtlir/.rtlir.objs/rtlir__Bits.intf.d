@@ -1,0 +1,1 @@
+lib/rtlir/bits.mli: Format

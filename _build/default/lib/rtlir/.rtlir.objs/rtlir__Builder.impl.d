@@ -1,0 +1,1 @@
+lib/rtlir/builder.ml: Array Bits Design Expr Format List Printf Stmt

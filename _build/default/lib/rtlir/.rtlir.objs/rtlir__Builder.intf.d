@@ -1,0 +1,1 @@
+lib/rtlir/builder.mli: Bits Design Expr Stmt

@@ -1,0 +1,1 @@
+lib/rtlir/design.ml: Array Bits Expr Format List Printf Stmt

@@ -1,0 +1,1 @@
+lib/rtlir/design.mli: Bits Expr Stmt

@@ -1,0 +1,1 @@
+lib/rtlir/elaborate.ml: Array Design Expr List Printf Stmt

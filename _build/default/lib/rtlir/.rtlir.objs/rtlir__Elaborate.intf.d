@@ -1,0 +1,1 @@
+lib/rtlir/elaborate.mli: Design

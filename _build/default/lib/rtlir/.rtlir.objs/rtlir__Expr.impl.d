@@ -1,0 +1,1 @@
+lib/rtlir/expr.ml: Bits Format List Stdlib

@@ -1,0 +1,1 @@
+lib/rtlir/expr.mli: Bits Format

@@ -1,0 +1,1 @@
+lib/rtlir/stmt.ml: Bits Expr Format Int List Set Stdlib

@@ -1,0 +1,1 @@
+lib/rtlir/stmt.mli: Bits Expr Format

@@ -1,0 +1,1 @@
+lib/rtlir/verilog.ml: Array Bits Design Expr Format Hashtbl List Printf Stmt String

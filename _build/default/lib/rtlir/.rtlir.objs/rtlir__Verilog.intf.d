@@ -1,0 +1,1 @@
+lib/rtlir/verilog.mli: Design Format

@@ -1,0 +1,1 @@
+lib/rtlir/verilog_lexer.ml: Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/rtlir/verilog_parser.ml: Array Bits Design Expr Format Hashtbl Int64 List Option Printf Stmt Verilog_lexer

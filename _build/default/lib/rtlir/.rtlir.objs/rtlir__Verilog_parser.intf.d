@@ -1,0 +1,1 @@
+lib/rtlir/verilog_parser.mli: Design

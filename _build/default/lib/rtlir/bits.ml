@@ -1,0 +1,153 @@
+type t = { width : int; v : int64 }
+
+exception Width_error of string
+
+let width_error fmt = Format.kasprintf (fun s -> raise (Width_error s)) fmt
+
+let mask w =
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let make w v =
+  if w < 1 || w > 64 then width_error "Bits.make: width %d out of [1,64]" w;
+  { width = w; v = Int64.logand v (mask w) }
+
+let of_int w n = make w (Int64.of_int n)
+let zero w = make w 0L
+let one w = make w 1L
+let ones w = make w (-1L)
+let of_bool b = { width = 1; v = (if b then 1L else 0L) }
+let to_int64 b = b.v
+
+let to_int b =
+  if Int64.compare b.v (Int64.of_int max_int) > 0 || Int64.compare b.v 0L < 0
+  then width_error "Bits.to_int: %Ld does not fit" b.v
+  else Int64.to_int b.v
+
+let to_signed b =
+  if b.width = 64 then b.v
+  else if Int64.logand b.v (Int64.shift_left 1L (b.width - 1)) <> 0L then
+    Int64.logor b.v (Int64.lognot (mask b.width))
+  else b.v
+
+let width b = b.width
+let equal a b = a.width = b.width && Int64.equal a.v b.v
+
+let compare a b =
+  match Stdlib.compare a.width b.width with
+  | 0 -> Int64.unsigned_compare a.v b.v
+  | c -> c
+
+let is_true b = b.v <> 0L
+
+let check_bit b i =
+  if i < 0 || i >= b.width then
+    width_error "Bits: bit %d out of range for width %d" i b.width
+
+let bit b i =
+  check_bit b i;
+  Int64.logand (Int64.shift_right_logical b.v i) 1L = 1L
+
+let force_bit b i value =
+  check_bit b i;
+  let m = Int64.shift_left 1L i in
+  if value then { b with v = Int64.logor b.v m }
+  else { b with v = Int64.logand b.v (Int64.lognot m) }
+
+let same_width op a b =
+  if a.width <> b.width then
+    width_error "Bits.%s: width mismatch %d vs %d" op a.width b.width
+
+let add a b = same_width "add" a b; make a.width (Int64.add a.v b.v)
+let sub a b = same_width "sub" a b; make a.width (Int64.sub a.v b.v)
+let mul a b = same_width "mul" a b; make a.width (Int64.mul a.v b.v)
+
+let divu a b =
+  same_width "divu" a b;
+  if b.v = 0L then ones a.width else make a.width (Int64.unsigned_div a.v b.v)
+
+let modu a b =
+  same_width "modu" a b;
+  if b.v = 0L then a else make a.width (Int64.unsigned_rem a.v b.v)
+
+let neg a = make a.width (Int64.neg a.v)
+let lognot a = make a.width (Int64.lognot a.v)
+let logand a b = same_width "logand" a b; { a with v = Int64.logand a.v b.v }
+let logor a b = same_width "logor" a b; { a with v = Int64.logor a.v b.v }
+let logxor a b = same_width "logxor" a b; { a with v = Int64.logxor a.v b.v }
+
+let shift_amount b =
+  (* Shift amounts are small in practice; anything >= 64 saturates. *)
+  if Int64.unsigned_compare b.v 64L >= 0 then 64 else Int64.to_int b.v
+
+let shift_left a b =
+  let n = shift_amount b in
+  if n >= a.width then zero a.width else make a.width (Int64.shift_left a.v n)
+
+let shift_right a b =
+  let n = shift_amount b in
+  if n >= a.width then zero a.width
+  else { a with v = Int64.shift_right_logical a.v n }
+
+let shift_right_arith a b =
+  let n = shift_amount b in
+  let signed = to_signed a in
+  if n >= 64 then make a.width (Int64.shift_right signed 63)
+  else make a.width (Int64.shift_right signed n)
+
+let eq a b = same_width "eq" a b; of_bool (Int64.equal a.v b.v)
+let neq a b = same_width "neq" a b; of_bool (not (Int64.equal a.v b.v))
+
+let ltu a b =
+  same_width "ltu" a b;
+  of_bool (Int64.unsigned_compare a.v b.v < 0)
+
+let leu a b =
+  same_width "leu" a b;
+  of_bool (Int64.unsigned_compare a.v b.v <= 0)
+
+let gtu a b = ltu b a
+let geu a b = leu b a
+
+let lts a b =
+  same_width "lts" a b;
+  of_bool (Int64.compare (to_signed a) (to_signed b) < 0)
+
+let les a b =
+  same_width "les" a b;
+  of_bool (Int64.compare (to_signed a) (to_signed b) <= 0)
+
+let gts a b = lts b a
+let ges a b = les b a
+let reduce_and a = of_bool (Int64.equal a.v (mask a.width))
+let reduce_or a = of_bool (a.v <> 0L)
+
+let reduce_xor a =
+  let rec popcount acc v =
+    if v = 0L then acc
+    else popcount (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  of_bool (popcount 0 a.v land 1 = 1)
+
+let concat hi lo =
+  let w = hi.width + lo.width in
+  if w > 64 then width_error "Bits.concat: result width %d > 64" w;
+  { width = w; v = Int64.logor (Int64.shift_left hi.v lo.width) lo.v }
+
+let slice b ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= b.width then
+    width_error "Bits.slice: [%d:%d] out of range for width %d" hi lo b.width;
+  make (hi - lo + 1) (Int64.shift_right_logical b.v lo)
+
+let zext b w =
+  if w < b.width then
+    width_error "Bits.zext: target %d < width %d" w b.width;
+  make w b.v
+
+let sext b w =
+  if w < b.width then
+    width_error "Bits.sext: target %d < width %d" w b.width;
+  make w (to_signed b)
+
+let resize b w = if w <= b.width then make w b.v else zext b w
+let pp ppf b = Format.fprintf ppf "%d'h%Lx" b.width b.v
+let to_string b = Format.asprintf "%a" pp b

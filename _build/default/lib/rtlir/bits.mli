@@ -1,0 +1,116 @@
+(** Two-state bit vectors of width 1..64.
+
+    Values are stored masked: bits at positions >= [width] are always zero.
+    All arithmetic is modular in the vector width, matching Verilog 2-state
+    semantics for [wire]/[reg] arithmetic on equal-width operands. *)
+
+type t = private { width : int; v : int64 }
+
+exception Width_error of string
+
+(** [make width v] masks [v] to [width] bits. Raises {!Width_error} unless
+    [1 <= width <= 64]. *)
+val make : int -> int64 -> t
+
+(** [of_int width n] is [make width (Int64.of_int n)]. *)
+val of_int : int -> int -> t
+
+(** [zero width] / [one width] / [ones width] are the all-zero, value-1 and
+    all-one vectors. *)
+val zero : int -> t
+
+val one : int -> t
+val ones : int -> t
+
+(** [of_bool b] is a 1-bit vector, 1 when [b]. *)
+val of_bool : bool -> t
+
+(** Raw (zero-extended) payload. *)
+val to_int64 : t -> int64
+
+(** Zero-extended value as [int]. Raises {!Width_error} if it does not fit in
+    a non-negative OCaml [int]. *)
+val to_int : t -> int
+
+(** Sign-extended value of the vector interpreted as signed [width]-bit. *)
+val to_signed : t -> int64
+
+val width : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [is_true b] is [true] iff any bit is set (Verilog truthiness). *)
+val is_true : t -> bool
+
+(** [bit b i] is bit [i] as a [bool]. Raises {!Width_error} when out of
+    range. *)
+val bit : t -> int -> bool
+
+(** [force_bit b i value] returns [b] with bit [i] forced to [value]
+    (stuck-at injection primitive). *)
+val force_bit : t -> int -> bool -> t
+
+(* Arithmetic; operands must have equal widths (raises {!Width_error}). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Unsigned division; division by zero yields the all-ones vector (the
+    2-state projection of Verilog's X result). *)
+val divu : t -> t -> t
+
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+val modu : t -> t -> t
+
+val neg : t -> t
+
+(* Bitwise. *)
+
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+(* Shifts: the shift amount is an arbitrary-width vector; amounts >= width
+   give zero (or all sign bits for [shift_right_arith]). *)
+
+val shift_left : t -> t -> t
+val shift_right : t -> t -> t
+val shift_right_arith : t -> t -> t
+
+(* Comparisons return 1-bit vectors. *)
+
+val eq : t -> t -> t
+val neq : t -> t -> t
+val ltu : t -> t -> t
+val leu : t -> t -> t
+val gtu : t -> t -> t
+val geu : t -> t -> t
+val lts : t -> t -> t
+val les : t -> t -> t
+val gts : t -> t -> t
+val ges : t -> t -> t
+
+(* Reductions return 1-bit vectors. *)
+
+val reduce_and : t -> t
+val reduce_or : t -> t
+val reduce_xor : t -> t
+
+(** [concat hi lo] has width [width hi + width lo], [hi] in the upper bits. *)
+val concat : t -> t -> t
+
+(** [slice b ~hi ~lo] extracts bits [hi..lo] inclusive. *)
+val slice : t -> hi:int -> lo:int -> t
+
+(** [zext b w] / [sext b w] extend to width [w] (>= current width). *)
+val zext : t -> int -> t
+
+val sext : t -> int -> t
+
+(** [resize b w] truncates or zero-extends to exactly [w] bits. *)
+val resize : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,194 @@
+type ctx = {
+  name : string;
+  mutable signals : Design.signal list;  (* reversed *)
+  mutable mems : Design.mem list;  (* reversed *)
+  mutable assigns : Design.assign list;  (* reversed *)
+  mutable procs : Design.proc list;  (* reversed *)
+  mutable nsignals : int;
+  mutable nmems : int;
+  mutable nassigns : int;
+  mutable nprocs : int;
+  mutable frozen : bool;
+}
+
+exception Build_error of string
+
+let build_error fmt = Format.kasprintf (fun s -> raise (Build_error s)) fmt
+
+let create name =
+  {
+    name;
+    signals = [];
+    mems = [];
+    assigns = [];
+    procs = [];
+    nsignals = 0;
+    nmems = 0;
+    nassigns = 0;
+    nprocs = 0;
+    frozen = false;
+  }
+
+let check_open ctx = if ctx.frozen then build_error "%s: finalized" ctx.name
+
+let add_signal ctx name width kind =
+  check_open ctx;
+  let id = ctx.nsignals in
+  ctx.nsignals <- id + 1;
+  ctx.signals <- { Design.id; name; width; kind } :: ctx.signals;
+  Expr.Sig id
+
+let input ctx name width = add_signal ctx name width Design.Input
+let output ctx name width = add_signal ctx name width Design.Output
+let wire ctx name width = add_signal ctx name width Design.Wire
+let reg ctx name width = add_signal ctx name width Design.Reg
+
+type memh = { mid : int; data_width : int; size : int }
+
+let add_mem ctx mname data_width size init rom =
+  check_open ctx;
+  let mid = ctx.nmems in
+  ctx.nmems <- mid + 1;
+  ctx.mems <- { Design.mid; mname; data_width; size; init; rom } :: ctx.mems;
+  { mid; data_width; size }
+
+let rom ctx name contents =
+  if Array.length contents = 0 then build_error "rom %s: empty" name;
+  let data_width = Bits.width contents.(0) in
+  add_mem ctx name data_width (Array.length contents) (Some contents) true
+
+let ram ctx name ~width ~size = add_mem ctx name width size None false
+
+let target_id = function
+  | Expr.Sig id -> id
+  | _ -> build_error "assignment target must be a signal"
+
+let assign ctx target expr =
+  check_open ctx;
+  let aid = ctx.nassigns in
+  ctx.nassigns <- aid + 1;
+  ctx.assigns <- { Design.aid; target = target_id target; expr } :: ctx.assigns
+
+let add_proc ctx name trigger body =
+  check_open ctx;
+  let pid = ctx.nprocs in
+  ctx.nprocs <- pid + 1;
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "proc%d" pid
+  in
+  ctx.procs <- { Design.pid; pname; trigger; body } :: ctx.procs
+
+let always_ff ctx ?name ?(edge = Design.Posedge) ~clock stmts =
+  add_proc ctx name
+    (Design.Edges [ (edge, target_id clock) ])
+    (Stmt.Block stmts)
+
+let always_comb ctx ?name stmts = add_proc ctx name Design.Comb (Stmt.Block stmts)
+
+let finalize ctx =
+  check_open ctx;
+  ctx.frozen <- true;
+  let d =
+    {
+      Design.dname = ctx.name;
+      signals = Array.of_list (List.rev ctx.signals);
+      mems = Array.of_list (List.rev ctx.mems);
+      assigns = Array.of_list (List.rev ctx.assigns);
+      procs = Array.of_list (List.rev ctx.procs);
+      inputs =
+        List.rev_map
+          (fun (s : Design.signal) -> s.id)
+          (List.filter
+             (fun (s : Design.signal) -> s.kind = Design.Input)
+             ctx.signals);
+      outputs =
+        List.rev_map
+          (fun (s : Design.signal) -> s.id)
+          (List.filter
+             (fun (s : Design.signal) -> s.kind = Design.Output)
+             ctx.signals);
+    }
+  in
+  Design.validate d;
+  d
+
+let width_of ctx e =
+  let sig_width id =
+    match
+      List.find_opt (fun (s : Design.signal) -> s.id = id) ctx.signals
+    with
+    | Some s -> s.width
+    | None -> build_error "unknown signal %d" id
+  in
+  let mem_width m =
+    match List.find_opt (fun (mm : Design.mem) -> mm.mid = m) ctx.mems with
+    | Some mm -> mm.data_width
+    | None -> build_error "unknown memory %d" m
+  in
+  Expr.width ~sig_width ~mem_width e
+
+let const w n = Expr.Const (Bits.of_int w n)
+let constb b = Expr.Const b
+let vdd = const 1 1
+let gnd = const 1 0
+let mux sel a b = Expr.Mux (sel, a, b)
+
+let cases scrut default arms =
+  List.fold_right
+    (fun (label, value) rest ->
+      Expr.Mux (Expr.Binop (Expr.Eq, scrut, label), value, rest))
+    arms default
+
+let slice e hi lo = Expr.Slice (e, hi, lo)
+let bit_ e i = Expr.Slice (e, i, i)
+let zext e w = Expr.Zext (e, w)
+let sext e w = Expr.Sext (e, w)
+let concat hi lo = Expr.Concat (hi, lo)
+
+let concat_list = function
+  | [] -> build_error "concat_list: empty"
+  | e :: rest -> List.fold_left (fun acc x -> Expr.Concat (acc, x)) e rest
+
+let reduce_and e = Expr.Unop (Expr.Red_and, e)
+let reduce_or e = Expr.Unop (Expr.Red_or, e)
+let reduce_xor e = Expr.Unop (Expr.Red_xor, e)
+let read_mem (m : memh) addr = Expr.Mem_read (m.mid, addr)
+let if_ c t e = Stmt.If (c, Stmt.Block t, Stmt.Block e)
+let when_ c t = if_ c t []
+
+let switch scrut arms ~default =
+  Stmt.Case
+    ( scrut,
+      List.map (fun (label, stmts) -> (label, Stmt.Block stmts)) arms,
+      Stmt.Block default )
+
+let write_mem (m : memh) addr data = Stmt.Mem_write (m.mid, addr, data)
+
+module Ops = struct
+  let binop op a b = Expr.Binop (op, a, b)
+  let ( +: ) a b = binop Expr.Add a b
+  let ( -: ) a b = binop Expr.Sub a b
+  let ( *: ) a b = binop Expr.Mul a b
+  let ( /: ) a b = binop Expr.Divu a b
+  let ( %: ) a b = binop Expr.Modu a b
+  let ( &: ) a b = binop Expr.And a b
+  let ( |: ) a b = binop Expr.Or a b
+  let ( ^: ) a b = binop Expr.Xor a b
+  let ( ~: ) a = Expr.Unop (Expr.Not, a)
+  let negate a = Expr.Unop (Expr.Neg, a)
+  let ( ==: ) a b = binop Expr.Eq a b
+  let ( <>: ) a b = binop Expr.Neq a b
+  let ( <: ) a b = binop Expr.Ltu a b
+  let ( <=: ) a b = binop Expr.Leu a b
+  let ( >: ) a b = binop Expr.Gtu a b
+  let ( >=: ) a b = binop Expr.Geu a b
+  let ( <+ ) a b = binop Expr.Lts a b
+  let ( <=+ ) a b = binop Expr.Les a b
+  let ( >+ ) a b = binop Expr.Gts a b
+  let ( >=+ ) a b = binop Expr.Ges a b
+  let ( <<: ) a b = binop Expr.Shl a b
+  let ( >>: ) a b = binop Expr.Shru a b
+  let ( >>+ ) a b = binop Expr.Shra a b
+  let ( <-- ) target e = Stmt.Nonblock (target_id target, e)
+  let ( =: ) target e = Stmt.Assign (target_id target, e)
+end

@@ -1,0 +1,132 @@
+(** Hardcaml-flavoured construction DSL for {!Design.t}.
+
+    Signals are created against a mutable context and referenced directly as
+    expressions; assignment operators pattern-match on [Expr.Sig] targets.
+    [finalize] freezes the context into a validated design.
+
+    {[
+      let ctx = Builder.create "adder" in
+      let clk = Builder.input ctx "clk" 1 in
+      let a = Builder.input ctx "a" 8 in
+      let q = Builder.reg ctx "q" 8 in
+      let y = Builder.output ctx "y" 8 in
+      Builder.assign ctx y (q +: a);
+      Builder.always_ff ctx ~clock:clk [ q <-- (a +: a) ];
+      let design = Builder.finalize ctx
+    ]} *)
+
+type ctx
+
+exception Build_error of string
+
+val create : string -> ctx
+
+(** Declare ports and nets. Each returns the signal as an expression
+    ([Expr.Sig id]). *)
+val input : ctx -> string -> int -> Expr.t
+
+val output : ctx -> string -> int -> Expr.t
+val wire : ctx -> string -> int -> Expr.t
+val reg : ctx -> string -> int -> Expr.t
+
+type memh = { mid : int; data_width : int; size : int }
+
+(** [rom ctx name contents] declares a read-only memory; word width is taken
+    from the first element. *)
+val rom : ctx -> string -> Bits.t array -> memh
+
+(** [ram ctx name ~width ~size] declares a zero-initialised writable memory. *)
+val ram : ctx -> string -> width:int -> size:int -> memh
+
+(** Continuous assignment (an RTL node). Target must be a plain signal. *)
+val assign : ctx -> Expr.t -> Expr.t -> unit
+
+(** Edge-triggered behavioral node. *)
+val always_ff :
+  ctx ->
+  ?name:string ->
+  ?edge:Design.edge ->
+  clock:Expr.t ->
+  Stmt.t list ->
+  unit
+
+(** Level-sensitive (combinational) behavioral node. *)
+val always_comb : ctx -> ?name:string -> Stmt.t list -> unit
+
+(** Freeze and validate. Raises {!Design.Invalid} on structural errors. *)
+val finalize : ctx -> Design.t
+
+(** Width of an already-declared signal expression. *)
+val width_of : ctx -> Expr.t -> int
+
+(* Expression constructors. *)
+
+val const : int -> int -> Expr.t  (** [const width value] *)
+
+val constb : Bits.t -> Expr.t
+val vdd : Expr.t  (** 1-bit constant 1 *)
+
+val gnd : Expr.t  (** 1-bit constant 0 *)
+
+val mux : Expr.t -> Expr.t -> Expr.t -> Expr.t  (** [mux sel on_true on_false] *)
+
+(** [cases scrutinee default arms] builds a right-nested mux chain comparing
+    the scrutinee against each arm label. *)
+val cases : Expr.t -> Expr.t -> (Expr.t * Expr.t) list -> Expr.t
+
+val slice : Expr.t -> int -> int -> Expr.t  (** [slice e hi lo] *)
+
+val bit_ : Expr.t -> int -> Expr.t
+val zext : Expr.t -> int -> Expr.t
+val sext : Expr.t -> int -> Expr.t
+val concat : Expr.t -> Expr.t -> Expr.t  (** high, low *)
+
+val concat_list : Expr.t list -> Expr.t  (** head forms the highest bits *)
+
+val reduce_and : Expr.t -> Expr.t
+val reduce_or : Expr.t -> Expr.t
+val reduce_xor : Expr.t -> Expr.t
+val read_mem : memh -> Expr.t -> Expr.t
+
+(* Statement constructors. *)
+
+val if_ : Expr.t -> Stmt.t list -> Stmt.t list -> Stmt.t
+val when_ : Expr.t -> Stmt.t list -> Stmt.t
+
+(** [switch scrut arms ~default]; labels are (width, value) pairs. *)
+val switch :
+  Expr.t -> (Bits.t * Stmt.t list) list -> default:Stmt.t list -> Stmt.t
+
+val write_mem : memh -> Expr.t -> Expr.t -> Stmt.t
+
+module Ops : sig
+  val ( +: ) : Expr.t -> Expr.t -> Expr.t
+  val ( -: ) : Expr.t -> Expr.t -> Expr.t
+  val ( *: ) : Expr.t -> Expr.t -> Expr.t
+  val ( /: ) : Expr.t -> Expr.t -> Expr.t
+  val ( %: ) : Expr.t -> Expr.t -> Expr.t
+  val ( &: ) : Expr.t -> Expr.t -> Expr.t
+  val ( |: ) : Expr.t -> Expr.t -> Expr.t
+  val ( ^: ) : Expr.t -> Expr.t -> Expr.t
+  val ( ~: ) : Expr.t -> Expr.t
+  val negate : Expr.t -> Expr.t
+  val ( ==: ) : Expr.t -> Expr.t -> Expr.t
+  val ( <>: ) : Expr.t -> Expr.t -> Expr.t
+  val ( <: ) : Expr.t -> Expr.t -> Expr.t
+  val ( <=: ) : Expr.t -> Expr.t -> Expr.t
+  val ( >: ) : Expr.t -> Expr.t -> Expr.t
+  val ( >=: ) : Expr.t -> Expr.t -> Expr.t
+  val ( <+ ) : Expr.t -> Expr.t -> Expr.t
+  val ( <=+ ) : Expr.t -> Expr.t -> Expr.t
+  val ( >+ ) : Expr.t -> Expr.t -> Expr.t
+  val ( >=+ ) : Expr.t -> Expr.t -> Expr.t
+  val ( <<: ) : Expr.t -> Expr.t -> Expr.t
+  val ( >>: ) : Expr.t -> Expr.t -> Expr.t
+  val ( >>+ ) : Expr.t -> Expr.t -> Expr.t
+
+  (** Nonblocking assignment. *)
+  val ( <-- ) : Expr.t -> Expr.t -> Stmt.t
+
+  (** Blocking assignment. *)
+  val ( =: ) : Expr.t -> Expr.t -> Stmt.t
+end

@@ -1,0 +1,214 @@
+type kind = Input | Output | Wire | Reg
+
+type signal = { id : int; name : string; width : int; kind : kind }
+
+type mem = {
+  mid : int;
+  mname : string;
+  data_width : int;
+  size : int;
+  init : Bits.t array option;
+  rom : bool;
+}
+
+type edge = Posedge | Negedge
+
+type trigger = Edges of (edge * int) list | Comb
+
+type proc = { pid : int; pname : string; trigger : trigger; body : Stmt.t }
+
+type assign = { aid : int; target : int; expr : Expr.t }
+
+type t = {
+  dname : string;
+  signals : signal array;
+  mems : mem array;
+  assigns : assign array;
+  procs : proc array;
+  inputs : int list;
+  outputs : int list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let signal_width d id = d.signals.(id).width
+let mem_width d m = d.mems.(m).data_width
+let signal_name d id = d.signals.(id).name
+let num_signals d = Array.length d.signals
+
+let mem_name_exn d m = d.mems.(m).mname
+
+let find_signal d name =
+  match Array.find_opt (fun s -> s.name = name) d.signals with
+  | Some s -> s.id
+  | None -> raise Not_found
+
+let cell_count d =
+  let rtl =
+    Array.fold_left (fun acc a -> acc + Expr.size a.expr) 0 d.assigns
+  in
+  Array.fold_left (fun acc p -> acc + Stmt.size p.body) rtl d.procs
+
+let check_expr d ctx e =
+  try
+    ignore
+      (Expr.width ~sig_width:(signal_width d) ~mem_width:(mem_width d) e)
+  with Expr.Type_error msg -> invalid "%s: %s" ctx msg
+
+let check_assign_widths d ctx target e =
+  check_expr d ctx e;
+  let we =
+    Expr.width ~sig_width:(signal_width d) ~mem_width:(mem_width d) e
+  in
+  let wt = signal_width d target in
+  if we <> wt then
+    invalid "%s: assignment to %s: width %d vs target width %d" ctx
+      (signal_name d target) we wt
+
+let rec check_stmt d ctx ~in_comb = function
+  | Stmt.Block l -> List.iter (check_stmt d ctx ~in_comb) l
+  | Stmt.If (c, a, b) ->
+      check_expr d ctx c;
+      check_stmt d ctx ~in_comb a;
+      check_stmt d ctx ~in_comb b
+  | Stmt.Case (scrut, arms, dflt) ->
+      check_expr d ctx scrut;
+      let wscrut =
+        Expr.width ~sig_width:(signal_width d) ~mem_width:(mem_width d) scrut
+      in
+      List.iter
+        (fun (label, arm) ->
+          if Bits.width label <> wscrut then
+            invalid "%s: case label %s has width %d, scrutinee has %d" ctx
+              (Bits.to_string label) (Bits.width label) wscrut;
+          check_stmt d ctx ~in_comb arm)
+        arms;
+      check_stmt d ctx ~in_comb dflt
+  | Stmt.Assign (id, e) ->
+      if not in_comb then
+        invalid "%s: blocking assignment to %s in an edge-triggered process"
+          ctx (signal_name d id);
+      check_assign_widths d ctx id e
+  | Stmt.Nonblock (id, e) ->
+      if in_comb then
+        invalid
+          "%s: nonblocking assignment to %s in a combinational process" ctx
+          (signal_name d id);
+      check_assign_widths d ctx id e
+  | Stmt.Mem_write (m, addr, data) ->
+      if in_comb then
+        invalid "%s: memory write in a combinational process" ctx;
+      if m < 0 || m >= Array.length d.mems then
+        invalid "%s: unknown memory %d" ctx m;
+      if d.mems.(m).rom then
+        invalid "%s: write to ROM %s" ctx d.mems.(m).mname;
+      check_expr d ctx addr;
+      check_expr d ctx data;
+      let wd =
+        Expr.width ~sig_width:(signal_width d) ~mem_width:(mem_width d) data
+      in
+      if wd <> d.mems.(m).data_width then
+        invalid "%s: memory %s write data width %d vs %d" ctx d.mems.(m).mname
+          wd d.mems.(m).data_width
+  | Stmt.Skip -> ()
+
+let validate d =
+  Array.iteri
+    (fun i s ->
+      if s.id <> i then invalid "signal %s has id %d at index %d" s.name s.id i;
+      if s.width < 1 || s.width > 64 then
+        invalid "signal %s has width %d" s.name s.width)
+    d.signals;
+  Array.iteri
+    (fun i m ->
+      if m.mid <> i then invalid "memory %s has id %d at index %d" m.mname m.mid i;
+      if m.size < 1 then invalid "memory %s has size %d" m.mname m.size;
+      match m.init with
+      | Some a when Array.length a <> m.size ->
+          invalid "memory %s: init length %d vs size %d" m.mname
+            (Array.length a) m.size
+      | Some a ->
+          Array.iter
+            (fun b ->
+              if Bits.width b <> m.data_width then
+                invalid "memory %s: init word width %d vs %d" m.mname
+                  (Bits.width b) m.data_width)
+            a
+      | None -> ())
+    d.mems;
+  let drivers = Array.make (Array.length d.signals) 0 in
+  Array.iter
+    (fun (a : assign) ->
+      let ctx = Printf.sprintf "assign %d" a.aid in
+      (match d.signals.(a.target).kind with
+      | Wire | Output -> ()
+      | Input -> invalid "%s: drives input %s" ctx (signal_name d a.target)
+      | Reg ->
+          invalid "%s: continuous assign drives reg %s" ctx
+            (signal_name d a.target));
+      drivers.(a.target) <- drivers.(a.target) + 1;
+      check_assign_widths d ctx a.target a.expr)
+    d.assigns;
+  Array.iter
+    (fun (p : proc) ->
+      let ctx = Printf.sprintf "process %s" p.pname in
+      match p.trigger with
+      | Comb ->
+          check_stmt d ctx ~in_comb:true p.body;
+          let written = Stmt.write_signals p.body in
+          let covered = Stmt.always_assigned p.body in
+          List.iter
+            (fun id ->
+              (match d.signals.(id).kind with
+              | Wire | Output -> ()
+              | Input | Reg ->
+                  invalid "%s: combinational write to non-wire %s" ctx
+                    (signal_name d id));
+              drivers.(id) <- drivers.(id) + 1;
+              if not (List.mem id covered) then
+                invalid "%s: %s is not assigned on every path (latch)" ctx
+                  (signal_name d id))
+            written
+      | Edges edges ->
+          if edges = [] then invalid "%s: empty sensitivity list" ctx;
+          List.iter
+            (fun (_, clk) ->
+              if clk < 0 || clk >= Array.length d.signals then
+                invalid "%s: unknown clock signal %d" ctx clk)
+            edges;
+          check_stmt d ctx ~in_comb:false p.body;
+          List.iter
+            (fun id ->
+              (match d.signals.(id).kind with
+              | Reg -> ()
+              | Input | Output | Wire ->
+                  invalid "%s: nonblocking write to non-reg %s" ctx
+                    (signal_name d id));
+              drivers.(id) <- drivers.(id) + 1)
+            (Stmt.nonblocking_writes p.body))
+    d.procs;
+  Array.iter
+    (fun s ->
+      match s.kind with
+      | Input ->
+          if drivers.(s.id) > 0 then invalid "input %s is driven" s.name
+      | Wire | Output ->
+          if drivers.(s.id) = 0 then invalid "%s has no driver" s.name;
+          if drivers.(s.id) > 1 then
+            invalid "%s has %d drivers" s.name drivers.(s.id)
+      | Reg ->
+          if drivers.(s.id) > 1 then
+            invalid "reg %s is written by %d processes" s.name drivers.(s.id))
+    d.signals;
+  List.iter
+    (fun id ->
+      if d.signals.(id).kind <> Input then
+        invalid "input list entry %s is not an input" (signal_name d id))
+    d.inputs;
+  List.iter
+    (fun id ->
+      if d.signals.(id).kind <> Output then
+        invalid "output list entry %s is not an output" (signal_name d id))
+    d.outputs

@@ -1,0 +1,72 @@
+(** Elaborated RTL designs.
+
+    A design is the flat netlist form of Fig. 2 in the paper: {e RTL nodes}
+    (continuous assignments over word-level operators) plus {e behavioral
+    nodes} (always processes), connected through signals and memories. *)
+
+type kind = Input | Output | Wire | Reg
+
+type signal = { id : int; name : string; width : int; kind : kind }
+
+type mem = {
+  mid : int;
+  mname : string;
+  data_width : int;
+  size : int;
+  init : Bits.t array option;  (** initial contents; length [size] *)
+  rom : bool;  (** read-only memories reject writes at validation *)
+}
+
+type edge = Posedge | Negedge
+
+type trigger =
+  | Edges of (edge * int) list  (** edge-sensitive: (edge, clock signal) *)
+  | Comb  (** level-sensitive on the inferred read set *)
+
+(** A behavioral node. *)
+type proc = { pid : int; pname : string; trigger : trigger; body : Stmt.t }
+
+(** An RTL node: continuous assignment [target = expr]. *)
+type assign = { aid : int; target : int; expr : Expr.t }
+
+type t = {
+  dname : string;
+  signals : signal array;
+  mems : mem array;
+  assigns : assign array;
+  procs : proc array;
+  inputs : int list;
+  outputs : int list;
+}
+
+exception Invalid of string
+
+val signal_width : t -> int -> int
+val mem_width : t -> int -> int
+val signal_name : t -> int -> string
+val num_signals : t -> int
+
+(** Look a signal up by name. Raises [Not_found]. *)
+val find_signal : t -> string -> int
+
+(** Name of a memory by id. *)
+val mem_name_exn : t -> int -> string
+
+(** A size proxy comparable to the paper's "#Cells": total AST nodes across
+    RTL nodes and behavioral bodies. *)
+val cell_count : t -> int
+
+(** Validate structural invariants:
+    - every expression/statement type-checks;
+    - every wire/output has exactly one driver (a continuous assign or a
+      combinational process), and inputs/regs have none;
+    - regs are written only by edge-triggered processes, wires/outputs only
+      by continuous assigns or combinational processes;
+    - combinational processes use blocking assignments only and assign each
+      driven signal on every path (latch freedom);
+    - edge-triggered processes use nonblocking assignments to registers only
+      (plus blocking assignments to process-local wires are rejected: local
+      temporaries must be expressed as wires driven combinationally);
+    - ROMs are never written; memory addresses/data type-check.
+    Raises {!Invalid} with a diagnostic on violation. *)
+val validate : t -> unit

@@ -1,0 +1,154 @@
+type comb_node = Cassign of int | Cproc of int
+
+type t = {
+  design : Design.t;
+  comb_nodes : comb_node array;
+  comb_reads : int array array;
+  comb_read_mems : int array array;
+  comb_writes : int array array;
+  fanout_comb : int array array;
+  fanout_mem : int array array;
+  ff_procs : int array;
+  ff_of_clock : (int * Design.edge) list array;
+  clocks : int array;
+  proc_reads : int array array;
+  proc_read_mems : int array array;
+  proc_write_mems : int array array;
+  proc_nb_writes : int array array;
+  outputs : int array;
+}
+
+exception Comb_cycle of string
+
+let node_name d = function
+  | Cassign i ->
+      Printf.sprintf "assign -> %s"
+        (Design.signal_name d d.Design.assigns.(i).target)
+  | Cproc i -> d.Design.procs.(i).pname
+
+(* Topological order by depth-first search over the producer -> consumer
+   relation; a back edge is a combinational cycle. *)
+let topo_sort d nodes reads writes =
+  let n = Array.length nodes in
+  let producer = Array.make (Design.num_signals d) (-1) in
+  Array.iteri
+    (fun i _ -> Array.iter (fun s -> producer.(s) <- i) writes.(i))
+    nodes;
+  let state = Array.make n 0 (* 0 unvisited, 1 on stack, 2 done *) in
+  let order = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | 2 -> ()
+    | 1 ->
+        raise
+          (Comb_cycle
+             (Printf.sprintf "combinational cycle through %s"
+                (node_name d nodes.(i))))
+    | _ ->
+        state.(i) <- 1;
+        (* A self-edge (a combinational process reading a wire it also
+           writes) is allowed: with the defaults-first discipline the body's
+           result does not depend on the target's previous value, so one
+           ordered evaluation per settle is a fixpoint. *)
+        Array.iter
+          (fun s ->
+            if producer.(s) >= 0 && producer.(s) <> i then visit producer.(s))
+          reads.(i);
+        state.(i) <- 2;
+        order := i :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  (* [order] holds nodes in reverse completion order; reverse completion
+     order of this DFS lists consumers before producers, so reverse again. *)
+  Array.of_list (List.rev !order)
+
+let build design =
+  Design.validate design;
+  let nsig = Design.num_signals design in
+  let nmem = Array.length design.mems in
+  let nproc = Array.length design.procs in
+  let comb_list = ref [] in
+  Array.iteri
+    (fun i (p : Design.proc) ->
+      if p.trigger = Design.Comb then comb_list := Cproc i :: !comb_list)
+    design.procs;
+  Array.iteri (fun i _ -> comb_list := Cassign i :: !comb_list) design.assigns;
+  let nodes = Array.of_list (List.rev !comb_list) in
+  let reads_of = function
+    | Cassign i -> Array.of_list (Expr.read_signals design.assigns.(i).expr)
+    | Cproc i -> Array.of_list (Stmt.read_signals design.procs.(i).body)
+  in
+  let read_mems_of = function
+    | Cassign i -> Array.of_list (Expr.read_mems design.assigns.(i).expr)
+    | Cproc i -> Array.of_list (Stmt.read_mems design.procs.(i).body)
+  in
+  let writes_of = function
+    | Cassign i -> [| design.assigns.(i).target |]
+    | Cproc i -> Array.of_list (Stmt.write_signals design.procs.(i).body)
+  in
+  let reads = Array.map reads_of nodes in
+  let writes = Array.map writes_of nodes in
+  let perm = topo_sort design nodes reads writes in
+  let comb_nodes = Array.map (fun i -> nodes.(i)) perm in
+  let comb_reads = Array.map (fun i -> reads.(i)) perm in
+  let comb_writes = Array.map (fun i -> writes.(i)) perm in
+  let comb_read_mems = Array.map (fun i -> read_mems_of nodes.(i)) perm in
+  let fanout_comb = Array.make nsig [] in
+  let fanout_mem = Array.make nmem [] in
+  let n = Array.length comb_nodes in
+  for pos = n - 1 downto 0 do
+    Array.iter (fun s -> fanout_comb.(s) <- pos :: fanout_comb.(s))
+      comb_reads.(pos);
+    Array.iter (fun m -> fanout_mem.(m) <- pos :: fanout_mem.(m))
+      comb_read_mems.(pos)
+  done;
+  let ff_procs = ref [] in
+  let ff_of_clock = Array.make nsig [] in
+  Array.iteri
+    (fun i (p : Design.proc) ->
+      match p.trigger with
+      | Design.Comb -> ()
+      | Design.Edges edges ->
+          ff_procs := i :: !ff_procs;
+          List.iter
+            (fun (edge, clk) ->
+              ff_of_clock.(clk) <- (i, edge) :: ff_of_clock.(clk))
+            edges)
+    design.procs;
+  let clocks = ref [] in
+  Array.iteri
+    (fun s l -> if l <> [] then clocks := s :: !clocks)
+    ff_of_clock;
+  let proc_reads = Array.make nproc [||] in
+  let proc_read_mems = Array.make nproc [||] in
+  let proc_write_mems = Array.make nproc [||] in
+  let proc_nb_writes = Array.make nproc [||] in
+  Array.iteri
+    (fun i (p : Design.proc) ->
+      proc_reads.(i) <- Array.of_list (Stmt.read_signals p.body);
+      proc_read_mems.(i) <- Array.of_list (Stmt.read_mems p.body);
+      proc_write_mems.(i) <- Array.of_list (Stmt.write_mems p.body);
+      proc_nb_writes.(i) <- Array.of_list (Stmt.nonblocking_writes p.body))
+    design.procs;
+  {
+    design;
+    comb_nodes;
+    comb_reads;
+    comb_read_mems;
+    comb_writes;
+    fanout_comb = Array.map Array.of_list fanout_comb;
+    fanout_mem = Array.map Array.of_list fanout_mem;
+    ff_procs = Array.of_list (List.rev !ff_procs);
+    ff_of_clock = Array.map List.rev ff_of_clock;
+    clocks = Array.of_list (List.rev !clocks);
+    proc_reads;
+    proc_read_mems;
+    proc_write_mems;
+    proc_nb_writes;
+    outputs = Array.of_list design.outputs;
+  }
+
+let rtl_node_count g = Array.length g.design.assigns
+let behavioral_node_count g = Array.length g.design.procs

@@ -1,0 +1,44 @@
+(** Elaboration: from a validated {!Design.t} to the RTL graph all simulation
+    engines consume (paper Fig. 2 / framework step 1).
+
+    Combinational work — continuous assigns (RTL nodes) and level-sensitive
+    behavioral nodes — is sorted topologically so that a single ordered sweep
+    over dirty nodes reaches a fixpoint. Edge-triggered behavioral nodes are
+    grouped by clock signal. *)
+
+type comb_node =
+  | Cassign of int  (** index into [design.assigns] *)
+  | Cproc of int  (** index into [design.procs]; a [Comb]-triggered process *)
+
+type t = {
+  design : Design.t;
+  comb_nodes : comb_node array;  (** in dependency (topological) order *)
+  comb_reads : int array array;  (** signals read, per topo position *)
+  comb_read_mems : int array array;  (** memories read, per topo position *)
+  comb_writes : int array array;  (** signals written, per topo position *)
+  fanout_comb : int array array;
+      (** signal id -> topo positions of combinational readers (ascending) *)
+  fanout_mem : int array array;
+      (** memory id -> topo positions of combinational readers (ascending) *)
+  ff_procs : int array;  (** proc ids of edge-triggered processes *)
+  ff_of_clock : (int * Design.edge) list array;
+      (** signal id -> edge-triggered (proc id, edge) sensitive to it *)
+  clocks : int array;  (** signals appearing in edge sensitivity lists *)
+  proc_reads : int array array;  (** per proc id: signals read by the body *)
+  proc_read_mems : int array array;
+  proc_write_mems : int array array;
+  proc_nb_writes : int array array;  (** per proc id: nonblocking targets *)
+  outputs : int array;
+}
+
+exception Comb_cycle of string
+
+(** Build the RTL graph. Raises {!Design.Invalid} (via validation) or
+    {!Comb_cycle} when continuous assignments / combinational processes form
+    a dependency cycle. *)
+val build : Design.t -> t
+
+(** Number of RTL nodes / behavioral nodes, as the paper counts them. *)
+val rtl_node_count : t -> int
+
+val behavioral_node_count : t -> int

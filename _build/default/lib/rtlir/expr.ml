@@ -1,0 +1,164 @@
+type unop = Not | Neg | Red_and | Red_or | Red_xor
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Divu
+  | Modu
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shru
+  | Shra
+  | Eq
+  | Neq
+  | Ltu
+  | Leu
+  | Gtu
+  | Geu
+  | Lts
+  | Les
+  | Gts
+  | Ges
+
+type t =
+  | Const of Bits.t
+  | Sig of int
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Slice of t * int * int
+  | Concat of t * t
+  | Zext of t * int
+  | Sext of t * int
+  | Mem_read of int * t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec width ~sig_width ~mem_width e =
+  let w = width ~sig_width ~mem_width in
+  match e with
+  | Const b -> Bits.width b
+  | Sig id -> sig_width id
+  | Unop ((Red_and | Red_or | Red_xor), a) ->
+      let _ = w a in
+      1
+  | Unop ((Not | Neg), a) -> w a
+  | Binop (op, a, b) -> (
+      let wa = w a and wb = w b in
+      match op with
+      | Shl | Shru | Shra -> wa
+      | Add | Sub | Mul | Divu | Modu | And | Or | Xor ->
+          if wa <> wb then
+            type_error "operand width mismatch %d vs %d" wa wb;
+          wa
+      | Eq | Neq | Ltu | Leu | Gtu | Geu | Lts | Les | Gts | Ges ->
+          if wa <> wb then
+            type_error "comparison width mismatch %d vs %d" wa wb;
+          1)
+  | Mux (sel, a, b) ->
+      let _ = w sel in
+      let wa = w a and wb = w b in
+      if wa <> wb then type_error "mux arm width mismatch %d vs %d" wa wb;
+      wa
+  | Slice (a, hi, lo) ->
+      let wa = w a in
+      if lo < 0 || hi < lo || hi >= wa then
+        type_error "slice [%d:%d] out of range for width %d" hi lo wa;
+      hi - lo + 1
+  | Concat (a, b) ->
+      let wr = w a + w b in
+      if wr > 64 then type_error "concat result width %d > 64" wr;
+      wr
+  | Zext (a, n) | Sext (a, n) ->
+      let wa = w a in
+      if n < wa then type_error "extension target %d < width %d" n wa;
+      n
+  | Mem_read (m, addr) ->
+      let _ = w addr in
+      mem_width m
+
+let rec fold_reads f_sig f_mem acc e =
+  let recur = fold_reads f_sig f_mem in
+  match e with
+  | Const _ -> acc
+  | Sig id -> f_sig acc id
+  | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) -> recur acc a
+  | Binop (_, a, b) | Concat (a, b) -> recur (recur acc a) b
+  | Mux (s, a, b) -> recur (recur (recur acc s) a) b
+  | Mem_read (m, addr) -> recur (f_mem acc m) addr
+
+let sort_uniq l = List.sort_uniq Stdlib.compare l
+
+let read_signals e =
+  sort_uniq (fold_reads (fun acc id -> id :: acc) (fun acc _ -> acc) [] e)
+
+let read_mems e =
+  sort_uniq (fold_reads (fun acc _ -> acc) (fun acc m -> m :: acc) [] e)
+
+let mem_read_sites e =
+  let rec go acc e =
+    match e with
+    | Const _ | Sig _ -> acc
+    | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) -> go acc a
+    | Binop (_, a, b) | Concat (a, b) -> go (go acc a) b
+    | Mux (s, a, b) -> go (go (go acc s) a) b
+    | Mem_read (m, addr) -> (m, addr) :: go acc addr
+  in
+  List.rev (go [] e)
+
+let rec size = function
+  | Const _ | Sig _ -> 1
+  | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) -> 1 + size a
+  | Binop (_, a, b) | Concat (a, b) -> 1 + size a + size b
+  | Mux (s, a, b) -> 1 + size s + size a + size b
+  | Mem_read (_, addr) -> 1 + size addr
+
+let unop_name = function
+  | Not -> "~"
+  | Neg -> "-"
+  | Red_and -> "&"
+  | Red_or -> "|"
+  | Red_xor -> "^"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Divu -> "/"
+  | Modu -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shru -> ">>"
+  | Shra -> ">>>"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Ltu -> "<"
+  | Leu -> "<="
+  | Gtu -> ">"
+  | Geu -> ">="
+  | Lts -> "<s"
+  | Les -> "<=s"
+  | Gts -> ">s"
+  | Ges -> ">=s"
+
+let rec pp ~names ppf e =
+  let p = pp ~names in
+  match e with
+  | Const b -> Bits.pp ppf b
+  | Sig id -> Format.pp_print_string ppf (names id)
+  | Unop (op, a) -> Format.fprintf ppf "%s(%a)" (unop_name op) p a
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" p a (binop_name op) p b
+  | Mux (s, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" p s p a p b
+  | Slice (a, hi, lo) -> Format.fprintf ppf "%a[%d:%d]" p a hi lo
+  | Concat (a, b) -> Format.fprintf ppf "{%a, %a}" p a p b
+  | Zext (a, n) -> Format.fprintf ppf "zext(%a, %d)" p a n
+  | Sext (a, n) -> Format.fprintf ppf "sext(%a, %d)" p a n
+  | Mem_read (m, addr) -> Format.fprintf ppf "mem%d[%a]" m p addr

@@ -1,0 +1,63 @@
+(** Word-level RTL expressions.
+
+    Expressions are the right-hand sides of continuous assignments (RTL nodes)
+    and of assignments inside behavioral code. Signals and memories are
+    referenced by their integer ids in the enclosing {!Design.t}. *)
+
+type unop = Not | Neg | Red_and | Red_or | Red_xor
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Divu
+  | Modu
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shru
+  | Shra
+  | Eq
+  | Neq
+  | Ltu
+  | Leu
+  | Gtu
+  | Geu
+  | Lts
+  | Les
+  | Gts
+  | Ges
+
+type t =
+  | Const of Bits.t
+  | Sig of int  (** signal id *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t  (** [Mux (sel, on_true, on_false)]; sel is truthy *)
+  | Slice of t * int * int  (** [Slice (e, hi, lo)] *)
+  | Concat of t * t  (** left operand forms the upper bits *)
+  | Zext of t * int
+  | Sext of t * int
+  | Mem_read of int * t  (** memory id, address *)
+
+exception Type_error of string
+
+(** [width ~sig_width ~mem_width e] computes and checks the width of [e].
+    Raises {!Type_error} on operand-width mismatches. *)
+val width : sig_width:(int -> int) -> mem_width:(int -> int) -> t -> int
+
+(** Signal ids read anywhere in the expression (sorted, deduplicated). *)
+val read_signals : t -> int list
+
+(** Memory ids read anywhere in the expression (sorted, deduplicated). *)
+val read_mems : t -> int list
+
+(** All [Mem_read] sites as (memory id, address expression), in post-order
+    (inner reads before the reads whose addresses consume them). *)
+val mem_read_sites : t -> (int * t) list
+
+(** Number of AST nodes; used as the size measure for RTL-node statistics. *)
+val size : t -> int
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

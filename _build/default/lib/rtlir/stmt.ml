@@ -1,0 +1,124 @@
+type t =
+  | Block of t list
+  | If of Expr.t * t * t
+  | Case of Expr.t * (Bits.t * t) list * t
+  | Assign of int * Expr.t
+  | Nonblock of int * Expr.t
+  | Mem_write of int * Expr.t * Expr.t
+  | Skip
+
+let rec fold_exprs f acc = function
+  | Block l -> List.fold_left (fold_exprs f) acc l
+  | If (c, a, b) -> fold_exprs f (fold_exprs f (f acc c) a) b
+  | Case (scrut, arms, dflt) ->
+      let acc = f acc scrut in
+      let acc =
+        List.fold_left (fun acc (_, arm) -> fold_exprs f acc arm) acc arms
+      in
+      fold_exprs f acc dflt
+  | Assign (_, e) | Nonblock (_, e) -> f acc e
+  | Mem_write (_, addr, data) -> f (f acc addr) data
+  | Skip -> acc
+
+let sort_uniq l = List.sort_uniq Stdlib.compare l
+
+let read_signals s =
+  sort_uniq
+    (fold_exprs (fun acc e -> List.rev_append (Expr.read_signals e) acc) [] s)
+
+let read_mems s =
+  sort_uniq
+    (fold_exprs (fun acc e -> List.rev_append (Expr.read_mems e) acc) [] s)
+
+let mem_read_sites s =
+  List.rev
+    (fold_exprs
+       (fun acc e -> List.rev_append (Expr.mem_read_sites e) acc)
+       [] s)
+
+let rec fold_writes f acc = function
+  | Block l -> List.fold_left (fold_writes f) acc l
+  | If (_, a, b) -> fold_writes f (fold_writes f acc a) b
+  | Case (_, arms, dflt) ->
+      let acc =
+        List.fold_left (fun acc (_, arm) -> fold_writes f acc arm) acc arms
+      in
+      fold_writes f acc dflt
+  | Assign (id, _) -> f acc (`Blocking id)
+  | Nonblock (id, _) -> f acc (`Nonblocking id)
+  | Mem_write (m, _, _) -> f acc (`Mem m)
+  | Skip -> acc
+
+let write_signals s =
+  sort_uniq
+    (fold_writes
+       (fun acc w ->
+         match w with
+         | `Blocking id | `Nonblocking id -> id :: acc
+         | `Mem _ -> acc)
+       [] s)
+
+let blocking_writes s =
+  sort_uniq
+    (fold_writes
+       (fun acc w -> match w with `Blocking id -> id :: acc | _ -> acc)
+       [] s)
+
+let nonblocking_writes s =
+  sort_uniq
+    (fold_writes
+       (fun acc w -> match w with `Nonblocking id -> id :: acc | _ -> acc)
+       [] s)
+
+let write_mems s =
+  sort_uniq
+    (fold_writes
+       (fun acc w -> match w with `Mem m -> m :: acc | _ -> acc)
+       [] s)
+
+module Iset = Set.Make (Int)
+
+let always_assigned s =
+  let rec go = function
+    | Block l -> List.fold_left (fun acc st -> Iset.union acc (go st)) Iset.empty l
+    | If (_, a, b) -> Iset.inter (go a) (go b)
+    | Case (_, arms, dflt) ->
+        List.fold_left
+          (fun acc (_, arm) -> Iset.inter acc (go arm))
+          (go dflt) arms
+    | Assign (id, _) | Nonblock (id, _) -> Iset.singleton id
+    | Mem_write _ | Skip -> Iset.empty
+  in
+  Iset.elements (go s)
+
+let rec pp ~names ppf s =
+  let pe = Expr.pp ~names in
+  match s with
+  | Block l ->
+      Format.fprintf ppf "@[<v 2>begin@,%a@]@,end"
+        (Format.pp_print_list (pp ~names))
+        l
+  | If (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if (%a)@,%a@]@,@[<v 2>else@,%a@]" pe c
+        (pp ~names) a (pp ~names) b
+  | Case (scrut, arms, dflt) ->
+      Format.fprintf ppf "@[<v 2>case (%a)@,%a@,@[<v 2>default:@,%a@]@]@,endcase"
+        pe scrut
+        (Format.pp_print_list (fun ppf (label, arm) ->
+             Format.fprintf ppf "@[<v 2>%a:@,%a@]" Bits.pp label (pp ~names) arm))
+        arms (pp ~names) dflt
+  | Assign (id, e) -> Format.fprintf ppf "%s = %a;" (names id) pe e
+  | Nonblock (id, e) -> Format.fprintf ppf "%s <= %a;" (names id) pe e
+  | Mem_write (m, addr, data) ->
+      Format.fprintf ppf "mem%d[%a] <= %a;" m pe addr pe data
+  | Skip -> Format.pp_print_string ppf ";"
+
+let rec size = function
+  | Block l -> List.fold_left (fun acc st -> acc + size st) 1 l
+  | If (c, a, b) -> 1 + Expr.size c + size a + size b
+  | Case (scrut, arms, dflt) ->
+      let arm_size = List.fold_left (fun acc (_, arm) -> acc + size arm) 0 arms in
+      1 + Expr.size scrut + arm_size + size dflt
+  | Assign (_, e) | Nonblock (_, e) -> 1 + Expr.size e
+  | Mem_write (_, addr, data) -> 1 + Expr.size addr + Expr.size data
+  | Skip -> 1

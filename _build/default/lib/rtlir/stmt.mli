@@ -1,0 +1,48 @@
+(** Behavioral statements — the bodies of always blocks (behavioral nodes).
+
+    The statement language is loop-free (Verilog generate/for loops are
+    assumed unrolled at construction time, as an elaborating compiler would),
+    so every behavioral body has a finite acyclic control-flow graph. *)
+
+type t =
+  | Block of t list
+  | If of Expr.t * t * t
+  | Case of Expr.t * (Bits.t * t) list * t
+      (** scrutinee, (label, arm) list, default arm *)
+  | Assign of int * Expr.t  (** blocking assignment to a signal *)
+  | Nonblock of int * Expr.t  (** nonblocking assignment to a signal *)
+  | Mem_write of int * Expr.t * Expr.t
+      (** memory id, address, data; commits with nonblocking semantics *)
+  | Skip
+
+(** Signals read anywhere in the statement, including branch conditions and
+    memory addresses (sorted, deduplicated). *)
+val read_signals : t -> int list
+
+(** Memories read anywhere in the statement (sorted, deduplicated). *)
+val read_mems : t -> int list
+
+(** All memory-read sites (memory id, address expression) anywhere in the
+    statement, in evaluation order. *)
+val mem_read_sites : t -> (int * Expr.t) list
+
+(** Signals written (blocking or nonblocking) anywhere in the statement. *)
+val write_signals : t -> int list
+
+(** Signals written by blocking assignments only. *)
+val blocking_writes : t -> int list
+
+(** Signals written by nonblocking assignments only. *)
+val nonblocking_writes : t -> int list
+
+(** Memories written anywhere in the statement. *)
+val write_mems : t -> int list
+
+(** Signals assigned on {e every} control path (used for latch-freedom
+    checking of combinational processes). Memory writes are ignored. *)
+val always_assigned : t -> int list
+
+(** Number of statement + expression AST nodes. *)
+val size : t -> int
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,308 @@
+let pf = Format.fprintf
+
+let sig_ref d id = Design.signal_name d id
+
+(* Verilog has no part selects on compound expressions, and the inline
+   shift-and-mask lowering is wider than the slice (self-determined sizing),
+   which corrupts concatenations. Hoist every compound slice into a helper
+   wire first. Slices whose operand reads a signal blocking-written by the
+   enclosing combinational process cannot be hoisted (the helper wire would
+   not see the in-flight value) and keep the inline lowering; the parser
+   recognises that exact pattern. *)
+let hoist_slices (d : Design.t) : Design.t =
+  let extra_sigs = ref [] in
+  let extra_assigns = ref [] in
+  let next_sig = ref (Array.length d.signals) in
+  let next_assign = ref (Array.length d.assigns) in
+  let widths = Hashtbl.create 16 in
+  let sig_width id =
+    match Hashtbl.find_opt widths id with
+    | Some w -> w
+    | None -> Design.signal_width d id
+  in
+  let width_of e =
+    Expr.width ~sig_width ~mem_width:(Design.mem_width d) e
+  in
+  let fresh w e =
+    let id = !next_sig in
+    incr next_sig;
+    Hashtbl.replace widths id w;
+    extra_sigs :=
+      { Design.id; name = Printf.sprintf "_eraser_t%d" id; width = w;
+        kind = Design.Wire }
+      :: !extra_sigs;
+    let aid = !next_assign in
+    incr next_assign;
+    extra_assigns := { Design.aid; target = id; expr = e } :: !extra_assigns;
+    id
+  in
+  let rec rw locals e =
+    match e with
+    | Expr.Const _ | Expr.Sig _ -> e
+    | Expr.Slice ((Expr.Sig _ as a), hi, lo) -> Expr.Slice (a, hi, lo)
+    | Expr.Slice (a, hi, lo) ->
+        let a' = rw locals a in
+        if List.exists (fun r -> List.mem r locals) (Expr.read_signals a')
+        then Expr.Slice (a', hi, lo)
+        else Expr.Slice (Expr.Sig (fresh (width_of a') a'), hi, lo)
+    | Expr.Unop (op, a) -> Expr.Unop (op, rw locals a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, rw locals a, rw locals b)
+    | Expr.Mux (s, a, b) -> Expr.Mux (rw locals s, rw locals a, rw locals b)
+    | Expr.Concat (a, b) -> Expr.Concat (rw locals a, rw locals b)
+    | Expr.Zext (a, w) -> Expr.Zext (rw locals a, w)
+    | Expr.Sext (a, w) -> Expr.Sext (rw locals a, w)
+    | Expr.Mem_read (m, a) -> Expr.Mem_read (m, rw locals a)
+  in
+  let rec rw_stmt locals s =
+    match s with
+    | Stmt.Block l -> Stmt.Block (List.map (rw_stmt locals) l)
+    | Stmt.If (c, a, b) ->
+        Stmt.If (rw locals c, rw_stmt locals a, rw_stmt locals b)
+    | Stmt.Case (scrut, arms, dflt) ->
+        Stmt.Case
+          ( rw locals scrut,
+            List.map (fun (l, arm) -> (l, rw_stmt locals arm)) arms,
+            rw_stmt locals dflt )
+    | Stmt.Assign (id, e) -> Stmt.Assign (id, rw locals e)
+    | Stmt.Nonblock (id, e) -> Stmt.Nonblock (id, rw locals e)
+    | Stmt.Mem_write (m, a, v) -> Stmt.Mem_write (m, rw locals a, rw locals v)
+    | Stmt.Skip -> Stmt.Skip
+  in
+  let assigns =
+    Array.map
+      (fun (a : Design.assign) -> { a with Design.expr = rw [] a.expr })
+      d.assigns
+  in
+  let procs =
+    Array.map
+      (fun (p : Design.proc) ->
+        let locals =
+          match p.trigger with
+          | Design.Comb -> Stmt.blocking_writes p.body
+          | Design.Edges _ -> []
+        in
+        { p with Design.body = rw_stmt locals p.body })
+      d.procs
+  in
+  {
+    d with
+    Design.signals =
+      Array.append d.signals (Array.of_list (List.rev !extra_sigs));
+    assigns = Array.append assigns (Array.of_list (List.rev !extra_assigns));
+    procs;
+  }
+
+(* Expressions are emitted fully parenthesised. Widths are made explicit
+   where Verilog's context-determined sizing could differ from the IR's
+   fixed-width semantics: extensions use concatenation, slices of compound
+   expressions use shift-and-mask. *)
+let rec expr d ppf (e : Expr.t) =
+  let width =
+    Expr.width
+      ~sig_width:(Design.signal_width d)
+      ~mem_width:(Design.mem_width d)
+  in
+  match e with
+  | Expr.Const b ->
+      pf ppf "%d'h%Lx" (Bits.width b) (Bits.to_int64 b)
+  | Expr.Sig id -> pf ppf "%s" (sig_ref d id)
+  | Expr.Unop (op, a) -> (
+      match op with
+      | Expr.Not -> pf ppf "(~%a)" (expr d) a
+      | Expr.Neg -> pf ppf "(-%a)" (expr d) a
+      | Expr.Red_and -> pf ppf "(&%a)" (expr d) a
+      | Expr.Red_or -> pf ppf "(|%a)" (expr d) a
+      | Expr.Red_xor -> pf ppf "(^%a)" (expr d) a)
+  | Expr.Binop (op, a, b) -> (
+      let bin s = pf ppf "(%a %s %a)" (expr d) a s (expr d) b in
+      let signed s =
+        pf ppf "($signed(%a) %s $signed(%a))" (expr d) a s (expr d) b
+      in
+      match op with
+      | Expr.Add -> bin "+"
+      | Expr.Sub -> bin "-"
+      | Expr.Mul -> bin "*"
+      | Expr.Divu -> bin "/"
+      | Expr.Modu -> bin "%"
+      | Expr.And -> bin "&"
+      | Expr.Or -> bin "|"
+      | Expr.Xor -> bin "^"
+      | Expr.Shl -> bin "<<"
+      | Expr.Shru -> bin ">>"
+      | Expr.Shra ->
+          pf ppf "($signed(%a) >>> %a)" (expr d) a (expr d) b
+      | Expr.Eq -> bin "=="
+      | Expr.Neq -> bin "!="
+      | Expr.Ltu -> bin "<"
+      | Expr.Leu -> bin "<="
+      | Expr.Gtu -> bin ">"
+      | Expr.Geu -> bin ">="
+      | Expr.Lts -> signed "<"
+      | Expr.Les -> signed "<="
+      | Expr.Gts -> signed ">"
+      | Expr.Ges -> signed ">=")
+  | Expr.Mux (s, a, b) ->
+      (* the truthiness test must not context-extend the selector (a ~ on a
+         narrow operand would otherwise see extra one bits) *)
+      pf ppf "((%a != %d'h0) ? %a : %a)" (expr d) s (width s) (expr d) a
+        (expr d) b
+  | Expr.Slice (a, hi, lo) -> (
+      match a with
+      | Expr.Sig id -> pf ppf "%s[%d:%d]" (sig_ref d id) hi lo
+      | _ ->
+          (* bit selects are only legal on identifiers *)
+          pf ppf "((%a >> %d) & {%d{1'b1}})" (expr d) a lo (hi - lo + 1))
+  | Expr.Concat (a, b) -> pf ppf "{%a, %a}" (expr d) a (expr d) b
+  | Expr.Zext (a, w) ->
+      let wa = width a in
+      if w = wa then expr d ppf a
+      else pf ppf "{{%d{1'b0}}, %a}" (w - wa) (expr d) a
+  | Expr.Sext (a, w) ->
+      let wa = width a in
+      if w = wa then expr d ppf a
+      else (
+        match a with
+        | Expr.Sig id ->
+            pf ppf "{{%d{%s[%d]}}, %s}" (w - wa) (sig_ref d id) (wa - 1)
+              (sig_ref d id)
+        | _ ->
+            (* general sign extension: shift into the top, arithmetic shift
+               back down *)
+            pf ppf
+              "(($signed({%a, {%d{1'b0}}}) >>> %d) | {%d{1'b0}})"
+              (expr d) a (64 - wa) (64 - wa) w)
+  | Expr.Mem_read (m, addr) ->
+      pf ppf "%s[%a]" (Design.mem_name_exn d m) (expr d) addr
+
+let rec stmt d indent ppf (s : Stmt.t) =
+  let ind = String.make indent ' ' in
+  match s with
+  | Stmt.Block l ->
+      pf ppf "%sbegin\n" ind;
+      List.iter (stmt d (indent + 2) ppf) l;
+      pf ppf "%send\n" ind
+  | Stmt.If (c, a, b) ->
+      let cw =
+        Expr.width
+          ~sig_width:(Design.signal_width d)
+          ~mem_width:(Design.mem_width d)
+          c
+      in
+      pf ppf "%sif (%a != %d'h0)\n" ind (expr d) c cw;
+      stmt d (indent + 2) ppf a;
+      pf ppf "%selse\n" ind;
+      stmt d (indent + 2) ppf b
+  | Stmt.Case (scrut, arms, dflt) ->
+      pf ppf "%scase (%a)\n" ind (expr d) scrut;
+      List.iter
+        (fun (label, arm) ->
+          pf ppf "%s  %d'h%Lx:\n" ind (Bits.width label) (Bits.to_int64 label);
+          stmt d (indent + 4) ppf arm)
+        arms;
+      pf ppf "%s  default:\n" ind;
+      stmt d (indent + 4) ppf dflt;
+      pf ppf "%sendcase\n" ind
+  | Stmt.Assign (id, e) ->
+      pf ppf "%s%s = %a;\n" ind (sig_ref d id) (expr d) e
+  | Stmt.Nonblock (id, e) ->
+      pf ppf "%s%s <= %a;\n" ind (sig_ref d id) (expr d) e
+  | Stmt.Mem_write (m, addr, data) ->
+      pf ppf "%s%s[%a] <= %a;\n" ind
+        (Design.mem_name_exn d m)
+        (expr d) addr (expr d) data
+  | Stmt.Skip -> pf ppf "%s;\n" ind
+
+let emit ppf (d : Design.t) =
+  let d = hoist_slices d in
+  pf ppf "// Generated by eraser from design %S.\n" d.dname;
+  pf ppf
+    "// 2-state semantics caveats: this library defines x/0 = all-ones and\n";
+  pf ppf
+    "// x %% 0 = x, and never produces X; Verilog yields X for both.\n";
+  let ports =
+    List.map (fun id -> sig_ref d id) (d.inputs @ d.outputs)
+  in
+  pf ppf "module %s(%s);\n" d.dname (String.concat ", " ports);
+  let range w = if w = 1 then "" else Printf.sprintf " [%d:0]" (w - 1) in
+  Array.iter
+    (fun (s : Design.signal) ->
+      match s.kind with
+      | Design.Input -> pf ppf "  input%s %s;\n" (range s.width) s.name
+      | Design.Output ->
+          pf ppf "  output%s %s;\n" (range s.width) s.name
+      | Design.Wire -> ()
+      | Design.Reg -> ())
+    d.signals;
+  (* comb-process targets are written procedurally, so they must be declared
+     reg even though they are architectural wires *)
+  let comb_written = Hashtbl.create 16 in
+  Array.iter
+    (fun (p : Design.proc) ->
+      if p.trigger = Design.Comb then
+        List.iter
+          (fun id -> Hashtbl.replace comb_written id ())
+          (Stmt.write_signals p.body))
+    d.procs;
+  Array.iter
+    (fun (s : Design.signal) ->
+      let decl =
+        match s.kind with
+        | Design.Input -> None
+        | Design.Output | Design.Wire ->
+            Some (if Hashtbl.mem comb_written s.id then "reg" else "wire")
+        | Design.Reg -> Some "reg"
+      in
+      match decl with
+      | Some kw -> pf ppf "  %s%s %s;\n" kw (range s.width) s.name
+      | None -> ())
+    d.signals;
+  Array.iter
+    (fun (m : Design.mem) ->
+      pf ppf "  reg%s %s [0:%d];\n" (range m.data_width) m.mname (m.size - 1))
+    d.mems;
+  (* ROM initial contents; RAMs start at 0 in this library's 2-state
+     semantics (in 4-state Verilog they would start at X) *)
+  let any_init = Array.exists (fun (m : Design.mem) -> m.init <> None) d.mems in
+  if any_init then begin
+    pf ppf "  initial begin\n";
+    Array.iter
+      (fun (m : Design.mem) ->
+        match m.init with
+        | Some a ->
+            Array.iteri
+              (fun i v ->
+                pf ppf "    %s[%d] = %d'h%Lx;\n" m.mname i m.data_width
+                  (Bits.to_int64 v))
+              a
+        | None -> ())
+      d.mems;
+    pf ppf "  end\n"
+  end;
+  Array.iter
+    (fun (a : Design.assign) ->
+      (* comb-proc targets must not collide; plain assigns only drive
+         wires *)
+      pf ppf "  assign %s = %a;\n" (sig_ref d a.target) (expr d) a.expr)
+    d.assigns;
+  Array.iter
+    (fun (p : Design.proc) ->
+      (match p.trigger with
+      | Design.Comb -> pf ppf "  always @* // %s\n" p.pname
+      | Design.Edges edges ->
+          let ev =
+            String.concat " or "
+              (List.map
+                 (fun (edge, clk) ->
+                   Printf.sprintf "%s %s"
+                     (match edge with
+                     | Design.Posedge -> "posedge"
+                     | Design.Negedge -> "negedge")
+                     (sig_ref d clk))
+                 edges)
+          in
+          pf ppf "  always @(%s) // %s\n" ev p.pname);
+      stmt d 2 ppf p.body)
+    d.procs;
+  pf ppf "endmodule\n"
+
+let to_string d = Format.asprintf "%a" emit d

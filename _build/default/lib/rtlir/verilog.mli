@@ -1,0 +1,15 @@
+(** Verilog-2001 export of a design.
+
+    Emits synthesizable-style Verilog so designs authored with the builder
+    DSL can be cross-checked in standard simulators and synthesis tools.
+    Slices of compound expressions are lowered to shift-and-mask form (bit
+    selects are only legal on identifiers); two divergences from this
+    library's 2-state semantics are flagged in the emitted header comment
+    (division by zero and X-propagation, which cannot occur in 2-state
+    runs). *)
+
+
+
+val emit : Format.formatter -> Design.t -> unit
+
+val to_string : Design.t -> string

@@ -1,0 +1,1 @@
+lib/sim/bytecode.ml: Access Array Bits Eval Expr Int64 List Rtlir Stmt

@@ -1,0 +1,1 @@
+lib/sim/bytecode.mli: Access Bits Expr Rtlir Stmt

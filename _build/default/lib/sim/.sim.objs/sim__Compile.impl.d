@@ -1,0 +1,1 @@
+lib/sim/compile.ml: Access Array Bits Cfg Eval Expr Flow Hashtbl List Rtlir Stmt Vdg

@@ -1,0 +1,1 @@
+lib/sim/compile.mli: Access Bits Cfg Expr Flow Rtlir Stmt Vdg

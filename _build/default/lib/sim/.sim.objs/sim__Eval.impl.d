@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Access Bits Expr Int64 Rtlir

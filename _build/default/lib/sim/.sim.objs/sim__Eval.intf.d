@@ -1,0 +1,1 @@
+lib/sim/eval.mli: Access Bits Expr Rtlir

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Access Bits Eval List Rtlir Stmt

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Access Array Bits Bytecode Compile Design Elaborate Eval Interp List Printf Queue Rtlir

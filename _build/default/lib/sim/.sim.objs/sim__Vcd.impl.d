@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Bits Buffer Char Design Elaborate List Printf Rtlir Simulator

@@ -1,0 +1,22 @@
+(** Value access interfaces shared by the evaluators and interpreters.
+
+    Engines provide readers/writers over their own state representation:
+    the good simulator reads plain arrays, the concurrent engine overlays a
+    fault's diffs on the good state. Memory addresses are pre-wrapped to
+    [0..size-1] by the evaluators. *)
+
+open Rtlir
+
+type reader = {
+  get : int -> Bits.t;  (** current value of a signal *)
+  get_mem : int -> int -> Bits.t;  (** memory id, wrapped address *)
+}
+
+type writer = {
+  set_blocking : int -> Bits.t -> unit;
+      (** immediate write; later reads in the same execution observe it *)
+  set_nonblocking : int -> Bits.t -> unit;
+      (** deferred write; committed by the engine at the NBA phase *)
+  write_mem : int -> int -> Bits.t -> unit;
+      (** deferred memory write (nonblocking semantics), wrapped address *)
+}

@@ -1,0 +1,279 @@
+open Rtlir
+
+(* vvp computes 4-state vectors (value plane + X plane). Our designs never
+   produce X (2-state inputs, no tristates), so results equal the 2-state
+   semantics — but the per-operation X bookkeeping is the honest cost of the
+   Iverilog execution model and is carried in full. *)
+type v4 = { av : int64; bx : int64; w : int }  (* bx bit set = unknown *)
+
+let mask w = if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+let of_bits b = { av = Bits.to_int64 b; bx = 0L; w = Bits.width b }
+
+let to_bits v =
+  (* X never reaches a committed value in these designs; project X to 0 as
+     a 2-state simulator would read it back. *)
+  Bits.make v.w (Int64.logand v.av (Int64.lognot v.bx))
+
+let all_x w = { av = 0L; bx = mask w; w }
+let has_x v = v.bx <> 0L
+
+let log_and a b =
+  let known0_a = Int64.logand (Int64.lognot a.av) (Int64.lognot a.bx) in
+  let known0_b = Int64.logand (Int64.lognot b.av) (Int64.lognot b.bx) in
+  let res_x =
+    Int64.logand
+      (Int64.logor a.bx b.bx)
+      (Int64.lognot (Int64.logor known0_a known0_b))
+  in
+  let res_v =
+    Int64.logand (Int64.logand a.av b.av) (Int64.lognot res_x)
+  in
+  { av = Int64.logand res_v (mask a.w); bx = Int64.logand res_x (mask a.w); w = a.w }
+
+let log_or a b =
+  let known1_a = Int64.logand a.av (Int64.lognot a.bx) in
+  let known1_b = Int64.logand b.av (Int64.lognot b.bx) in
+  let res_x =
+    Int64.logand
+      (Int64.logor a.bx b.bx)
+      (Int64.lognot (Int64.logor known1_a known1_b))
+  in
+  let res_v =
+    Int64.logand (Int64.logor a.av b.av) (Int64.lognot res_x)
+  in
+  { av = Int64.logand res_v (mask a.w); bx = Int64.logand res_x (mask a.w); w = a.w }
+
+let log_xor a b =
+  let res_x = Int64.logor a.bx b.bx in
+  {
+    av = Int64.logand (Int64.logxor a.av b.av)
+           (Int64.logand (mask a.w) (Int64.lognot res_x));
+    bx = Int64.logand res_x (mask a.w);
+    w = a.w;
+  }
+
+let log_not a =
+  {
+    av =
+      Int64.logand (Int64.lognot a.av)
+        (Int64.logand (mask a.w) (Int64.lognot a.bx));
+    bx = a.bx;
+    w = a.w;
+  }
+
+(* Arithmetic and comparisons: any X operand poisons the whole result, as
+   in the IEEE 1364 semantics vvp implements. *)
+let arith2 op a b =
+  if has_x a || has_x b then all_x (Bits.width (op (Bits.zero a.w) (Bits.zero b.w)))
+  else of_bits (op (to_bits a) (to_bits b))
+
+let arith1 op a =
+  if has_x a then all_x (Bits.width (op (Bits.zero a.w)))
+  else of_bits (op (to_bits a))
+
+let apply_bin op a b =
+  match op with
+  | Expr.And -> log_and a b
+  | Expr.Or -> log_or a b
+  | Expr.Xor -> log_xor a b
+  | Expr.Add -> arith2 Bits.add a b
+  | Expr.Sub -> arith2 Bits.sub a b
+  | Expr.Mul -> arith2 Bits.mul a b
+  | Expr.Divu -> arith2 Bits.divu a b
+  | Expr.Modu -> arith2 Bits.modu a b
+  | Expr.Shl -> arith2 Bits.shift_left a b
+  | Expr.Shru -> arith2 Bits.shift_right a b
+  | Expr.Shra -> arith2 Bits.shift_right_arith a b
+  | Expr.Eq -> arith2 Bits.eq a b
+  | Expr.Neq -> arith2 Bits.neq a b
+  | Expr.Ltu -> arith2 Bits.ltu a b
+  | Expr.Leu -> arith2 Bits.leu a b
+  | Expr.Gtu -> arith2 Bits.gtu a b
+  | Expr.Geu -> arith2 Bits.geu a b
+  | Expr.Lts -> arith2 Bits.lts a b
+  | Expr.Les -> arith2 Bits.les a b
+  | Expr.Gts -> arith2 Bits.gts a b
+  | Expr.Ges -> arith2 Bits.ges a b
+
+let apply_un op a =
+  match op with
+  | Expr.Not -> log_not a
+  | Expr.Neg -> arith1 Bits.neg a
+  | Expr.Red_and ->
+      if has_x a then all_x 1 else of_bits (Bits.reduce_and (to_bits a))
+  | Expr.Red_or ->
+      if has_x a then all_x 1 else of_bits (Bits.reduce_or (to_bits a))
+  | Expr.Red_xor ->
+      if has_x a then all_x 1 else of_bits (Bits.reduce_xor (to_bits a))
+
+type instr =
+  | Push of v4
+  | Load of int
+  | Load_mem of int * int  (* memory id, size *)
+  | Bin of Expr.binop
+  | Un of Expr.unop
+  | Do_slice of int * int
+  | Do_zext of int
+  | Do_sext of int
+  | Do_concat
+  | Do_mux
+
+type program = { code : instr array; max_stack : int }
+
+let rec emit ~mem_size acc e =
+  match e with
+  | Expr.Const b -> Push (of_bits b) :: acc
+  | Expr.Sig id -> Load id :: acc
+  | Expr.Unop (op, a) -> Un op :: emit ~mem_size acc a
+  | Expr.Binop (op, a, b) ->
+      Bin op :: emit ~mem_size (emit ~mem_size acc a) b
+  | Expr.Mux (sel, a, b) ->
+      Do_mux :: emit ~mem_size (emit ~mem_size (emit ~mem_size acc sel) a) b
+  | Expr.Slice (a, hi, lo) -> Do_slice (hi, lo) :: emit ~mem_size acc a
+  | Expr.Concat (a, b) ->
+      Do_concat :: emit ~mem_size (emit ~mem_size acc a) b
+  | Expr.Zext (a, w) -> Do_zext w :: emit ~mem_size acc a
+  | Expr.Sext (a, w) -> Do_sext w :: emit ~mem_size acc a
+  | Expr.Mem_read (m, addr) ->
+      Load_mem (m, mem_size m) :: emit ~mem_size acc addr
+
+let rec depth = function
+  | Expr.Const _ | Expr.Sig _ -> 1
+  | Expr.Unop (_, a) | Expr.Slice (a, _, _) | Expr.Zext (a, _)
+  | Expr.Sext (a, _) ->
+      depth a
+  | Expr.Binop (_, a, b) | Expr.Concat (a, b) ->
+      max (depth a) (1 + depth b)
+  | Expr.Mux (s, a, b) -> max (depth s) (max (1 + depth a) (2 + depth b))
+  | Expr.Mem_read (_, a) -> depth a
+
+let compile ~mem_size e =
+  {
+    code = Array.of_list (List.rev (emit ~mem_size [] e));
+    max_stack = depth e + 1;
+  }
+
+let zero_v4 = { av = 0L; bx = 0L; w = 1 }
+let scratch = ref (Array.make 64 zero_v4)
+
+let eval_v4 p (r : Access.reader) =
+  let stack =
+    if Array.length !scratch >= p.max_stack then !scratch
+    else begin
+      scratch := Array.make (2 * p.max_stack) zero_v4;
+      !scratch
+    end
+  in
+  let sp = ref 0 in
+  let push v =
+    stack.(!sp) <- v;
+    incr sp
+  in
+  let pop () =
+    decr sp;
+    stack.(!sp)
+  in
+  let code = p.code in
+  for pc = 0 to Array.length code - 1 do
+    match code.(pc) with
+    | Push b -> push b
+    | Load id -> push (of_bits (r.Access.get id))
+    | Load_mem (m, size) ->
+        let addr = pop () in
+        if has_x addr then push (all_x 64)
+        else
+          push
+            (of_bits
+               (r.Access.get_mem m (Eval.wrap_address (to_bits addr) size)))
+    | Bin op ->
+        let b = pop () in
+        let a = pop () in
+        push (apply_bin op a b)
+    | Un op -> push (apply_un op (pop ()))
+    | Do_slice (hi, lo) ->
+        let a = pop () in
+        push
+          {
+            av = Int64.logand (Int64.shift_right_logical a.av lo)
+                   (mask (hi - lo + 1));
+            bx = Int64.logand (Int64.shift_right_logical a.bx lo)
+                   (mask (hi - lo + 1));
+            w = hi - lo + 1;
+          }
+    | Do_zext w ->
+        let a = pop () in
+        push { a with w }
+    | Do_sext w ->
+        let a = pop () in
+        if has_x a then push (all_x w)
+        else push (of_bits (Bits.sext (to_bits a) w))
+    | Do_concat ->
+        let b = pop () in
+        let a = pop () in
+        push
+          {
+            av = Int64.logor (Int64.shift_left a.av b.w) b.av;
+            bx = Int64.logor (Int64.shift_left a.bx b.w) b.bx;
+            w = a.w + b.w;
+          }
+    | Do_mux ->
+        let e = pop () in
+        let t = pop () in
+        let s = pop () in
+        if has_x s then push (all_x t.w)
+        else push (if Int64.logand s.av (mask s.w) <> 0L then t else e)
+  done;
+  pop ()
+
+let eval p r = to_bits (eval_v4 p r)
+
+type stmt_program =
+  | Sblock of stmt_program array
+  | Sif of program * stmt_program * stmt_program
+  | Scase of program * (Bits.t * stmt_program) array * stmt_program
+  | Sassign of int * program
+  | Snonblock of int * program
+  | Smem_write of int * int * program * program
+  | Sskip
+
+let rec compile_stmt ~mem_size = function
+  | Stmt.Block l ->
+      Sblock (Array.of_list (List.map (compile_stmt ~mem_size) l))
+  | Stmt.If (c, a, b) ->
+      Sif
+        (compile ~mem_size c, compile_stmt ~mem_size a, compile_stmt ~mem_size b)
+  | Stmt.Case (scrut, arms, dflt) ->
+      Scase
+        ( compile ~mem_size scrut,
+          Array.of_list
+            (List.map
+               (fun (label, arm) -> (label, compile_stmt ~mem_size arm))
+               arms),
+          compile_stmt ~mem_size dflt )
+  | Stmt.Assign (id, e) -> Sassign (id, compile ~mem_size e)
+  | Stmt.Nonblock (id, e) -> Snonblock (id, compile ~mem_size e)
+  | Stmt.Mem_write (m, addr, data) ->
+      Smem_write (m, mem_size m, compile ~mem_size addr, compile ~mem_size data)
+  | Stmt.Skip -> Sskip
+
+let rec exec sp (r : Access.reader) (w : Access.writer) =
+  match sp with
+  | Sblock l -> Array.iter (fun s -> exec s r w) l
+  | Sif (c, a, b) -> if Bits.is_true (eval c r) then exec a r w else exec b r w
+  | Scase (scrut, arms, dflt) ->
+      let v = eval scrut r in
+      let n = Array.length arms in
+      let rec dispatch i =
+        if i >= n then exec dflt r w
+        else begin
+          let label, arm = arms.(i) in
+          if Bits.equal label v then exec arm r w else dispatch (i + 1)
+        end
+      in
+      dispatch 0
+  | Sassign (id, e) -> w.Access.set_blocking id (eval e r)
+  | Snonblock (id, e) -> w.Access.set_nonblocking id (eval e r)
+  | Smem_write (m, size, addr, data) ->
+      let a = Eval.wrap_address (eval addr r) size in
+      w.Access.write_mem m a (eval data r)
+  | Sskip -> ()

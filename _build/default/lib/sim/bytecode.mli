@@ -1,0 +1,25 @@
+(** vvp-flavoured bytecode interpreter.
+
+    Icarus Verilog compiles designs to vvp bytecode executed on a stack
+    machine; the IFsim baseline mirrors that execution model. Expressions
+    compile once into flat instruction vectors evaluated on an explicit
+    operand stack; behavioral statements keep their tree shape with
+    bytecode right-hand sides. *)
+
+open Rtlir
+
+type program
+
+(** Compile an expression. [mem_size] gives each memory's word count (for
+    address wrapping). *)
+val compile : mem_size:(int -> int) -> Expr.t -> program
+
+(** Evaluate against a reader. *)
+val eval : program -> Access.reader -> Bits.t
+
+type stmt_program
+
+val compile_stmt : mem_size:(int -> int) -> Stmt.t -> stmt_program
+
+(** Execute a compiled behavioral body. *)
+val exec : stmt_program -> Access.reader -> Access.writer -> unit

@@ -1,0 +1,47 @@
+(** Closure compilation of expressions and behavioral nodes — the compiled
+    ("Verilator-style") evaluation path used by VFsim and the concurrent
+    engines.
+
+    Expressions compile once into nested closures; repeated evaluation then
+    skips AST dispatch. Behavioral bodies compile into their CFG form:
+    segments become closure sequences, decisions become a compiled selector
+    plus a branch chooser. The compiled proc doubles as the runtime carrier
+    for Algorithm 1: it records the good execution's decisions and exposes
+    the VDG and per-decision fault evaluation hooks. *)
+
+open Rtlir
+open Flow
+
+type compiled_expr = Access.reader -> Bits.t
+
+val expr : mem_size:(int -> int) -> Expr.t -> compiled_expr
+
+type t = {
+  cfg : Cfg.t;
+  vdg : Vdg.t;
+  segments : (Access.reader -> Access.writer -> unit) array array;
+      (** per CFG node id: compiled simple statements (segments only) *)
+  selectors : compiled_expr array;  (** per CFG node id (decisions only) *)
+  choosers : (Bits.t -> int) array;  (** per CFG node id (decisions only) *)
+  seg_sites : (int * int * compiled_expr) array array;
+      (** per CFG node id (segments only): memory-read sites as (memory,
+          word count, compiled address) — evaluated under the {e good}
+          reader by the redundancy walk *)
+  has_blocking : bool;
+      (** body contains blocking writes: the redundancy walk must track the
+          locally-written set *)
+}
+
+(** Compile a behavioral body. *)
+val proc : mem_size:(int -> int) -> Stmt.t -> t
+
+(** [exec t ?record reader writer] walks the CFG executing segments; when
+    [record] is given, the chosen target index of every traversed decision
+    node is stored at its node id (the good-path record Algorithm 1 walks
+    against). *)
+val exec :
+  t -> ?record:int array -> Access.reader -> Access.writer -> unit
+
+(** [fault_choice t node_id reader] evaluates the decision's selector under
+    a fault reader and returns the chosen target index. *)
+val fault_choice : t -> int -> Access.reader -> int

@@ -1,0 +1,18 @@
+(** AST-walking expression evaluation — the interpreted ("IFsim") path.
+
+    Walks the expression tree on every evaluation, mirroring an interpreting
+    simulator. The compiled path lives in {!Compile}. *)
+
+open Rtlir
+
+(** [eval ~mem_size reader e] evaluates [e]. Memory read addresses are
+    wrapped modulo [mem_size mid]. *)
+val eval : mem_size:(int -> int) -> Access.reader -> Expr.t -> Bits.t
+
+(** Wrap a raw address vector onto [0 .. size-1]. *)
+val wrap_address : Bits.t -> int -> int
+
+(** Single-operator application (shared with the bytecode interpreter). *)
+val apply_unop : Expr.unop -> Bits.t -> Bits.t
+
+val apply_binop : Expr.binop -> Bits.t -> Bits.t -> Bits.t

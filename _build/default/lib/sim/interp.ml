@@ -1,0 +1,23 @@
+open Rtlir
+
+let exec ~mem_size (r : Access.reader) (w : Access.writer) body =
+  let eval e = Eval.eval ~mem_size r e in
+  let rec go = function
+    | Stmt.Block l -> List.iter go l
+    | Stmt.If (c, t, e) -> if Bits.is_true (eval c) then go t else go e
+    | Stmt.Case (scrut, arms, dflt) ->
+        let v = eval scrut in
+        let rec dispatch = function
+          | [] -> go dflt
+          | (label, arm) :: rest ->
+              if Bits.equal label v then go arm else dispatch rest
+        in
+        dispatch arms
+    | Stmt.Assign (id, e) -> w.set_blocking id (eval e)
+    | Stmt.Nonblock (id, e) -> w.set_nonblocking id (eval e)
+    | Stmt.Mem_write (m, addr, data) ->
+        let a = Eval.wrap_address (eval addr) (mem_size m) in
+        w.write_mem m a (eval data)
+    | Stmt.Skip -> ()
+  in
+  go body

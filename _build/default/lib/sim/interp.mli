@@ -1,0 +1,10 @@
+(** AST-walking statement interpreter — executes a behavioral body directly
+    over the statement tree (the interpreted engine's path). *)
+
+open Rtlir
+
+(** [exec ~mem_size reader writer body] runs [body]. Blocking assignments go
+    through [writer.set_blocking] and must be immediately observable via
+    [reader.get]; nonblocking and memory writes are deferred to the engine. *)
+val exec :
+  mem_size:(int -> int) -> Access.reader -> Access.writer -> Stmt.t -> unit

@@ -1,0 +1,103 @@
+open Rtlir
+
+type t = {
+  out : out_channel;
+  graph : Elaborate.t;
+  codes : string array;
+  mutable last : Bits.t array option;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, little-endian digits. *)
+let code_of_index i =
+  let b = Buffer.create 4 in
+  let rec go i =
+    Buffer.add_char b (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go ((i / 94) - 1)
+  in
+  go i;
+  Buffer.contents b
+
+let create ~out (g : Elaborate.t) =
+  let d = g.design in
+  let nsig = Design.num_signals d in
+  let codes = Array.init nsig code_of_index in
+  output_string out "$version eraser VCD dump $end\n";
+  output_string out "$timescale 1ns $end\n";
+  Printf.fprintf out "$scope module %s $end\n" d.dname;
+  Array.iter
+    (fun (s : Design.signal) ->
+      Printf.fprintf out "$var wire %d %s %s %s $end\n" s.width codes.(s.id)
+        s.name
+        (if s.width = 1 then "" else Printf.sprintf "[%d:0]" (s.width - 1)))
+    d.signals;
+  output_string out "$upscope $end\n$enddefinitions $end\n";
+  { out; graph = g; codes; last = None }
+
+let emit_value t id v =
+  let w = Bits.width v in
+  if w = 1 then
+    Printf.fprintf t.out "%c%s\n"
+      (if Bits.is_true v then '1' else '0')
+      t.codes.(id)
+  else begin
+    let buf = Buffer.create (w + 8) in
+    Buffer.add_char buf 'b';
+    let started = ref false in
+    for i = w - 1 downto 0 do
+      let bit = Bits.bit v i in
+      if bit || !started || i = 0 then begin
+        started := true;
+        Buffer.add_char buf (if bit then '1' else '0')
+      end
+    done;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf t.codes.(id);
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer t.out buf
+  end
+
+let sample t ~time sim =
+  let d = t.graph.Elaborate.design in
+  let nsig = Design.num_signals d in
+  let current = Array.init nsig (Simulator.peek sim) in
+  (match t.last with
+  | None ->
+      Printf.fprintf t.out "#%d\n$dumpvars\n" time;
+      Array.iteri (emit_value t) current;
+      output_string t.out "$end\n"
+  | Some prev ->
+      let changed = ref [] in
+      for id = nsig - 1 downto 0 do
+        if not (Bits.equal prev.(id) current.(id)) then
+          changed := id :: !changed
+      done;
+      if !changed <> [] then begin
+        Printf.fprintf t.out "#%d\n" time;
+        List.iter (fun id -> emit_value t id current.(id)) !changed
+      end);
+  t.last <- Some current
+
+let finish t = flush t.out
+
+let dump_drive ~path g ~clock ~cycles ~drive =
+  let out = open_out path in
+  let vcd = create ~out g in
+  let sim = Simulator.create g in
+  let time = ref 0 in
+  let half v =
+    Simulator.set_input sim clock (Bits.make 1 v);
+    Simulator.step sim;
+    sample vcd ~time:!time sim;
+    incr time
+  in
+  (try
+     for cycle = 0 to cycles - 1 do
+       List.iter (fun (id, v) -> Simulator.set_input sim id v) (drive cycle);
+       half 1L;
+       half 0L
+     done
+   with e ->
+     close_out out;
+     raise e);
+  finish vcd;
+  close_out out

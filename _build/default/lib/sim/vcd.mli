@@ -1,0 +1,36 @@
+(** VCD (value change dump) waveform recording for the single-network
+    simulator — debugging support for designs authored with the DSL.
+
+    {[
+      let sim = Simulator.create graph in
+      let vcd = Vcd.create ~out graph in
+      (* per time slot *)
+      Simulator.step sim;
+      Vcd.sample vcd ~time sim;
+      ...
+      Vcd.finish vcd
+    ]} *)
+
+open Rtlir
+
+type t
+
+(** Write the VCD header (all signals of the design, one scope). *)
+val create : out:out_channel -> Elaborate.t -> t
+
+(** Emit a timestamp and the value changes since the previous sample. *)
+val sample : t -> time:int -> Simulator.t -> unit
+
+val finish : t -> unit
+
+(** Convenience: drive a fresh simulator with the standard clocked protocol
+    (inputs, rising edge, falling edge per cycle), sampling after every
+    half-cycle, writing to [path]. [drive] maps a cycle number to input
+    assignments; [clock] is the clock input's signal id. *)
+val dump_drive :
+  path:string ->
+  Elaborate.t ->
+  clock:int ->
+  cycles:int ->
+  drive:(int -> (int * Bits.t) list) ->
+  unit

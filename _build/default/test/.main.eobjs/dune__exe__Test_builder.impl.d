@@ -1,0 +1,1 @@
+test/test_builder.ml: Access Alcotest Array Bits Builder Eval Expr Faultsim List Rng Rtlir Sim

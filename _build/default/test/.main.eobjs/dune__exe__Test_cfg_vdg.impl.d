@@ -1,0 +1,1 @@
+test/test_cfg_vdg.ml: Alcotest Array Bits Cfg Design Expr Faultsim Flow Harness Int64 List Rtlir Sim Stmt Vdg

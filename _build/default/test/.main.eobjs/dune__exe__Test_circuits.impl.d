@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Bits Circuits Design Elaborate Faultsim Int32 Int64 List Printf Queue Rng Rtlir Sim Simulator Workload

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Bits Builder Circuits Classify Design Elaborate Engine Fault Faultsim Harness Int64 List Printf Rtlir Stats

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Baselines Builder Circuits Design Elaborate Engine Fault Faultsim Harness List Rtlir Seq Stats Workload

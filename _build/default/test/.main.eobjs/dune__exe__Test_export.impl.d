@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Builder Circuits Design Elaborate Faultsim Filename List Printf Rtlir Sim String Sys Verilog

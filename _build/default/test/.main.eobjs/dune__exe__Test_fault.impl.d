@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Bits Builder Fault Faultsim List Printf Rtlir Stats Workload

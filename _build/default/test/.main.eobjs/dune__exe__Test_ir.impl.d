@@ -1,0 +1,1 @@
+test/test_ir.ml: Access Alcotest Array Bits Builder Bytecode Circuits Compile Design Elaborate Eval Expr Format Harness Int64 Rtlir Sim Stmt

@@ -1,0 +1,1 @@
+test/test_rand_diff.ml: Alcotest Baselines Fault Faultsim Harness Int64 List QCheck2 QCheck_alcotest

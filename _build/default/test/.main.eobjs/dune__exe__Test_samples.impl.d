@@ -1,0 +1,1 @@
+test/test_samples.ml: Alcotest Array Baselines Buffer Circuits Classify Elaborate Engine Fault Faultsim Filename Format Harness List Rtlir String Sys Verilog_parser

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Baselines Bits Builder Design Elaborate Harness Int64 List Rtlir Sim Simulator

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Baselines Builder Circuits Design Elaborate Engine Fault Faultsim Harness Int64 List Rtlir Workload

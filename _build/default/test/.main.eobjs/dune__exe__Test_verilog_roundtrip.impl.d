@@ -1,0 +1,1 @@
+test/test_verilog_roundtrip.ml: Alcotest Array Bits Circuits Design Elaborate Engine Fault Faultsim Harness Int64 List Printf Rtlir Sim Simulator Verilog Verilog_lexer Verilog_parser Workload

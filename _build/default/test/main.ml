@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "eraser"
+    [
+      ("bits", Test_bits.suite);
+      ("ir", Test_ir.suite);
+      ("builder", Test_builder.suite);
+      ("cfg-vdg", Test_cfg_vdg.suite);
+      ("simulator", Test_simulator.suite);
+      ("fault", Test_fault.suite);
+      ("circuits", Test_circuits.suite);
+      ("export", Test_export.suite);
+      ("verilog-roundtrip", Test_verilog_roundtrip.suite);
+      ("samples", Test_samples.suite);
+      ("engines", Test_engines.suite);
+      ("classify", Test_classify.suite);
+      ("transient", Test_transient.suite);
+      ("differential", Test_rand_diff.suite);
+    ]

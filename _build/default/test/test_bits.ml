@@ -1,0 +1,178 @@
+(* Bit-vector kernel: unit cases plus qcheck algebraic properties checked
+   against Int64 / arbitrary-precision oracles. *)
+open Rtlir
+
+let check = Alcotest.check
+let int64_t = Alcotest.int64
+let bool_t = Alcotest.bool
+
+let test_make_masks () =
+  check int64_t "mask 8" 0x34L (Bits.to_int64 (Bits.make 8 0x1234L));
+  check int64_t "mask 1" 1L (Bits.to_int64 (Bits.make 1 3L));
+  check int64_t "mask 64" (-1L) (Bits.to_int64 (Bits.make 64 (-1L)));
+  check bool_t "width range low"
+    true
+    (try
+       ignore (Bits.make 0 0L);
+       false
+     with Bits.Width_error _ -> true);
+  check bool_t "width range high"
+    true
+    (try
+       ignore (Bits.make 65 0L);
+       false
+     with Bits.Width_error _ -> true)
+
+let test_signed () =
+  check int64_t "to_signed neg" (-1L) (Bits.to_signed (Bits.make 4 0xFL));
+  check int64_t "to_signed pos" 7L (Bits.to_signed (Bits.make 4 7L));
+  check int64_t "to_signed w64" (-1L) (Bits.to_signed (Bits.make 64 (-1L)))
+
+let test_force_bit () =
+  let b = Bits.make 8 0b1010L in
+  check int64_t "force set" 0b1011L (Bits.to_int64 (Bits.force_bit b 0 true));
+  check int64_t "force clear" 0b0010L (Bits.to_int64 (Bits.force_bit b 3 false));
+  check int64_t "force idempotent" 0b1010L
+    (Bits.to_int64 (Bits.force_bit b 1 true));
+  check bool_t "force out of range"
+    true
+    (try
+       ignore (Bits.force_bit b 8 true);
+       false
+     with Bits.Width_error _ -> true)
+
+let test_shifts () =
+  let a = Bits.make 8 0x96L in
+  check int64_t "shl" 0x60L
+    (Bits.to_int64 (Bits.shift_left a (Bits.of_int 4 4)));
+  check int64_t "shr" 0x09L
+    (Bits.to_int64 (Bits.shift_right a (Bits.of_int 4 4)));
+  check int64_t "sar" 0xF9L
+    (Bits.to_int64 (Bits.shift_right_arith a (Bits.of_int 4 4)));
+  check int64_t "shift saturates" 0L
+    (Bits.to_int64 (Bits.shift_left a (Bits.of_int 8 200)));
+  check int64_t "sar saturates" 0xFFL
+    (Bits.to_int64 (Bits.shift_right_arith a (Bits.of_int 8 200)))
+
+let test_division () =
+  let a = Bits.make 8 0xC8L and z = Bits.make 8 0L in
+  check int64_t "div by zero is all ones" 0xFFL
+    (Bits.to_int64 (Bits.divu a z));
+  check int64_t "mod by zero is lhs" 0xC8L (Bits.to_int64 (Bits.modu a z));
+  check int64_t "divu" 3L
+    (Bits.to_int64 (Bits.divu a (Bits.make 8 60L)))
+
+let test_concat_slice () =
+  let hi = Bits.make 4 0xAL and lo = Bits.make 8 0x5CL in
+  let c = Bits.concat hi lo in
+  check int64_t "concat" 0xA5CL (Bits.to_int64 c);
+  check int64_t "slice hi" 0xAL (Bits.to_int64 (Bits.slice c ~hi:11 ~lo:8));
+  check int64_t "slice lo" 0x5CL (Bits.to_int64 (Bits.slice c ~hi:7 ~lo:0));
+  check bool_t "concat over 64"
+    true
+    (try
+       ignore (Bits.concat (Bits.make 33 0L) (Bits.make 32 0L));
+       false
+     with Bits.Width_error _ -> true)
+
+let test_reductions () =
+  check bool_t "reduce_and ones" true
+    (Bits.is_true (Bits.reduce_and (Bits.make 5 0x1FL)));
+  check bool_t "reduce_and not" false
+    (Bits.is_true (Bits.reduce_and (Bits.make 5 0x1EL)));
+  check bool_t "reduce_or zero" false
+    (Bits.is_true (Bits.reduce_or (Bits.make 5 0L)));
+  check bool_t "reduce_xor odd" true
+    (Bits.is_true (Bits.reduce_xor (Bits.make 8 0x7L)));
+  check bool_t "reduce_xor even" false
+    (Bits.is_true (Bits.reduce_xor (Bits.make 8 0x5L)))
+
+(* --- qcheck properties --- *)
+
+let gen_width = QCheck2.Gen.int_range 1 64
+
+let gen_bits =
+  QCheck2.Gen.map2
+    (fun w v -> Bits.make w v)
+    gen_width
+    (QCheck2.Gen.map Int64.of_int QCheck2.Gen.int)
+
+let gen_pair =
+  QCheck2.Gen.map3
+    (fun w a b -> (Bits.make w a, Bits.make w b))
+    gen_width
+    (QCheck2.Gen.map Int64.of_int QCheck2.Gen.int)
+    (QCheck2.Gen.map Int64.of_int QCheck2.Gen.int)
+
+let prop name gen f = QCheck2.Test.make ~count:500 ~name gen f
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop "add_comm" gen_pair (fun (a, b) ->
+          Bits.equal (Bits.add a b) (Bits.add b a));
+      prop "add_sub_roundtrip" gen_pair (fun (a, b) ->
+          Bits.equal a (Bits.sub (Bits.add a b) b));
+      prop "neg_is_sub_zero" gen_bits (fun a ->
+          Bits.equal (Bits.neg a) (Bits.sub (Bits.zero (Bits.width a)) a));
+      prop "not_involutive" gen_bits (fun a ->
+          Bits.equal a (Bits.lognot (Bits.lognot a)));
+      prop "de_morgan" gen_pair (fun (a, b) ->
+          Bits.equal
+            (Bits.lognot (Bits.logand a b))
+            (Bits.logor (Bits.lognot a) (Bits.lognot b)));
+      prop "xor_self_zero" gen_bits (fun a ->
+          Bits.equal (Bits.logxor a a) (Bits.zero (Bits.width a)));
+      prop "ltu_total_order" gen_pair (fun (a, b) ->
+          let lt = Bits.is_true (Bits.ltu a b) in
+          let gt = Bits.is_true (Bits.gtu a b) in
+          let eq = Bits.equal a b in
+          List.length (List.filter (fun x -> x) [ lt; gt; eq ]) = 1);
+      prop "lts_matches_int64" gen_pair (fun (a, b) ->
+          Bits.is_true (Bits.lts a b)
+          = (Int64.compare (Bits.to_signed a) (Bits.to_signed b) < 0));
+      prop "slice_concat_roundtrip" gen_pair (fun (a, b) ->
+          let w = Bits.width a in
+          if 2 * w > 64 then true
+          else begin
+            let c = Bits.concat a b in
+            Bits.equal a (Bits.slice c ~hi:((2 * w) - 1) ~lo:w)
+            && Bits.equal b (Bits.slice c ~hi:(w - 1) ~lo:0)
+          end);
+      prop "sext_preserves_signed" gen_bits (fun a ->
+          let w = Bits.width a in
+          if w > 32 then true
+          else Int64.equal (Bits.to_signed (Bits.sext a 64)) (Bits.to_signed a));
+      prop "zext_preserves_unsigned" gen_bits (fun a ->
+          let w = Bits.width a in
+          if w >= 64 then true
+          else Int64.equal (Bits.to_int64 (Bits.zext a 64)) (Bits.to_int64 a));
+      prop "force_bit_reads_back" gen_bits (fun a ->
+          let w = Bits.width a in
+          let i = (Int64.to_int (Bits.to_int64 a) land max_int) mod w in
+          Bits.bit (Bits.force_bit a i true) i
+          && not (Bits.bit (Bits.force_bit a i false) i));
+      prop "shift_left_mul" gen_bits (fun a ->
+          (* a << 1 = a + a *)
+          Bits.equal
+            (Bits.shift_left a (Bits.of_int 7 1))
+            (Bits.add a a));
+      prop "mul_matches_int64" gen_pair (fun (a, b) ->
+          Int64.equal
+            (Bits.to_int64 (Bits.mul a b))
+            (Int64.logand
+               (Int64.mul (Bits.to_int64 a) (Bits.to_int64 b))
+               (Bits.to_int64 (Bits.ones (Bits.width a)))));
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "make masks" `Quick test_make_masks;
+    Alcotest.test_case "signed interpretation" `Quick test_signed;
+    Alcotest.test_case "force_bit" `Quick test_force_bit;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "division conventions" `Quick test_division;
+    Alcotest.test_case "concat/slice" `Quick test_concat_slice;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+  ]
+  @ qcheck_suite

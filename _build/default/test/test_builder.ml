@@ -1,0 +1,140 @@
+(* Builder DSL: every operator constructs the intended IR node and evaluates
+   to the Verilog-consistent value; construction errors are reported. *)
+open Rtlir
+open Sim
+module B = Builder
+open B.Ops
+
+let check = Alcotest.check
+let int64_t = Alcotest.int64
+let bool_t = Alcotest.bool
+
+(* evaluate a closed expression over two fixed operands *)
+let a8 = Bits.of_int 8 0xC5
+let b8 = Bits.of_int 8 0x3A
+
+let eval e =
+  let reader =
+    {
+      Access.get = (fun i -> if i = 0 then a8 else b8);
+      get_mem = (fun _ _ -> Bits.zero 8);
+    }
+  in
+  Eval.eval ~mem_size:(fun _ -> 1) reader e
+
+let x = Expr.Sig 0
+let y = Expr.Sig 1
+
+let binop_cases =
+  [
+    ("+:", x +: y, 0xFFL);
+    ("-:", x -: y, 0x8BL);
+    ("*:", x *: y, 0xA2L (* 0xC5 * 0x3A = 0x2CA2 truncated *));
+    ("/:", x /: y, 3L);
+    ("%:", x %: y, 0x17L);
+    ("&:", x &: y, 0L);
+    ("|:", x |: y, 0xFFL);
+    ("^:", x ^: y, 0xFFL);
+    ("==:", x ==: y, 0L);
+    ("<>:", x <>: y, 1L);
+    ("<:", x <: y, 0L);
+    ("<=:", x <=: y, 0L);
+    (">:", x >: y, 1L);
+    (">=:", x >=: y, 1L);
+    ("<+", x <+ y, 1L (* 0xC5 is negative as signed 8-bit *));
+    ("<=+", x <=+ y, 1L);
+    (">+", x >+ y, 0L);
+    (">=+", x >=+ y, 0L);
+    ("<<:", x <<: B.const 3 2, 0x14L);
+    (">>:", x >>: B.const 3 2, 0x31L);
+    (">>+", x >>+ B.const 3 2, 0xF1L);
+  ]
+
+let test_operators () =
+  List.iter
+    (fun (name, e, expect) ->
+      check int64_t name expect (Bits.to_int64 (eval e)))
+    binop_cases;
+  check int64_t "~:" 0x3AL (Bits.to_int64 (eval ~:x));
+  check int64_t "negate" 0x3BL (Bits.to_int64 (eval (B.Ops.negate x)));
+  check int64_t "mux t" 0xC5L (Bits.to_int64 (eval (B.mux B.vdd x y)));
+  check int64_t "mux f" 0x3AL (Bits.to_int64 (eval (B.mux B.gnd x y)));
+  check int64_t "slice" 0xCL (Bits.to_int64 (eval (B.slice x 7 4)));
+  check int64_t "bit_" 1L (Bits.to_int64 (eval (B.bit_ x 0)));
+  check int64_t "concat" 0xC53AL (Bits.to_int64 (eval (B.concat x y)));
+  check int64_t "zext" 0xC5L (Bits.to_int64 (eval (B.zext x 16)));
+  check int64_t "sext" 0xFFC5L (Bits.to_int64 (eval (B.sext x 16)));
+  check int64_t "reduce_and" 0L (Bits.to_int64 (eval (B.reduce_and x)));
+  check int64_t "reduce_or" 1L (Bits.to_int64 (eval (B.reduce_or x)));
+  check int64_t "reduce_xor" 0L (Bits.to_int64 (eval (B.reduce_xor x)));
+  check int64_t "cases hit" 7L
+    (Bits.to_int64
+       (eval (B.cases y (B.const 8 1) [ (B.const 8 0x3A, B.const 8 7) ])));
+  check int64_t "cases default" 1L
+    (Bits.to_int64
+       (eval (B.cases y (B.const 8 1) [ (B.const 8 0x99, B.const 8 7) ])))
+
+let test_build_errors () =
+  let fails f =
+    match f () with
+    | exception B.Build_error _ -> ()
+    | _ -> Alcotest.fail "expected Build_error"
+  in
+  fails (fun () -> B.concat_list []);
+  fails (fun () ->
+      let ctx = B.create "x" in
+      B.assign ctx (B.const 1 0) B.vdd);
+  fails (fun () ->
+      let ctx = B.create "x" in
+      let _ = B.rom ctx "r" [||] in
+      ());
+  (* using a finalized context *)
+  fails (fun () ->
+      let ctx = B.create "x" in
+      let a = B.input ctx "a" 1 in
+      let o = B.output ctx "o" 1 in
+      B.assign ctx o a;
+      let _ = B.finalize ctx in
+      B.wire ctx "late" 1)
+
+let test_named_processes () =
+  let ctx = B.create "named" in
+  let clk = B.input ctx "clk" 1 in
+  let q = B.reg ctx "q" 1 in
+  B.always_ff ctx ~name:"my_proc" ~clock:clk [ q <-- ~:q ];
+  let o = B.output ctx "o" 1 in
+  B.assign ctx o q;
+  let d = B.finalize ctx in
+  check bool_t "proc name kept" true (d.procs.(0).pname = "my_proc")
+
+let test_rng () =
+  let open Faultsim in
+  let r1 = Rng.create 7L and r2 = Rng.create 7L in
+  check bool_t "deterministic" true (Rng.next r1 = Rng.next r2);
+  let r = Rng.create 1L in
+  let in_range = ref true in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then in_range := false
+  done;
+  check bool_t "int in range" true !in_range;
+  let r = Rng.create 2L in
+  let widths_ok = ref true in
+  for _ = 1 to 100 do
+    if Bits.width (Rng.bits r 17) <> 17 then widths_ok := false
+  done;
+  check bool_t "bits width" true !widths_ok;
+  (* shuffle is a permutation *)
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle (Rng.create 3L) arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool_t "shuffle permutes" true (sorted = Array.init 20 (fun i -> i))
+
+let suite =
+  [
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "build errors" `Quick test_build_errors;
+    Alcotest.test_case "named processes" `Quick test_named_processes;
+    Alcotest.test_case "rng" `Quick test_rng;
+  ]

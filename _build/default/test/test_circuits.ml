@@ -1,0 +1,378 @@
+(* Functional tests: every benchmark circuit is checked against an
+   independent software model (known SHA-256 vectors, the ISA golden
+   machine, exact FPU/ALU references, a convolution mirror). *)
+open Rtlir
+open Sim
+open Faultsim
+module C = Circuits
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let sim_of (c : C.Bench_circuit.t) =
+  let d = c.build () in
+  (d, Simulator.create (Elaborate.build d))
+
+let run_workload sim (w : Workload.t) ~cycles observe =
+  let w = { w with cycles } in
+  Workload.run w
+    ~set_input:(Simulator.set_input sim)
+    ~step:(fun () -> Simulator.step sim)
+    ~observe:(fun c ->
+      observe c;
+      true)
+
+let peek_int sim id = Int64.to_int (Bits.to_int64 (Simulator.peek sim id))
+
+let peek_mem_int sim m a =
+  Int64.to_int (Bits.to_int64 (Simulator.peek_mem sim m a))
+
+let mem_id d name =
+  let rec scan i =
+    if i >= Array.length d.Design.mems then raise Not_found
+    else if d.Design.mems.(i).Design.mname = name then i
+    else scan (i + 1)
+  in
+  scan 0
+
+(* --- SHA-256 (both variants): known "abc" digest plus random blocks
+   against the software compression --- *)
+
+let sha_digests (c : C.Bench_circuit.t) ~seed ~blocks =
+  let d, sim = sim_of c in
+  let done_id = Design.find_signal d "done" in
+  let digest_ids =
+    Array.init 8 (fun i -> Design.find_signal d (Printf.sprintf "dig%d" i))
+  in
+  let results = ref [] in
+  let w = C.Sha256_core.workload ~seed d ~cycles:(blocks * C.Sha256_core.period) in
+  run_workload sim w ~cycles:(blocks * C.Sha256_core.period) (fun _ ->
+      if Bits.is_true (Simulator.peek sim done_id) then
+        results := Array.map (peek_int sim) digest_ids :: !results);
+  List.rev !results
+
+let test_sha name (c : C.Bench_circuit.t) seed () =
+  let digests = sha_digests c ~seed ~blocks:3 in
+  check int_t "three digests" 3 (List.length digests);
+  List.iteri
+    (fun blk digest ->
+      let expect =
+        if blk = 0 then C.Sha256_core.abc_digest
+        else C.Sha256_core.sw_compress (C.Sha256_core.block_words ~seed blk)
+      in
+      check bool_t
+        (Printf.sprintf "%s block %d digest" name blk)
+        true
+        (digest = expect))
+    digests
+
+(* --- ALU: every opcode against the Int64 reference --- *)
+
+let test_alu () =
+  let c = C.Alu64.circuit in
+  let d, sim = sim_of c in
+  let ids = List.map (fun n -> Design.find_signal d n) in
+  let[@warning "-8"] [ clk; a; b; op; valid ] =
+    ids [ "clk"; "a"; "b"; "op"; "valid" ]
+  in
+  let out_result = Design.find_signal d "out_result" in
+  let rng = Rng.create 0xA1L in
+  let all_ops =
+    [
+      C.Alu64.Add; Sub; And_; Or_; Xor_; Nor; Shl_; Shr; Sar; Slt; Sltu;
+      Mul_; Pass_a; Neg_a; Min; Rot;
+    ]
+  in
+  List.iter
+    (fun opv ->
+      for _ = 1 to 40 do
+        let av = Rng.next rng and bv = Rng.next rng in
+        Simulator.set_input sim a (Bits.make 64 av);
+        Simulator.set_input sim b (Bits.make 64 bv);
+        Simulator.set_input sim op (Bits.of_int 4 (C.Alu64.op_code opv));
+        Simulator.set_input sim valid (Bits.one 1);
+        Simulator.set_input sim clk (Bits.one 1);
+        Simulator.step sim;
+        Simulator.set_input sim clk (Bits.zero 1);
+        Simulator.step sim;
+        let got = Bits.to_int64 (Simulator.peek sim out_result) in
+        let expect = C.Alu64.reference opv av bv in
+        if got <> expect then
+          Alcotest.failf "alu op %d: a=%Lx b=%Lx got %Lx expect %Lx"
+            (C.Alu64.op_code opv) av bv got expect
+      done)
+    all_ops
+
+(* --- FPU: exact against the mirrored reference; IEEE-exact spot cases --- *)
+
+let fpu_drive sim d (av, bv, opv) =
+  let f n = Design.find_signal d n in
+  Simulator.set_input sim (f "in_valid") (Bits.one 1);
+  Simulator.set_input sim (f "op") (Bits.of_int 1 opv);
+  Simulator.set_input sim (f "a") (Bits.make 32 (Int64.of_int av));
+  Simulator.set_input sim (f "b") (Bits.make 32 (Int64.of_int bv));
+  Simulator.set_input sim (f "clk") (Bits.one 1);
+  Simulator.step sim;
+  Simulator.set_input sim (f "clk") (Bits.zero 1);
+  Simulator.step sim
+
+let test_fpu_random () =
+  let c = C.Fpu32.circuit in
+  let d, sim = sim_of c in
+  let out_result = Design.find_signal d "out_result" in
+  let rng = Rng.create 0xF9L in
+  let pending = Queue.create () in
+  let checked = ref 0 in
+  for _ = 1 to 2000 do
+    let av = Int64.to_int (Int64.logand (Rng.next rng) 0xFFFFFFFFL) in
+    let bv = Int64.to_int (Int64.logand (Rng.next rng) 0xFFFFFFFFL) in
+    let opv = Rng.int rng 2 in
+    fpu_drive sim d (av, bv, opv);
+    Queue.push (av, bv, opv) pending;
+    if Queue.length pending > 1 then begin
+      let av, bv, opv = Queue.pop pending in
+      let expect =
+        if opv = 0 then C.Fpu32.ref_add av bv else C.Fpu32.ref_mul av bv
+      in
+      incr checked;
+      let got = peek_int sim out_result in
+      if got <> expect then
+        Alcotest.failf "fpu op=%d a=%08x b=%08x got %08x expect %08x" opv av
+          bv got expect
+    end
+  done;
+  check bool_t "checked many" true (!checked > 1900)
+
+let float_bits f = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF
+
+let test_fpu_exact_cases () =
+  (* cases with exact IEEE results (no rounding): reference must agree with
+     the host float arithmetic *)
+  let cases =
+    [
+      (1.0, 2.0, 0, 3.0);
+      (1.5, 2.5, 0, 4.0);
+      (0.0, 3.25, 0, 3.25);
+      (5.0, 0.0, 0, 5.0);
+      (-1.0, 1.0, 0, 0.0);
+      (2.0, 3.0, 1, 6.0);
+      (1.5, 2.0, 1, 3.0);
+      (0.0, 7.5, 1, 0.0);
+      (-2.0, 4.0, 1, -8.0);
+      (0.5, 0.5, 1, 0.25);
+    ]
+  in
+  List.iter
+    (fun (a, b, op, expect) ->
+      let got =
+        if op = 0 then C.Fpu32.ref_add (float_bits a) (float_bits b)
+        else C.Fpu32.ref_mul (float_bits a) (float_bits b)
+      in
+      check int_t
+        (Printf.sprintf "%g op%d %g" a op b)
+        (float_bits expect) got)
+    cases
+
+(* --- processors: lockstep against the golden ISA machine --- *)
+
+let lockstep_vs_machine (c : C.Bench_circuit.t) program ~cycles ~per_retire ()
+    =
+  let d, sim = sim_of c in
+  let m = C.Cpu_isa.machine_create program ~dmem_size:64 in
+  let regfile = mem_id d "regfile" and dmem = mem_id d "dmem" in
+  let retired_out = Design.find_signal d "retired_out" in
+  let w = c.workload d ~cycles in
+  let last = ref (-1) in
+  run_workload sim w ~cycles (fun cyc ->
+      if per_retire then begin
+        (* advance the machine to the hardware's retire count; compare
+           architectural state only on retire transitions, when no store is
+           in flight between pipeline stages *)
+        let hw_retired = peek_int sim retired_out in
+        while
+          m.C.Cpu_isa.retired < hw_retired && not m.C.Cpu_isa.halted
+        do
+          C.Cpu_isa.machine_step m
+        done;
+        if m.C.Cpu_isa.retired = hw_retired && hw_retired <> !last then begin
+          last := hw_retired;
+          for r = 1 to 15 do
+            let hw = peek_mem_int sim regfile r in
+            if hw <> m.C.Cpu_isa.regs.(r) then
+              Alcotest.failf "%s cycle %d: x%d = %x, machine has %x"
+                c.C.Bench_circuit.name cyc r hw m.C.Cpu_isa.regs.(r)
+          done;
+          for a = 0 to 63 do
+            let hw = peek_mem_int sim dmem a in
+            if hw <> m.C.Cpu_isa.dmem.(a) then
+              Alcotest.failf "%s cycle %d: dmem[%d] = %x, machine has %x"
+                c.C.Bench_circuit.name cyc a hw m.C.Cpu_isa.dmem.(a)
+          done
+        end
+      end);
+  (sim, d, m)
+
+let test_sodor () =
+  let sim, d, _ =
+    lockstep_vs_machine C.Sodor.circuit C.Cpu_isa.fib_program ~cycles:400
+      ~per_retire:true ()
+  in
+  let dmem = mem_id d "dmem" in
+  Array.iteri
+    (fun i v -> check int_t (Printf.sprintf "fib[%d]" i) v (peek_mem_int sim dmem i))
+    C.Cpu_isa.fib_expected
+
+let test_riscv_mini () =
+  let sim, d, _ =
+    lockstep_vs_machine C.Riscv_mini.circuit C.Cpu_isa.gcd_program
+      ~cycles:2000 ~per_retire:true ()
+  in
+  (* gcd(270+k, 192) results *)
+  let dmem = mem_id d "dmem" in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  for k = 0 to 5 do
+    check int_t
+      (Printf.sprintf "gcd slot %d" k)
+      (gcd (270 + k) 192)
+      (peek_mem_int sim dmem (16 + k))
+  done
+
+let test_picorv32 () =
+  ignore
+    (lockstep_vs_machine C.Picorv32.circuit C.Cpu_isa.xorshift_full
+       ~cycles:1500 ~per_retire:true ())
+
+let test_mips () =
+  let sim, d, _ =
+    lockstep_vs_machine C.Mips_cpu.circuit C.Cpu_isa.sort_program
+      ~cycles:2500 ~per_retire:false ()
+  in
+  let dmem = mem_id d "dmem" in
+  Array.iteri
+    (fun i v ->
+      check int_t (Printf.sprintf "sorted[%d]" i) v (peek_mem_int sim dmem i))
+    C.Cpu_isa.sort_expected
+
+(* MIPS register state is also checked in lockstep at retire boundaries,
+   ignoring data memory (stores commit one stage before retirement). *)
+let test_mips_lockstep_regs () =
+  let c = C.Mips_cpu.circuit in
+  let d, sim = sim_of c in
+  let m = C.Cpu_isa.machine_create C.Cpu_isa.sort_program ~dmem_size:64 in
+  let regfile = mem_id d "regfile" in
+  let retired_out = Design.find_signal d "retired_out" in
+  let w = c.workload d ~cycles:800 in
+  run_workload sim w ~cycles:800 (fun cyc ->
+      let hw_retired = peek_int sim retired_out in
+      while m.C.Cpu_isa.retired < hw_retired && not m.C.Cpu_isa.halted do
+        C.Cpu_isa.machine_step m
+      done;
+      if m.C.Cpu_isa.retired = hw_retired then
+        for r = 1 to 15 do
+          let hw = peek_mem_int sim regfile r in
+          if hw <> m.C.Cpu_isa.regs.(r) then
+            Alcotest.failf "mips cycle %d: x%d = %x, machine has %x" cyc r hw
+              m.C.Cpu_isa.regs.(r)
+        done)
+
+(* --- convolution: exact mirror of the line-buffer datapath --- *)
+
+let test_conv () =
+  let c = C.Conv_acc.circuit in
+  let d, sim = sim_of c in
+  let sw = C.Conv_acc.sw_create () in
+  let out_valid = Design.find_signal d "out_valid" in
+  let conv_out = Design.find_signal d "conv_out" in
+  let checksum_out = Design.find_signal d "checksum_out" in
+  let w = c.workload d ~cycles:600 in
+  let px_valid = Design.find_signal d "px_valid" in
+  let px_in = Design.find_signal d "px_in" in
+  run_workload sim { w with drive = w.drive } ~cycles:600 (fun cyc ->
+      (* mirror the same stimulus *)
+      let drv = w.Workload.drive cyc in
+      let v = Bits.is_true (List.assoc px_valid drv) in
+      let px = Int64.to_int (Bits.to_int64 (List.assoc px_in drv)) in
+      C.Conv_acc.sw_step sw ~px_valid:v ~px;
+      check bool_t
+        (Printf.sprintf "valid @%d" cyc)
+        sw.C.Conv_acc.out_valid
+        (Bits.is_true (Simulator.peek sim out_valid));
+      if sw.C.Conv_acc.out_valid then
+        check int_t
+          (Printf.sprintf "conv @%d" cyc)
+          sw.C.Conv_acc.out (peek_int sim conv_out);
+      check int_t
+        (Printf.sprintf "checksum @%d" cyc)
+        sw.C.Conv_acc.checksum
+        (peek_int sim checksum_out))
+
+(* --- APB: directed write/read-back and error responses --- *)
+
+let test_apb () =
+  let c = C.Apb.circuit in
+  let d, sim = sim_of c in
+  let f n = Design.find_signal d n in
+  let clk = f "clk" in
+  let cycle inputs =
+    List.iter (fun (id, v) -> Simulator.set_input sim id v) inputs;
+    Simulator.set_input sim clk (Bits.one 1);
+    Simulator.step sim;
+    Simulator.set_input sim clk (Bits.zero 1);
+    Simulator.step sim
+  in
+  let idle = [ (f "cmd_valid", Bits.zero 1) ] in
+  let issue ~write ~addr ~data =
+    cycle
+      [
+        (f "cmd_valid", Bits.one 1);
+        (f "cmd_write", Bits.of_bool write);
+        (f "cmd_addr", Bits.of_int 5 addr);
+        (f "cmd_wdata", Bits.make 32 (Int64.of_int data));
+      ];
+    (* wait for the response *)
+    let rec wait n =
+      if n > 8 then Alcotest.fail "no APB response"
+      else if Bits.is_true (Simulator.peek sim (f "rsp_valid")) then ()
+      else begin
+        cycle idle;
+        wait (n + 1)
+      end
+    in
+    wait 0;
+    ( peek_int sim (f "rsp_rdata"),
+      Bits.is_true (Simulator.peek sim (f "rsp_err")) )
+  in
+  (* write all registers, read them back (odd addresses add a wait state) *)
+  for a = 0 to 15 do
+    let _, err = issue ~write:true ~addr:a ~data:(0xC0DE0 + a) in
+    check bool_t "write ok" false err
+  done;
+  for a = 0 to 15 do
+    let rdata, err = issue ~write:false ~addr:a ~data:0 in
+    check bool_t "read ok" false err;
+    check int_t (Printf.sprintf "readback[%d]" a) (0xC0DE0 + a) rdata
+  done;
+  (* out-of-range: error response, no data corruption *)
+  let _, err = issue ~write:true ~addr:20 ~data:0xDEAD in
+  check bool_t "error response" true err;
+  let rdata, _ = issue ~write:false ~addr:4 ~data:0 in
+  check int_t "reg 4 intact" (0xC0DE0 + 4) rdata
+
+let suite =
+  [
+    Alcotest.test_case "sha256_hv digests" `Quick
+      (test_sha "hv" C.Sha256_hv.circuit 0x5AAL);
+    Alcotest.test_case "sha256_c2v digests" `Quick
+      (test_sha "c2v" C.Sha256_c2v.circuit 0xC2FL);
+    Alcotest.test_case "alu vs reference" `Quick test_alu;
+    Alcotest.test_case "fpu vs mirrored reference" `Quick test_fpu_random;
+    Alcotest.test_case "fpu IEEE-exact cases" `Quick test_fpu_exact_cases;
+    Alcotest.test_case "sodor lockstep + fib" `Quick test_sodor;
+    Alcotest.test_case "riscv_mini lockstep + gcd" `Quick test_riscv_mini;
+    Alcotest.test_case "picorv32 lockstep" `Quick test_picorv32;
+    Alcotest.test_case "mips sorts" `Quick test_mips;
+    Alcotest.test_case "mips lockstep regs" `Quick test_mips_lockstep_regs;
+    Alcotest.test_case "conv_acc mirror" `Quick test_conv;
+    Alcotest.test_case "apb readback" `Quick test_apb;
+  ]

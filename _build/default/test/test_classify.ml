@@ -1,0 +1,140 @@
+(* Static fault classification: unit checks for the constant propagation and
+   observability analyses, plus the soundness property against simulation —
+   a fault proven untestable is never detected by any engine. *)
+open Rtlir
+open Faultsim
+module B = Builder
+open B.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let test_constant_propagation () =
+  let ctx = B.create "constprop" in
+  let clk = B.input ctx "clk" 1 in
+  let a = B.input ctx "a" 8 in
+  (* a chain of constant logic *)
+  let k1 = B.wire ctx "k1" 8 in
+  B.assign ctx k1 (B.const 8 0xF0);
+  let k2 = B.wire ctx "k2" 8 in
+  B.assign ctx k2 (k1 |: B.const 8 0x0C);
+  (* an unwritten register is constant zero; logic over it folds *)
+  let dead = B.reg ctx "dead" 4 in
+  let k3 = B.wire ctx "k3" 4 in
+  B.assign ctx k3 (dead +: B.const 4 3);
+  (* live logic does not fold *)
+  let live = B.wire ctx "live" 8 in
+  B.assign ctx live (a ^: k2);
+  let q = B.reg ctx "q" 8 in
+  B.always_ff ctx ~clock:clk [ q <-- live ];
+  let o = B.output ctx "o" 8 in
+  B.assign ctx o q;
+  let d = B.finalize ctx in
+  let g = Elaborate.build d in
+  let consts = Classify.constants g in
+  let cv name = consts.(Design.find_signal d name) in
+  check bool_t "k1 folded" true (cv "k1" = Some (Bits.of_int 8 0xF0));
+  check bool_t "k2 folded" true (cv "k2" = Some (Bits.of_int 8 0xFC));
+  check bool_t "dead reg constant" true (cv "dead" = Some (Bits.zero 4));
+  check bool_t "k3 folded over dead reg" true (cv "k3" = Some (Bits.of_int 4 3));
+  check bool_t "live not folded" true (cv "live" = None);
+  check bool_t "input not folded" true (cv "a" = None);
+  (* classification: k2 bit 7 is 1, so stuck-at-1 there is untestable *)
+  let f bit stuck =
+    { Fault.fid = 0; signal = Design.find_signal d "k2"; bit; stuck }
+  in
+  let v = Classify.classify g [| f 7 Fault.Stuck_at_1 |] in
+  check bool_t "sa1 on constant 1" true (v.(0) = Classify.Untestable_constant);
+  let v = Classify.classify g [| f 7 Fault.Stuck_at_0 |] in
+  (* k2 feeds live -> q -> o, and stuck-at-0 differs from the constant 1 *)
+  check bool_t "sa0 on constant-1 bit is testable" true
+    (v.(0) = Classify.Testable);
+  (* k3 feeds nothing: unobservable even where the stuck value differs *)
+  let fk3 =
+    { Fault.fid = 0; signal = Design.find_signal d "k3"; bit = 0;
+      stuck = Fault.Stuck_at_0 }
+  in
+  let v = Classify.classify g [| fk3 |] in
+  check bool_t "k3 unobservable" true
+    (v.(0) = Classify.Untestable_unobservable)
+
+let test_observability () =
+  let ctx = B.create "obs" in
+  let clk = B.input ctx "clk" 1 in
+  let a = B.input ctx "a" 4 in
+  (* a register that feeds only another dead register *)
+  let dead1 = B.reg ctx "dead1" 4 in
+  let dead2 = B.reg ctx "dead2" 4 in
+  B.always_ff ctx ~name:"deadchain" ~clock:clk
+    [ dead1 <-- a; dead2 <-- dead1 ];
+  let q = B.reg ctx "q" 4 in
+  B.always_ff ctx ~name:"livechain" ~clock:clk [ q <-- a ];
+  let o = B.output ctx "o" 4 in
+  B.assign ctx o q;
+  let d = B.finalize ctx in
+  let g = Elaborate.build d in
+  let fault name =
+    { Fault.fid = 0; signal = Design.find_signal d name; bit = 0;
+      stuck = Fault.Stuck_at_1 }
+  in
+  let v = Classify.classify g [| fault "dead2"; fault "q"; fault "a" |] in
+  check bool_t "dead2 unobservable" true
+    (v.(0) = Classify.Untestable_unobservable);
+  check bool_t "q observable" true (v.(1) = Classify.Testable);
+  check bool_t "a observable" true (v.(2) = Classify.Testable)
+
+(* soundness against simulation, on every circuit and on random designs *)
+let untestable_never_detected name g w faults =
+  let verdicts = Classify.classify g faults in
+  let r = Engine.Concurrent.run g w faults in
+  Array.iteri
+    (fun i v ->
+      if v <> Classify.Testable && r.Fault.detected.(i) then
+        Alcotest.failf "%s: fault %d classified %s but detected" name i
+          (Classify.verdict_name v))
+    verdicts;
+  let adj = Classify.adjusted_coverage verdicts r in
+  if adj +. 1e-9 < r.Fault.coverage_pct then
+    Alcotest.failf "%s: adjusted coverage below raw coverage" name
+
+let soundness_case (c : Circuits.Bench_circuit.t) =
+  Alcotest.test_case (c.name ^ " classification sound") `Quick (fun () ->
+      let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale:0.08 in
+      untestable_never_detected c.name g w faults)
+
+let test_soundness_random () =
+  for seed = 1 to 25 do
+    let s =
+      Harness.Rand_design.generate ~seed:(Int64.of_int (90_000 + seed)) ()
+    in
+    untestable_never_detected
+      (Printf.sprintf "rand%d" seed)
+      s.Harness.Rand_design.graph s.Harness.Rand_design.workload
+      s.Harness.Rand_design.faults
+  done
+
+let test_adjusted_coverage () =
+  let verdicts =
+    [| Classify.Testable; Classify.Untestable_constant; Classify.Testable |]
+  in
+  let r =
+    Fault.make_result
+      ~detected:[| true; false; false |]
+      ~stats:(Stats.create ()) ~wall_time:0.0 ()
+  in
+  check (Alcotest.float 0.01) "adjusted" 50.0
+    (Classify.adjusted_coverage verdicts r);
+  check int_t "raw detected" 1 (Fault.count_detected r)
+
+let suite =
+  [
+    Alcotest.test_case "constant propagation" `Quick test_constant_propagation;
+    Alcotest.test_case "observability" `Quick test_observability;
+  ]
+  @ List.map soundness_case Circuits.all
+  @ [
+      Alcotest.test_case "soundness on random designs" `Quick
+        test_soundness_random;
+      Alcotest.test_case "adjusted coverage" `Quick test_adjusted_coverage;
+    ]

@@ -1,0 +1,214 @@
+(* IR-level tests: expression evaluation/compilation/bytecode agreement,
+   statement analyses, design validation, elaboration. *)
+open Rtlir
+open Sim
+module B = Builder
+open B.Ops
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let values = [| 0x1234L; 0xFFFFL; 0x7FL; 0x8000000000000000L |]
+let widths_tbl = [| 16; 16; 8; 64 |]
+
+let reader =
+  {
+    Access.get = (fun i -> Bits.make widths_tbl.(i) values.(i));
+    get_mem = (fun m a -> Bits.make 8 (Int64.of_int ((m * 100) + a)));
+  }
+
+let mem_size _ = 16
+
+(* The three evaluators must agree on any expression. *)
+let eval_all e =
+  let a = Eval.eval ~mem_size reader e in
+  let b = Compile.expr ~mem_size e reader in
+  let c = Bytecode.eval (Bytecode.compile ~mem_size e) reader in
+  check bool_t "ast=closure" true (Bits.equal a b);
+  check bool_t "ast=bytecode" true (Bits.equal a c);
+  a
+
+let test_eval_basics () =
+  let s i = Expr.Sig i in
+  check Alcotest.int64 "add" 0x2468L
+    (Bits.to_int64 (eval_all (Expr.Binop (Expr.Add, s 0, s 0))));
+  check Alcotest.int64 "xor" 0xEDCBL
+    (Bits.to_int64 (eval_all (Expr.Binop (Expr.Xor, s 0, s 1))));
+  check Alcotest.int64 "mux taken" 0x1234L
+    (Bits.to_int64
+       (eval_all (Expr.Mux (Expr.Sig 2, s 0, Expr.Const (Bits.make 16 9L)))));
+  check Alcotest.int64 "mem read wraps" 101L
+    (Bits.to_int64
+       (eval_all (Expr.Mem_read (1, Expr.Const (Bits.make 8 (Int64.of_int 33))))));
+  check Alcotest.int64 "slice" 0x23L
+    (Bits.to_int64 (eval_all (Expr.Slice (s 0, 11, 4))));
+  check Alcotest.int64 "sext" 0x007FL
+    (Bits.to_int64 (eval_all (Expr.Sext (Expr.Sig 2, 16))))
+
+(* Differential: random expressions from the generator used by the fuzz
+   harness, all three evaluators agree. *)
+let test_eval_differential () =
+  for seed = 1 to 60 do
+    let s = Harness.Rand_design.generate ~seed:(Int64.of_int (7000 + seed)) () in
+    let d = s.Harness.Rand_design.design in
+    let vals =
+      Array.init (Design.num_signals d) (fun i ->
+          Bits.make (Design.signal_width d i) (Int64.of_int (i * 0x9E3779B9)))
+    in
+    let mems =
+      Array.map
+        (fun (m : Design.mem) ->
+          Array.init m.size (fun a -> Bits.make m.data_width (Int64.of_int (a * 37))))
+        d.mems
+    in
+    let r =
+      {
+        Access.get = (fun i -> vals.(i));
+        get_mem = (fun m a -> mems.(m).(a));
+      }
+    in
+    let msz m = d.mems.(m).Design.size in
+    Array.iter
+      (fun (a : Design.assign) ->
+        let x = Eval.eval ~mem_size:msz r a.expr in
+        let y = Compile.expr ~mem_size:msz a.expr r in
+        let z = Bytecode.eval (Bytecode.compile ~mem_size:msz a.expr) r in
+        if not (Bits.equal x y && Bits.equal x z) then
+          Alcotest.failf "seed %d: evaluators disagree on %s" seed
+            (Format.asprintf "%a" (Expr.pp ~names:(Design.signal_name d)) a.expr))
+      d.assigns
+  done
+
+let test_stmt_analyses () =
+  let body =
+    Stmt.Block
+      [
+        Stmt.Assign (0, Expr.Binop (Expr.Add, Expr.Sig 1, Expr.Sig 2));
+        Stmt.If
+          ( Expr.Sig 3,
+            Stmt.Nonblock (4, Expr.Sig 0),
+            Stmt.Block
+              [
+                Stmt.Nonblock (4, Expr.Sig 5);
+                Stmt.Mem_write (0, Expr.Sig 6, Expr.Sig 7);
+              ] );
+      ]
+  in
+  check (Alcotest.list int_t) "reads" [ 0; 1; 2; 3; 5; 6; 7 ]
+    (Stmt.read_signals body);
+  check (Alcotest.list int_t) "writes" [ 0; 4 ] (Stmt.write_signals body);
+  check (Alcotest.list int_t) "blocking" [ 0 ] (Stmt.blocking_writes body);
+  check (Alcotest.list int_t) "nonblocking" [ 4 ]
+    (Stmt.nonblocking_writes body);
+  check (Alcotest.list int_t) "write mems" [ 0 ] (Stmt.write_mems body);
+  (* 0 assigned always; 4 on both paths; mem write is not a signal *)
+  check (Alcotest.list int_t) "always assigned" [ 0; 4 ]
+    (Stmt.always_assigned body)
+
+let expect_invalid name build =
+  Alcotest.test_case name `Quick (fun () ->
+      match build () with
+      | exception Design.Invalid _ -> ()
+      | _ -> Alcotest.failf "%s: expected Design.Invalid" name)
+
+let validation_cases =
+  [
+    expect_invalid "two drivers" (fun () ->
+        let ctx = B.create "bad" in
+        let a = B.input ctx "a" 4 in
+        let w = B.wire ctx "w" 4 in
+        B.assign ctx w a;
+        B.assign ctx w a;
+        B.finalize ctx);
+    expect_invalid "no driver" (fun () ->
+        let ctx = B.create "bad" in
+        let _ = B.wire ctx "w" 4 in
+        B.finalize ctx);
+    expect_invalid "width mismatch" (fun () ->
+        let ctx = B.create "bad" in
+        let a = B.input ctx "a" 4 in
+        let w = B.wire ctx "w" 8 in
+        B.assign ctx w a;
+        B.finalize ctx);
+    expect_invalid "latch in comb" (fun () ->
+        let ctx = B.create "bad" in
+        let a = B.input ctx "a" 1 in
+        let w = B.wire ctx "w" 1 in
+        B.always_comb ctx [ B.when_ a [ B.Ops.( =: ) w a ] ];
+        B.finalize ctx);
+    expect_invalid "blocking write in ff" (fun () ->
+        let ctx = B.create "bad" in
+        let clk = B.input ctx "clk" 1 in
+        let q = B.reg ctx "q" 1 in
+        B.always_ff ctx ~clock:clk [ B.Ops.( =: ) q (B.Ops.( ~: ) q) ];
+        B.finalize ctx);
+    expect_invalid "nonblocking write to wire" (fun () ->
+        let ctx = B.create "bad" in
+        let clk = B.input ctx "clk" 1 in
+        let a = B.input ctx "a" 1 in
+        let w = B.wire ctx "w" 1 in
+        B.assign ctx w a;
+        B.always_ff ctx ~clock:clk [ w <-- a ];
+        B.finalize ctx);
+    expect_invalid "write to ROM" (fun () ->
+        let ctx = B.create "bad" in
+        let clk = B.input ctx "clk" 1 in
+        let rom = B.rom ctx "r" [| Bits.make 8 1L |] in
+        B.always_ff ctx ~clock:clk
+          [ B.write_mem rom (B.const 1 0) (B.const 8 0) ];
+        B.finalize ctx);
+    expect_invalid "case label width" (fun () ->
+        let ctx = B.create "bad" in
+        let clk = B.input ctx "clk" 1 in
+        let a = B.input ctx "a" 2 in
+        let q = B.reg ctx "q" 1 in
+        B.always_ff ctx ~clock:clk
+          [ B.switch a [ (Bits.make 3 0L, [ q <-- B.vdd ]) ] ~default:[] ];
+        B.finalize ctx);
+  ]
+
+let test_comb_cycle () =
+  let ctx = B.create "cyc" in
+  let a = B.input ctx "a" 1 in
+  let w1 = B.wire ctx "w1" 1 in
+  let w2 = B.wire ctx "w2" 1 in
+  B.assign ctx w1 (w2 ^: a);
+  B.assign ctx w2 (w1 ^: a);
+  let d = B.finalize ctx in
+  match Elaborate.build d with
+  | exception Elaborate.Comb_cycle _ -> ()
+  | _ -> Alcotest.fail "expected Comb_cycle"
+
+let test_topo_order () =
+  let d = Circuits.Sha256_c2v.circuit.Circuits.Bench_circuit.build () in
+  let g = Elaborate.build d in
+  (* every comb node's signal reads are produced at earlier positions *)
+  let producer = Array.make (Design.num_signals d) (-1) in
+  Array.iteri
+    (fun pos writes -> Array.iter (fun s -> producer.(s) <- pos) writes)
+    g.Elaborate.comb_writes;
+  Array.iteri
+    (fun pos reads ->
+      Array.iter
+        (fun s ->
+          if producer.(s) >= 0 && producer.(s) > pos then
+            Alcotest.failf "position %d reads %s produced later" pos
+              (Design.signal_name d s))
+        reads)
+    g.Elaborate.comb_reads
+
+let test_cell_count () =
+  let d = Circuits.Alu64.circuit.Circuits.Bench_circuit.build () in
+  check bool_t "cell count positive" true (Design.cell_count d > 50)
+
+let suite =
+  [
+    Alcotest.test_case "eval basics (3 evaluators)" `Quick test_eval_basics;
+    Alcotest.test_case "evaluator differential" `Quick test_eval_differential;
+    Alcotest.test_case "stmt analyses" `Quick test_stmt_analyses;
+    Alcotest.test_case "comb cycle rejected" `Quick test_comb_cycle;
+    Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "cell count" `Quick test_cell_count;
+  ]
+  @ validation_cases

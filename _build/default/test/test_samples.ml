@@ -1,0 +1,78 @@
+(* The shipped sample Verilog designs: parse from source, verify against the
+   serial oracle, and exercise the JSON report writer. *)
+open Rtlir
+open Faultsim
+module H = Harness
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* dune runtest runs in the test directory, dune exec in the project root:
+   try both spellings *)
+let candidates name =
+  [
+    Filename.concat "../examples/sample_designs" name;
+    Filename.concat "examples/sample_designs" name;
+  ]
+
+let load name =
+  let path =
+    match List.find_opt Sys.file_exists (candidates name) with
+    | Some p -> p
+    | None -> Alcotest.failf "sample %s not found" name
+  in
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Verilog_parser.parse src
+
+let campaign_case file =
+  Alcotest.test_case (file ^ " campaign") `Quick (fun () ->
+      let design = load file in
+      let g = Elaborate.build design in
+      let w =
+        Circuits.Bench_circuit.random_workload ~seed:9L design ~cycles:400
+      in
+      let faults = Fault.generate ~max_faults:80 ~seed:2L design in
+      let oracle = Baselines.Serial.ifsim g w faults in
+      let r = Engine.Concurrent.run g w faults in
+      check bool_t "matches oracle" true (Fault.same_verdict oracle r);
+      check bool_t "detects something" true (Fault.count_detected r > 0))
+
+let test_json () =
+  let design = load "gray_counter.v" in
+  let g = Elaborate.build design in
+  let w = Circuits.Bench_circuit.random_workload ~seed:9L design ~cycles:200 in
+  let faults = Fault.generate ~max_faults:30 ~seed:2L design in
+  let verdicts = Classify.classify g faults in
+  let r = Engine.Concurrent.run g w faults in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.campaign ppf ~design ~engine:"Eraser" ~faults ~verdicts r;
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents buf in
+  (* structural sanity: balanced braces/brackets, expected keys, one record
+     per fault *)
+  let count c = String.fold_left (fun n x -> if x = c then n + 1 else n) 0 text in
+  check Alcotest.int "balanced braces" (count '{') (count '}');
+  check Alcotest.int "balanced brackets" (count '[') (count ']');
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec scan i =
+      i + nl <= hl && (String.sub text i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun k -> check bool_t k true (contains k))
+    [
+      "\"design\": \"gray_counter\""; "\"coverage_pct\""; "\"fault_list\"";
+      "\"stuck-at-"; "\"class\"";
+    ];
+  check Alcotest.int "one record per fault" (Array.length faults)
+    (count '\n' - 13)
+
+let suite =
+  List.map campaign_case
+    [ "gray_counter.v"; "traffic_fsm.v"; "lfsr_checksum.v" ]
+  @ [ Alcotest.test_case "json report" `Quick test_json ]

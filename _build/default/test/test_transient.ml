@@ -1,0 +1,112 @@
+(* Transient (SEU) fault extension: engine agreement and basic semantics. *)
+open Rtlir
+open Faultsim
+module H = Harness
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* a 1-bit flip in an isolated counter is detected exactly once and the
+   corrupted count persists *)
+let test_seu_semantics () =
+  let module B = Builder in
+  let open B.Ops in
+  let ctx = B.create "seu_counter" in
+  let clk = B.input ctx "clk" 1 in
+  let q = B.reg ctx "q" 8 in
+  B.always_ff ctx ~clock:clk [ q <-- (q +: B.const 8 1) ];
+  let o = B.output ctx "o" 8 in
+  B.assign ctx o q;
+  let d = B.finalize ctx in
+  let g = Elaborate.build d in
+  let w =
+    {
+      Workload.cycles = 30;
+      clock = Design.find_signal d "clk";
+      drive = (fun _ -> []);
+    }
+  in
+  let faults =
+    [|
+      { Fault.fid = 0; signal = Design.find_signal d "q"; bit = 7;
+        stuck = Fault.Flip_at 10 };
+      (* a flip on a bit that the counter rewrites next cycle in the same
+         way: bit 0 flips, then increments diverge *)
+      { Fault.fid = 1; signal = Design.find_signal d "q"; bit = 0;
+        stuck = Fault.Flip_at 5 };
+    |]
+  in
+  let oracle = Baselines.Serial.ifsim g w faults in
+  check bool_t "flip detected" true oracle.Fault.detected.(0);
+  check bool_t "flip 2 detected" true oracle.Fault.detected.(1);
+  check bool_t "detected at its cycle" true
+    (oracle.Fault.detection_cycle.(0) = 10);
+  let r = Engine.Concurrent.run g w faults in
+  check bool_t "concurrent agrees" true (Fault.same_verdict oracle r);
+  check bool_t "same detection cycles" true
+    (oracle.Fault.detection_cycle = r.Fault.detection_cycle)
+
+let seu_circuit_case name =
+  Alcotest.test_case (name ^ " seu engines agree") `Quick (fun () ->
+      let c = Circuits.find name in
+      let d, g, w, _ = Circuits.Bench_circuit.instantiate c ~scale:0.06 in
+      let faults =
+        Fault.generate_transients ~seed:11L ~count:40
+          ~max_cycle:(w.Workload.cycles / 2)
+          d
+      in
+      let oracle = Baselines.Serial.ifsim g w faults in
+      List.iter
+        (fun e ->
+          let r = H.Campaign.run e g w faults in
+          if not (Fault.same_verdict oracle r) then
+            Alcotest.failf "%s: %s disagrees on transients" name
+              (H.Campaign.engine_name e))
+        [ H.Campaign.Vfsim; H.Campaign.Eraser_m; H.Campaign.Eraser ])
+
+let test_seu_random_designs () =
+  for seed = 1 to 25 do
+    let s =
+      H.Rand_design.generate ~cycles:80 ~seed:(Int64.of_int (50_000 + seed)) ()
+    in
+    let d = s.H.Rand_design.design in
+    let g = s.H.Rand_design.graph in
+    let w = s.H.Rand_design.workload in
+    let faults =
+      Fault.generate_transients ~seed:(Int64.of_int seed) ~count:25
+        ~max_cycle:60 d
+    in
+    if Array.length faults > 0 then begin
+      let oracle = Baselines.Serial.ifsim g w faults in
+      let r = Engine.Concurrent.run g w faults in
+      if not (Fault.same_verdict oracle r) then
+        Alcotest.failf "seed %d: transient verdicts differ" seed
+    end
+  done
+
+(* mixed campaigns: stuck-at and transient faults in one fault list *)
+let test_mixed_campaign () =
+  let c = Circuits.find "alu" in
+  let d, g, w, stuck = Circuits.Bench_circuit.instantiate c ~scale:0.06 in
+  let transients =
+    Fault.generate_transients ~seed:3L ~count:30 ~max_cycle:50 d
+  in
+  let faults =
+    Array.mapi
+      (fun i f -> { f with Fault.fid = i })
+      (Array.append stuck transients)
+  in
+  let oracle = Baselines.Serial.ifsim g w faults in
+  let r = Engine.Concurrent.run g w faults in
+  check bool_t "mixed campaign agrees" true (Fault.same_verdict oracle r)
+
+let suite =
+  [ Alcotest.test_case "seu semantics" `Quick test_seu_semantics ]
+  @ List.map seu_circuit_case [ "apb"; "sodor"; "sha256_hv"; "conv_acc";
+                                "riscv_mini"; "picorv32"; "mips"; "fpu" ]
+  @ [
+      Alcotest.test_case "seu on random designs" `Quick
+        test_seu_random_designs;
+      Alcotest.test_case "mixed stuck+transient campaign" `Quick
+        test_mixed_campaign;
+    ]
