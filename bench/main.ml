@@ -51,6 +51,10 @@ let ablation ~scale =
   Format.fprintf ppf "@.";
   H.Report.mem_ablation ppf (H.Experiments.mem_ablation ~scale)
 
+let resilience ~scale =
+  Format.fprintf ppf "@.";
+  H.Report.resilience ppf (H.Experiments.resilience ~scale)
+
 (* --- Bechamel micro-benchmarks --- *)
 
 let micro () =
@@ -187,6 +191,7 @@ let () =
       | "fig6" -> fig6 ~scale
       | "fig7" -> fig7 ~scale
       | "ablation" -> ablation ~scale
+      | "resilience" -> resilience ~scale
       | "micro" -> micro ()
       | "all" ->
           table1 ();
@@ -196,6 +201,7 @@ let () =
           fig7 ~scale;
           table3 ~scale;
           ablation ~scale;
+          resilience ~scale;
           micro ()
       | other -> Format.fprintf ppf "unknown experiment %S@." other)
     cmds

@@ -55,6 +55,18 @@ let circuit_arg =
     & opt (some circuit_conv) None
     & info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc:"Benchmark circuit name.")
 
+(* Map the structured campaign errors to one-line stderr messages and
+   distinct exit codes (divergence 3, timeout 4, corrupt journal 5, bad
+   workload 6); everything else keeps cmdliner's conventions. *)
+let guard f =
+  try f () with
+  | H.Resilient.Campaign_error e ->
+      Format.eprintf "eraser: %s@." (H.Resilient.error_message e);
+      H.Resilient.exit_code e
+  | Workload.Invalid_workload msg ->
+      Format.eprintf "eraser: bad workload: %s@." msg;
+      H.Resilient.exit_code (H.Resilient.Bad_workload msg)
+
 let scale_arg =
   Arg.(
     value & opt float 0.25
@@ -145,6 +157,7 @@ let run_cmd =
           ~doc:"Also write the full campaign result as JSON.")
   in
   let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json =
+   guard @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
     Format.printf "%s on %s: %d cycles, %d faults@."
       (H.Campaign.engine_name engine) c.name w.Workload.cycles
@@ -182,8 +195,24 @@ let run_cmd =
       if Fault.same_verdict oracle r then
         Format.printf "  verdict    identical to the serial oracle@."
       else begin
-        Format.printf "  verdict    MISMATCH against the serial oracle@.";
-        exit 1
+        let divergences = ref [] in
+        Array.iteri
+          (fun i (f : Fault.t) ->
+            if r.Fault.detected.(i) <> oracle.Fault.detected.(i) then
+              divergences :=
+                {
+                  H.Resilient.div_fault = f.fid;
+                  div_batch = 0;
+                  engine_detected = r.Fault.detected.(i);
+                  engine_cycle = r.Fault.detection_cycle.(i);
+                  oracle_detected = oracle.Fault.detected.(i);
+                  oracle_cycle = oracle.Fault.detection_cycle.(i);
+                }
+                :: !divergences)
+          faults;
+        raise
+          (H.Resilient.Campaign_error
+             (H.Resilient.Engine_divergence (List.rev !divergences)))
       end
     end;
     0
@@ -193,6 +222,171 @@ let run_cmd =
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
       $ verify_arg $ json_arg)
+
+(* --- campaign (resilient runner) --- *)
+
+let campaign_cmd =
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv H.Campaign.Eraser
+      & info [ "e"; "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Engine: ifsim, vfsim, z01x (explicit-only proxy), eraser--, \
+             eraser-, eraser.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Faults per batch.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed batch to this JSONL checkpoint file; an \
+             interrupted campaign resumes from it with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay completed batches from the journal instead of \
+             truncating it and starting over.")
+  in
+  let oracle_sample_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "oracle-sample" ] ~docv:"P"
+          ~doc:
+            "Probability (0..1) that a batch is re-checked online against \
+             the serial per-fault oracle; diverging faults are quarantined \
+             and re-simulated serially.")
+  in
+  let batch_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "batch-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-batch wall-clock watchdog; a tripped batch is split in \
+             half and retried with a fresh budget.")
+  in
+  let cycle_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cycle-budget" ] ~docv:"N"
+          ~doc:"Per-batch simulated-cycle watchdog.")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Batch-split generations allowed after a watchdog trip.")
+  in
+  let no_quarantine_arg =
+    Arg.(
+      value & flag
+      & info [ "no-quarantine" ]
+          ~doc:
+            "Abort the campaign on the first engine divergence instead of \
+             quarantining the fault.")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-divergence" ] ~docv:"FAULT"
+          ~doc:
+            "Debug: corrupt this fault's verdict inside the concurrent \
+             engine to exercise the quarantine path.")
+  in
+  let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
+      oracle_sample batch_timeout cycle_budget max_retries no_quarantine
+      inject json =
+   guard @@ fun () ->
+    let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+    let config =
+      {
+        H.Resilient.default_config with
+        H.Resilient.engine;
+        batch_size = batch;
+        journal;
+        resume;
+        oracle_sample;
+        max_batch_seconds = batch_timeout;
+        max_batch_cycles = cycle_budget;
+        max_retries;
+        quarantine = not no_quarantine;
+        inject_divergence = inject;
+      }
+    in
+    Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
+      (H.Campaign.engine_name engine)
+      c.name w.Workload.cycles (Array.length faults) batch;
+    let s = H.Resilient.run ~config g w faults in
+    let r = s.H.Resilient.result in
+    Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
+      (Fault.count_detected r) (Array.length faults);
+    Format.printf "  batches    %d total, %d resumed from the journal, %d \
+                   executed@."
+      s.H.Resilient.batches_total s.H.Resilient.batches_resumed
+      s.H.Resilient.batches_executed;
+    if s.H.Resilient.retries > 0 then
+      Format.printf "  watchdog   %d batch split(s)@." s.H.Resilient.retries;
+    if s.H.Resilient.oracle_checked > 0 then
+      Format.printf "  oracle     %d batch(es) re-checked, %d divergence(s)@."
+        s.H.Resilient.oracle_checked
+        (List.length s.H.Resilient.divergences);
+    List.iter
+      (fun (d : H.Resilient.divergence) ->
+        Format.printf
+          "  quarantine fault %d (%s): engine said %s, serial oracle says \
+           %s@."
+          d.H.Resilient.div_fault
+          (Fault.describe design faults.(d.H.Resilient.div_fault))
+          (if d.H.Resilient.engine_detected then "detected" else "live")
+          (if d.H.Resilient.oracle_detected then "detected" else "live"))
+      s.H.Resilient.divergences;
+    Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
+    (match json with
+    | Some path ->
+        let verdicts = Classify.classify g faults in
+        H.Resilient.write_atomic path (fun oc ->
+            let ppf = Format.formatter_of_out_channel oc in
+            H.Json_report.resilient ppf ~design
+              ~engine:(H.Campaign.engine_name engine)
+              ~faults ~verdicts s;
+            Format.pp_print_flush ppf ());
+        Format.printf "  json       %s@." path
+    | None -> ());
+    0
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign report as JSON (atomically: temp file + \
+             rename).")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a fault campaign through the resilient runner: batched \
+          execution with a JSONL journal for checkpoint/resume, per-batch \
+          watchdog budgets, and online divergence quarantine against the \
+          serial oracle.")
+    Term.(
+      const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
+      $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
+      $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
+      $ json_arg)
 
 (* --- faults --- *)
 
@@ -359,6 +553,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            list_cmd; describe_cmd; run_cmd; faults_cmd; export_cmd;
-            run_verilog_cmd; vcd_cmd;
+            list_cmd; describe_cmd; run_cmd; campaign_cmd; faults_cmd;
+            export_cmd; run_verilog_cmd; vcd_cmd;
           ]))

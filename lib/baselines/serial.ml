@@ -20,6 +20,9 @@ let same_outputs a b =
 
 let run ~config g (w : Workload.t) faults =
   let t0 = Unix.gettimeofday () in
+  let w =
+    Workload.checked ~num_signals:(Design.num_signals g.Elaborate.design) w
+  in
   let stats = Stats.create () in
   let golden = Simulator.create ~config g in
   let trace = Array.make w.cycles [||] in

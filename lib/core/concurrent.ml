@@ -15,6 +15,7 @@ type config = {
   defer_edge_eval : bool;
   instrument : bool;
   exact_mem_check : bool;
+  corrupt_verdict : int option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     defer_edge_eval = true;
     instrument = false;
     exact_mem_check = true;
+    corrupt_verdict = None;
   }
 
 (* Growable int vector used for per-node fault sets. *)
@@ -72,6 +74,7 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
   let t_start = Unix.gettimeofday () in
   let d = g.design in
   let nsig = Design.num_signals d in
+  let w = Workload.checked ~num_signals:nsig w in
   let nmem = Array.length d.mems in
   let nproc = Array.length d.procs in
   let nfaults = Array.length faults in
@@ -888,6 +891,19 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
           Format.eprintf "proc %-16s exec=%d impl=%d@." name e i)
         stats.Stats.per_proc
   | None -> ());
+  (* debug knob: simulate an engine bug by flipping one verdict, so the
+     online divergence check of the resilient runner can be exercised *)
+  (match config.corrupt_verdict with
+  | Some f when f >= 0 && f < nfaults ->
+      detected.(f) <- not detected.(f);
+      detection_cycle.(f) <- (if detected.(f) then 0 else -1)
+  | Some _ | None -> ());
   let wall = Unix.gettimeofday () -. t_start in
   stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
+
+let run_batch ?config ?probe g w faults ~ids =
+  let sub =
+    Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
+  in
+  run ?config ?probe g w sub

@@ -42,6 +42,10 @@ type config = {
       (** per-word memory visibility in the Algorithm 1 walk (the default);
           [false] falls back to the conservative whole-memory rule — the
           ablation axis DESIGN.md calls out *)
+  corrupt_verdict : int option;
+      (** debug knob: flip the verdict of this fault id after the run,
+          simulating an engine bug. Used to exercise the resilient runner's
+          online divergence quarantine; ids out of range are ignored. *)
 }
 
 val default_config : config
@@ -62,3 +66,18 @@ val run :
     observation point; [view fault_id signal_id] reads the faulty network's
     current value (good value overlaid with the fault's diffs). Used by the
     differential tests to localise divergences. *)
+
+(** [run_batch g w faults ~ids] runs the subset [ids] of the campaign's
+    fault list: the selected faults are renumbered to dense ids [0..n-1]
+    (the engine's indexing invariant) and simulated together. The result is
+    indexed by position in [ids]; because faulty networks never interact,
+    each fault's verdict equals its verdict in a whole-list run — the
+    property the resilient runner's batching relies on. *)
+val run_batch :
+  ?config:config ->
+  ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  Elaborate.t ->
+  Workload.t ->
+  Fault.t array ->
+  ids:int array ->
+  Fault.result

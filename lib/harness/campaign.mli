@@ -20,6 +20,10 @@ type engine = Ifsim | Vfsim | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
 val engine_name : engine -> string
 val all_engines : engine list
 
+(** Redundancy-elimination mode of a concurrent engine; raises
+    [Invalid_argument] for the serial baselines [Ifsim] and [Vfsim]. *)
+val concurrent_mode : engine -> Engine.Concurrent.mode
+
 val run :
   ?instrument:bool ->
   engine ->

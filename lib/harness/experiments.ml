@@ -126,6 +126,82 @@ let mem_ablation ~scale =
       })
     mem_ablation_names
 
+type resilience_row = {
+  res_name : string;
+  res_batches : int;
+  res_cov_monolithic : float;
+  res_cov_batched : float;
+  res_cov_resumed : float;
+  res_divergences : int;
+  res_quarantine_ok : bool;
+}
+
+let resilience_names = [ "alu"; "apb" ]
+
+(* Simulate a mid-campaign crash: drop the journal's final record. *)
+let drop_last_line path =
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let kept = List.rev (match !lines with _ :: tl -> tl | [] -> []) in
+  let oc = open_out_bin path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    kept;
+  close_out oc
+
+let resilience ~scale =
+  List.map
+    (fun name ->
+      let c = Circuits.find name in
+      let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+      let mono = Campaign.run Campaign.Eraser g w faults in
+      let journal = Filename.temp_file "eraser_resilience" ".jsonl" in
+      let cfg =
+        {
+          Resilient.default_config with
+          batch_size = max 1 (Array.length faults / 4);
+          journal = Some journal;
+        }
+      in
+      let cold = Resilient.run ~config:cfg g w faults in
+      drop_last_line journal;
+      let resumed =
+        Resilient.run ~config:{ cfg with Resilient.resume = true } g w faults
+      in
+      Sys.remove journal;
+      (* inject an engine bug; the online oracle must quarantine it *)
+      let injected =
+        Resilient.run
+          ~config:
+            {
+              cfg with
+              Resilient.journal = None;
+              oracle_sample = 1.0;
+              inject_divergence = Some 0;
+            }
+          g w faults
+      in
+      {
+        res_name = c.paper_name;
+        res_batches = cold.Resilient.batches_total;
+        res_cov_monolithic = mono.Fault.coverage_pct;
+        res_cov_batched = cold.Resilient.result.Fault.coverage_pct;
+        res_cov_resumed = resumed.Resilient.result.Fault.coverage_pct;
+        res_divergences = List.length injected.Resilient.divergences;
+        res_quarantine_ok =
+          injected.Resilient.divergences <> []
+          && Fault.same_verdict injected.Resilient.result mono;
+      })
+    resilience_names
+
 let mean_speedup rows ~num ~den =
   let log_sum, n =
     List.fold_left

@@ -61,3 +61,20 @@ type mem_ablation_row = {
 (** Ablation of the per-word memory-visibility refinement (DESIGN.md §6) on
     the memory-heavy circuits. *)
 val mem_ablation : scale:float -> mem_ablation_row list
+
+type resilience_row = {
+  res_name : string;
+  res_batches : int;
+  res_cov_monolithic : float;  (** one Campaign.run over the whole list *)
+  res_cov_batched : float;  (** journaled Resilient.run, cold *)
+  res_cov_resumed : float;  (** after dropping the journal's last record *)
+  res_divergences : int;  (** quarantines under an injected engine bug *)
+  res_quarantine_ok : bool;
+      (** the injected divergence was caught and the final verdicts still
+          match the monolithic run *)
+}
+
+(** Exercise the resilient runner end to end (DESIGN.md §8): batched ==
+    monolithic coverage, crash/resume equivalence through the journal, and
+    quarantine of an injected engine divergence. *)
+val resilience : scale:float -> resilience_row list

@@ -61,3 +61,65 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
     faults;
   Format.fprintf ppf "  ]@.";
   Format.fprintf ppf "}@."
+
+(* The resilient report deliberately contains no timing: it must be
+   byte-identical between a cold run and a journal resume of the same
+   campaign (the smoke test diffs the two), and every field below is a
+   deterministic function of (design, engine, workload, fault list,
+   batching). *)
+let resilient ppf ~design ~engine ~faults ~verdicts (s : Resilient.summary) =
+  let r = s.Resilient.result in
+  let st = r.Fault.stats in
+  let quarantined = Hashtbl.create 8 in
+  List.iter
+    (fun f -> Hashtbl.replace quarantined f ())
+    s.Resilient.quarantined;
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"design\": \"%s\",@."
+    (escape design.Rtlir.Design.dname);
+  Format.fprintf ppf "  \"engine\": \"%s\",@." (escape engine);
+  Format.fprintf ppf "  \"faults\": %d,@." (Array.length faults);
+  Format.fprintf ppf "  \"detected\": %d,@." (Fault.count_detected r);
+  Format.fprintf ppf "  \"coverage_pct\": %.4f,@." r.Fault.coverage_pct;
+  Format.fprintf ppf "  \"adjusted_coverage_pct\": %.4f,@."
+    (Classify.adjusted_coverage verdicts r);
+  Format.fprintf ppf "  \"batches\": %d,@." s.Resilient.batches_total;
+  Format.fprintf ppf "  \"oracle_checked_batches\": %d,@."
+    s.Resilient.oracle_checked;
+  Format.fprintf ppf
+    "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
+     \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
+     \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d },@."
+    st.Stats.bn_good st.Stats.bn_fault_exec st.Stats.bn_skipped_explicit
+    st.Stats.bn_skipped_implicit st.Stats.rtl_good_eval
+    st.Stats.rtl_fault_eval;
+  Format.fprintf ppf "  \"divergences\": [@.";
+  List.iteri
+    (fun i (d : Resilient.divergence) ->
+      Format.fprintf ppf
+        "    { \"fault\": %d, \"batch\": %d, \"engine_detected\": %b, \
+         \"engine_cycle\": %d, \"oracle_detected\": %b, \"oracle_cycle\": \
+         %d }%s@."
+        d.Resilient.div_fault d.Resilient.div_batch d.Resilient.engine_detected
+        d.Resilient.engine_cycle d.Resilient.oracle_detected
+        d.Resilient.oracle_cycle
+        (if i = List.length s.Resilient.divergences - 1 then "" else ","))
+    s.Resilient.divergences;
+  Format.fprintf ppf "  ],@.";
+  Format.fprintf ppf "  \"fault_list\": [@.";
+  Array.iteri
+    (fun i (f : Fault.t) ->
+      Format.fprintf ppf
+        "    { \"id\": %d, \"signal\": \"%s\", \"bit\": %d, \"kind\": \
+         \"%s\", \"class\": \"%s\", \"detected\": %b, \"cycle\": %d, \
+         \"quarantined\": %b }%s@."
+        f.fid
+        (escape (Rtlir.Design.signal_name design f.signal))
+        f.bit (kind_name f)
+        (verdict_key verdicts.(i))
+        r.Fault.detected.(i) r.Fault.detection_cycle.(i)
+        (Hashtbl.mem quarantined f.fid)
+        (if i = Array.length faults - 1 then "" else ","))
+    faults;
+  Format.fprintf ppf "  ]@.";
+  Format.fprintf ppf "}@."

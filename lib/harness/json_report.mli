@@ -12,3 +12,17 @@ val campaign :
   verdicts:Faultsim.Classify.verdict array ->
   Faultsim.Fault.result ->
   unit
+
+(** [resilient ppf ... summary] — report of a {!Resilient} campaign: the
+    campaign fields above plus batch counts, the divergence records and a
+    per-fault quarantine flag. Contains {e no} timing, so the report of a
+    resumed campaign is byte-identical to the uninterrupted one (pair it
+    with {!Resilient.write_atomic} for crash-safe emission). *)
+val resilient :
+  Format.formatter ->
+  design:Rtlir.Design.t ->
+  engine:string ->
+  faults:Faultsim.Fault.t array ->
+  verdicts:Faultsim.Classify.verdict array ->
+  Resilient.summary ->
+  unit

@@ -1,0 +1,37 @@
+(** Minimal JSON values for the resilient runner's journal records: one
+    complete JSON object per line (JSON Lines). Hand-rolled parser and
+    printer — the project deliberately carries no external JSON dependency
+    (see {!Json_report}). Not a general-purpose JSON library: no streaming,
+    surrogate pairs unsupported. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact single-line rendering (no trailing newline); [parse (to_string v)]
+    round-trips. *)
+val to_string : t -> string
+
+(** Parse one complete JSON value; trailing garbage is an error.
+    Raises {!Parse_error}. *)
+val parse : string -> t
+
+val member : string -> t -> t option
+
+(** Field accessors over an [Obj]; raise {!Parse_error} with the field name
+    when absent or of the wrong shape ([get_float] accepts integers). *)
+val get_int : string -> t -> int
+
+val get_string : string -> t -> string
+val get_float : string -> t -> float
+val get_bool : string -> t -> bool
+val get_list : string -> t -> t list
+val to_int : t -> int
+val to_bool : t -> bool

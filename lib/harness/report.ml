@@ -131,3 +131,17 @@ let mem_ablation ppf rows =
         r.m_implicit_exact r.m_implicit_conservative r.m_time_exact
         r.m_time_conservative)
     rows
+
+let resilience ppf rows =
+  Format.fprintf ppf
+    "Resilient runner: batched / resumed coverage parity and divergence \
+     quarantine@.";
+  Format.fprintf ppf "  %-12s %8s %10s %10s %10s %6s %11s@." "Benchmark"
+    "#Batches" "cov(mono)" "cov(batch)" "cov(resume)" "#Div" "quarantine";
+  List.iter
+    (fun (r : Experiments.resilience_row) ->
+      Format.fprintf ppf "  %-12s %8d %9.2f%% %9.2f%% %9.2f%% %6d %11s@."
+        r.res_name r.res_batches r.res_cov_monolithic r.res_cov_batched
+        r.res_cov_resumed r.res_divergences
+        (if r.res_quarantine_ok then "ok" else "FAILED"))
+    rows

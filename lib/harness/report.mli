@@ -13,3 +13,5 @@ val perf : title:string -> Format.formatter -> Experiments.perf_row list -> unit
 
 val mem_ablation :
   Format.formatter -> Experiments.mem_ablation_row list -> unit
+
+val resilience : Format.formatter -> Experiments.resilience_row list -> unit

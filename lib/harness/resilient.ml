@@ -1,0 +1,530 @@
+open Faultsim
+
+(* ---- error taxonomy ---- *)
+
+type divergence = {
+  div_fault : int;
+  div_batch : int;
+  engine_detected : bool;
+  engine_cycle : int;
+  oracle_detected : bool;
+  oracle_cycle : int;
+}
+
+type campaign_error =
+  | Engine_divergence of divergence list
+  | Batch_timeout of {
+      batch : int;
+      ids : int array;
+      cycle : int;
+      reason : string;
+    }
+  | Journal_corrupt of string
+  | Bad_workload of string
+
+exception Campaign_error of campaign_error
+
+let err e = raise (Campaign_error e)
+
+let error_message = function
+  | Engine_divergence ds ->
+      Printf.sprintf "engine divergence on %d fault(s): %s" (List.length ds)
+        (String.concat ", "
+           (List.map (fun d -> string_of_int d.div_fault) ds))
+  | Batch_timeout { batch; ids; cycle; reason } ->
+      Printf.sprintf
+        "batch %d (%d fault(s)) exceeded its watchdog budget at cycle %d \
+         (%s) and could not be split further"
+        batch (Array.length ids) cycle reason
+  | Journal_corrupt msg -> "corrupt journal: " ^ msg
+  | Bad_workload msg -> "bad workload: " ^ msg
+
+let exit_code = function
+  | Engine_divergence _ -> 3
+  | Batch_timeout _ -> 4
+  | Journal_corrupt _ -> 5
+  | Bad_workload _ -> 6
+
+(* ---- configuration ---- *)
+
+type config = {
+  engine : Campaign.engine;
+  batch_size : int;
+  max_batch_seconds : float option;
+  max_batch_cycles : int option;
+  max_retries : int;
+  oracle_sample : float;
+  sample_seed : int64;
+  journal : string option;
+  resume : bool;
+  quarantine : bool;
+  inject_divergence : int option;
+}
+
+let default_config =
+  {
+    engine = Campaign.Eraser;
+    batch_size = 64;
+    max_batch_seconds = None;
+    max_batch_cycles = None;
+    max_retries = 2;
+    oracle_sample = 0.0;
+    sample_seed = 0x5EED_CAFEL;
+    journal = None;
+    resume = false;
+    quarantine = true;
+    inject_divergence = None;
+  }
+
+type summary = {
+  result : Fault.result;
+  batches_total : int;
+  batches_resumed : int;
+  batches_executed : int;
+  retries : int;
+  oracle_checked : int;
+  divergences : divergence list;
+  quarantined : int list;
+}
+
+(* ---- journal records ---- *)
+
+type batch_outcome = {
+  b_index : int;
+  b_ids : int array;
+  b_detected : bool array;
+  b_cycles : int array;
+  b_stats : Stats.t;
+  b_wall : float;
+  b_oracle_checked : bool;
+  b_divergences : divergence list;
+}
+
+let header_json ~design_name cfg (w : Workload.t) nfaults =
+  Jsonl.Obj
+    [
+      ("type", Jsonl.String "header");
+      ("version", Jsonl.Int 1);
+      ("design", Jsonl.String design_name);
+      ("engine", Jsonl.String (Campaign.engine_name cfg.engine));
+      ("cycles", Jsonl.Int w.Workload.cycles);
+      ("clock", Jsonl.Int w.Workload.clock);
+      ("faults", Jsonl.Int nfaults);
+      ("batch_size", Jsonl.Int cfg.batch_size);
+      ("oracle_sample", Jsonl.Float cfg.oracle_sample);
+      ("sample_seed", Jsonl.String (Int64.to_string cfg.sample_seed));
+    ]
+
+let stats_to_json (s : Stats.t) =
+  Jsonl.Obj
+    [
+      ("bn_good", Jsonl.Int s.Stats.bn_good);
+      ("bn_fault_exec", Jsonl.Int s.Stats.bn_fault_exec);
+      ("bn_skipped_explicit", Jsonl.Int s.Stats.bn_skipped_explicit);
+      ("bn_skipped_implicit", Jsonl.Int s.Stats.bn_skipped_implicit);
+      ("rtl_good_eval", Jsonl.Int s.Stats.rtl_good_eval);
+      ("rtl_fault_eval", Jsonl.Int s.Stats.rtl_fault_eval);
+    ]
+
+let stats_of_json j =
+  let s = Stats.create () in
+  s.Stats.bn_good <- Jsonl.get_int "bn_good" j;
+  s.Stats.bn_fault_exec <- Jsonl.get_int "bn_fault_exec" j;
+  s.Stats.bn_skipped_explicit <- Jsonl.get_int "bn_skipped_explicit" j;
+  s.Stats.bn_skipped_implicit <- Jsonl.get_int "bn_skipped_implicit" j;
+  s.Stats.rtl_good_eval <- Jsonl.get_int "rtl_good_eval" j;
+  s.Stats.rtl_fault_eval <- Jsonl.get_int "rtl_fault_eval" j;
+  s
+
+let divergence_to_json d =
+  Jsonl.Obj
+    [
+      ("fault", Jsonl.Int d.div_fault);
+      ("batch", Jsonl.Int d.div_batch);
+      ("engine_detected", Jsonl.Bool d.engine_detected);
+      ("engine_cycle", Jsonl.Int d.engine_cycle);
+      ("oracle_detected", Jsonl.Bool d.oracle_detected);
+      ("oracle_cycle", Jsonl.Int d.oracle_cycle);
+    ]
+
+let divergence_of_json j =
+  {
+    div_fault = Jsonl.get_int "fault" j;
+    div_batch = Jsonl.get_int "batch" j;
+    engine_detected = Jsonl.get_bool "engine_detected" j;
+    engine_cycle = Jsonl.get_int "engine_cycle" j;
+    oracle_detected = Jsonl.get_bool "oracle_detected" j;
+    oracle_cycle = Jsonl.get_int "oracle_cycle" j;
+  }
+
+let batch_to_json b =
+  Jsonl.Obj
+    [
+      ("type", Jsonl.String "batch");
+      ("index", Jsonl.Int b.b_index);
+      ( "ids",
+        Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) b.b_ids))
+      );
+      ( "detected",
+        Jsonl.List
+          (Array.to_list (Array.map (fun d -> Jsonl.Bool d) b.b_detected)) );
+      ( "cycles",
+        Jsonl.List
+          (Array.to_list (Array.map (fun c -> Jsonl.Int c) b.b_cycles)) );
+      ("oracle_checked", Jsonl.Bool b.b_oracle_checked);
+      ("divergences", Jsonl.List (List.map divergence_to_json b.b_divergences));
+      ("stats", stats_to_json b.b_stats);
+      ("wall_s", Jsonl.Float b.b_wall);
+    ]
+
+let batch_of_json j =
+  if Jsonl.get_string "type" j <> "batch" then
+    raise (Jsonl.Parse_error "record is not a batch");
+  {
+    b_index = Jsonl.get_int "index" j;
+    b_ids = Array.of_list (List.map Jsonl.to_int (Jsonl.get_list "ids" j));
+    b_detected =
+      Array.of_list (List.map Jsonl.to_bool (Jsonl.get_list "detected" j));
+    b_cycles =
+      Array.of_list (List.map Jsonl.to_int (Jsonl.get_list "cycles" j));
+    b_oracle_checked = Jsonl.get_bool "oracle_checked" j;
+    b_divergences =
+      List.map divergence_of_json (Jsonl.get_list "divergences" j);
+    b_stats =
+      (match Jsonl.member "stats" j with
+      | Some s -> stats_of_json s
+      | None -> raise (Jsonl.Parse_error "missing field \"stats\""));
+    b_wall = Jsonl.get_float "wall_s" j;
+  }
+
+(* ---- journal I/O ---- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+(* Replay a journal: validate the header against the campaign at hand and
+   collect the completed batch records. A torn final line (the crash the
+   journal exists to survive) is silently dropped; any other malformed line
+   or parameter mismatch is a {!Journal_corrupt} error. *)
+let load_journal path ~expected_header ~expected_ids =
+  match read_lines path with
+  | [] -> []
+  | header_line :: records ->
+      let header =
+        try Jsonl.parse header_line
+        with Jsonl.Parse_error m ->
+          err (Journal_corrupt (Printf.sprintf "unreadable header (%s)" m))
+      in
+      if header <> expected_header then
+        err
+          (Journal_corrupt
+             (Printf.sprintf
+                "parameter mismatch: journal was recorded by %s but this \
+                 campaign is %s"
+                (Jsonl.to_string header)
+                (Jsonl.to_string expected_header)));
+      let nbatches = Array.length expected_ids in
+      let seen = Hashtbl.create 16 in
+      let total = List.length records in
+      let outcomes = ref [] in
+      List.iteri
+        (fun i line ->
+          let last = i = total - 1 in
+          let record_no = i + 1 in
+          match batch_of_json (Jsonl.parse line) with
+          | exception Jsonl.Parse_error m ->
+              (* mid-line crash can only tear the final record *)
+              if not last then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf "record %d unreadable (%s)" record_no m))
+          | b ->
+              if b.b_index < 0 || b.b_index >= nbatches then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf "record %d: batch index %d out of range"
+                        record_no b.b_index));
+              if Hashtbl.mem seen b.b_index then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf "record %d: duplicate batch %d" record_no
+                        b.b_index));
+              if b.b_ids <> expected_ids.(b.b_index) then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf
+                        "record %d: fault ids of batch %d do not match the \
+                         campaign's decomposition"
+                        record_no b.b_index));
+              if
+                Array.length b.b_detected <> Array.length b.b_ids
+                || Array.length b.b_cycles <> Array.length b.b_ids
+              then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf "record %d: verdict arrays truncated"
+                        record_no));
+              Hashtbl.replace seen b.b_index ();
+              outcomes := b :: !outcomes)
+        records;
+      List.rev !outcomes
+
+let append_record oc json =
+  output_string oc (Jsonl.to_string json);
+  output_char oc '\n';
+  flush oc
+
+(* ---- crash-safe file writes ---- *)
+
+let write_atomic path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try f oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+(* ---- the runner ---- *)
+
+let renumber faults ids =
+  Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
+
+let index_of ids x =
+  let found = ref None in
+  Array.iteri (fun i id -> if id = x then found := Some i) ids;
+  !found
+
+let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
+    faults =
+  let t0 = Unix.gettimeofday () in
+  if config.batch_size < 1 then
+    err
+      (Bad_workload
+         (Printf.sprintf "batch size must be positive, got %d"
+            config.batch_size));
+  if config.oracle_sample < 0.0 || config.oracle_sample > 1.0 then
+    err
+      (Bad_workload
+         (Printf.sprintf "oracle sampling rate must be within [0, 1], got %g"
+            config.oracle_sample));
+  if w.Workload.cycles < 0 then
+    err
+      (Bad_workload
+         (Printf.sprintf "negative cycle count %d" w.Workload.cycles));
+  let n = Array.length faults in
+  let nbatches =
+    if n = 0 then 0 else (n + config.batch_size - 1) / config.batch_size
+  in
+  let expected_ids =
+    Array.init nbatches (fun i ->
+        let lo = i * config.batch_size in
+        let hi = min n (lo + config.batch_size) in
+        Array.init (hi - lo) (fun k -> lo + k))
+  in
+  let design_name = g.Rtlir.Elaborate.design.Rtlir.Design.dname in
+  let expected_header = header_json ~design_name config w n in
+  let resumed =
+    match config.journal with
+    | Some path when config.resume && Sys.file_exists path ->
+        load_journal path ~expected_header ~expected_ids
+    | _ -> []
+  in
+  let outcomes = Array.make nbatches None in
+  List.iter (fun b -> outcomes.(b.b_index) <- Some b) resumed;
+  let jout =
+    match config.journal with
+    | None -> None
+    | Some path ->
+        if resumed = [] then begin
+          (* fresh journal: truncate any stale file and write the header *)
+          let oc = open_out path in
+          append_record oc expected_header;
+          Some oc
+        end
+        else Some (open_out_gen [ Open_append; Open_wronly ] 0o644 path)
+  in
+  (* serial per-fault oracle over a fault-id subset *)
+  let serial_sub ids =
+    try Baselines.Serial.ifsim g w (renumber faults ids)
+    with Workload.Invalid_workload msg -> err (Bad_workload msg)
+  in
+  let engine_on ids =
+    let deadline =
+      Option.map
+        (fun s -> Unix.gettimeofday () +. s)
+        config.max_batch_seconds
+    in
+    let wb =
+      Workload.with_budget ?max_cycles:config.max_batch_cycles ?deadline w
+    in
+    match config.engine with
+    | Campaign.Ifsim -> Baselines.Serial.ifsim g wb (renumber faults ids)
+    | Campaign.Vfsim -> Baselines.Serial.vfsim g wb (renumber faults ids)
+    | e ->
+        let corrupt_verdict =
+          match config.inject_divergence with
+          | Some f -> index_of ids f
+          | None -> None
+        in
+        let cc =
+          {
+            Engine.Concurrent.default_config with
+            mode = Campaign.concurrent_mode e;
+            corrupt_verdict;
+          }
+        in
+        Engine.Concurrent.run_batch ~config:cc g wb faults ~ids
+  in
+  let retries = ref 0 in
+  (* Run one batch under the watchdog. A budget trip splits the batch in
+     half and retries both halves with a fresh budget, down to single-fault
+     batches or [max_retries] split generations — whichever comes first —
+     then reports a structured timeout. *)
+  let rec exec_pieces b_index depth ids =
+    match engine_on ids with
+    | r -> [ (ids, r) ]
+    | exception Workload.Budget_exceeded { cycle; reason } ->
+        if Array.length ids <= 1 || depth >= config.max_retries then
+          err (Batch_timeout { batch = b_index; ids; cycle; reason })
+        else begin
+          incr retries;
+          let half = Array.length ids / 2 in
+          let left = Array.sub ids 0 half in
+          let right = Array.sub ids half (Array.length ids - half) in
+          exec_pieces b_index (depth + 1) left
+          @ exec_pieces b_index (depth + 1) right
+        end
+    | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
+  in
+  let oracle_sampled b_index =
+    config.oracle_sample > 0.0
+    && (config.oracle_sample >= 1.0
+       ||
+       let rng =
+         Rng.create
+           (Int64.logxor config.sample_seed
+              (Int64.of_int ((b_index + 1) * 0x9E3779B9)))
+       in
+       Rng.int rng 1_000_000
+       < int_of_float (config.oracle_sample *. 1_000_000.))
+  in
+  let run_one_batch b_index ids =
+    let t = Unix.gettimeofday () in
+    let pieces = exec_pieces b_index 0 ids in
+    let nb = Array.length ids in
+    let detected = Array.make nb false in
+    let cycles = Array.make nb (-1) in
+    let stats = ref (Stats.create ()) in
+    let pos = ref 0 in
+    List.iter
+      (fun (pids, (r : Fault.result)) ->
+        Array.iteri
+          (fun k _ ->
+            detected.(!pos + k) <- r.Fault.detected.(k);
+            cycles.(!pos + k) <- r.Fault.detection_cycle.(k))
+          pids;
+        pos := !pos + Array.length pids;
+        stats := Stats.add !stats r.Fault.stats)
+      pieces;
+    let divergences = ref [] in
+    let sampled = oracle_sampled b_index in
+    if sampled then begin
+      let oracle = serial_sub ids in
+      Array.iteri
+        (fun k id ->
+          if oracle.Fault.detected.(k) <> detected.(k) then begin
+            (* quarantine: the fault is re-simulated alone, serially; that
+               verdict is final and the engine's is reported as divergent *)
+            let lone = serial_sub [| id |] in
+            let d =
+              {
+                div_fault = id;
+                div_batch = b_index;
+                engine_detected = detected.(k);
+                engine_cycle = cycles.(k);
+                oracle_detected = lone.Fault.detected.(0);
+                oracle_cycle = lone.Fault.detection_cycle.(0);
+              }
+            in
+            divergences := d :: !divergences;
+            detected.(k) <- d.oracle_detected;
+            cycles.(k) <- d.oracle_cycle
+          end)
+        ids;
+      if !divergences <> [] && not config.quarantine then
+        err (Engine_divergence (List.rev !divergences))
+    end;
+    {
+      b_index;
+      b_ids = ids;
+      b_detected = detected;
+      b_cycles = cycles;
+      b_stats = !stats;
+      b_wall = Unix.gettimeofday () -. t;
+      b_oracle_checked = sampled;
+      b_divergences = List.rev !divergences;
+    }
+  in
+  let executed = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      match jout with Some oc -> close_out_noerr oc | None -> ())
+    (fun () ->
+      for i = 0 to nbatches - 1 do
+        match outcomes.(i) with
+        | Some _ -> ()
+        | None ->
+            let b = run_one_batch i expected_ids.(i) in
+            outcomes.(i) <- Some b;
+            incr executed;
+            (match jout with
+            | Some oc -> append_record oc (batch_to_json b)
+            | None -> ())
+      done);
+  let detected = Array.make n false in
+  let detection_cycle = Array.make n (-1) in
+  let stats = ref (Stats.create ()) in
+  let divergences = ref [] in
+  let oracle_checked = ref 0 in
+  Array.iter
+    (function
+      | None -> assert false (* every index was filled above *)
+      | Some b ->
+          Array.iteri
+            (fun k id ->
+              detected.(id) <- b.b_detected.(k);
+              detection_cycle.(id) <- b.b_cycles.(k))
+            b.b_ids;
+          stats := Stats.add !stats b.b_stats;
+          if b.b_oracle_checked then incr oracle_checked;
+          divergences := !divergences @ b.b_divergences)
+    outcomes;
+  let wall = Unix.gettimeofday () -. t0 in
+  !stats.Stats.total_seconds <- wall;
+  let result =
+    Fault.make_result ~detected ~detection_cycle ~stats:!stats
+      ~wall_time:wall ()
+  in
+  {
+    result;
+    batches_total = nbatches;
+    batches_resumed = List.length resumed;
+    batches_executed = !executed;
+    retries = !retries;
+    oracle_checked = !oracle_checked;
+    divergences = !divergences;
+    quarantined = List.map (fun d -> d.div_fault) !divergences;
+  }

@@ -1,0 +1,117 @@
+(** Resilient campaign runner: batching, checkpoint/resume, watchdogs, and
+    online cross-engine divergence quarantine.
+
+    A campaign's fault list is decomposed into fixed batches of
+    [config.batch_size] consecutive fault ids; each batch runs through the
+    chosen engine independently. Because faulty networks never interact,
+    every fault's verdict in a batched run is identical to its verdict in a
+    monolithic {!Campaign.run} — batching changes only the failure domain.
+    On top of that decomposition the runner provides:
+
+    - {b Journal / resume}: with [config.journal], every completed batch is
+      appended to a JSON-Lines file (header line first, then one complete
+      JSON object per batch: fault ids, verdicts, detection cycles, stats).
+      A campaign killed at any point resumes with [config.resume]: journaled
+      batches are replayed, the rest are simulated, and the final coverage
+      is bit-identical to an uninterrupted run. A torn final line (the crash
+      window) is dropped silently; any other damage or a parameter mismatch
+      raises {!Campaign_error} [Journal_corrupt].
+    - {b Watchdog}: [max_batch_seconds] / [max_batch_cycles] install a
+      per-batch budget via {!Faultsim.Workload.with_budget}. A tripped batch
+      is split in half and each half retried with a fresh budget, down to
+      single-fault batches or [max_retries] split generations; after that a
+      structured [Batch_timeout] is raised (completed batches stay in the
+      journal, so even a timed-out campaign resumes).
+    - {b Divergence quarantine}: [oracle_sample] is the probability
+      (deterministic in [sample_seed] and the batch index) that a batch is
+      re-checked against the serial per-fault oracle
+      ({!Baselines.Serial.ifsim}). A fault whose verdict disagrees is
+      quarantined: re-simulated alone serially, the serial verdict becomes
+      final, and a {!divergence} record is reported instead of poisoning
+      the campaign. [quarantine = false] turns a divergence into the fatal
+      [Engine_divergence] error instead. *)
+
+open Faultsim
+
+(** One quarantined fault: what the engine claimed vs. what the per-fault
+    serial re-simulation established (the final verdict). *)
+type divergence = {
+  div_fault : int;  (** campaign-global fault id *)
+  div_batch : int;
+  engine_detected : bool;
+  engine_cycle : int;
+  oracle_detected : bool;
+  oracle_cycle : int;
+}
+
+type campaign_error =
+  | Engine_divergence of divergence list
+      (** online oracle check failed and quarantine is disabled (or a
+          [run --verify] style check failed) *)
+  | Batch_timeout of {
+      batch : int;
+      ids : int array;
+      cycle : int;
+      reason : string;
+    }  (** watchdog budget exhausted even after retry-with-smaller-batch *)
+  | Journal_corrupt of string
+      (** unreadable journal record (other than a torn final line) or a
+          journal recorded under different campaign parameters *)
+  | Bad_workload of string
+      (** structurally invalid workload or runner configuration *)
+
+exception Campaign_error of campaign_error
+
+(** One-line human-readable rendering, for stderr. *)
+val error_message : campaign_error -> string
+
+(** Distinct process exit code per variant: divergence 3, timeout 4,
+    corrupt journal 5, bad workload 6 (0 is success, 1/2 are generic CLI
+    failures). *)
+val exit_code : campaign_error -> int
+
+type config = {
+  engine : Campaign.engine;
+  batch_size : int;  (** faults per batch, >= 1 *)
+  max_batch_seconds : float option;  (** per-batch wall-clock budget *)
+  max_batch_cycles : int option;  (** per-batch cycle budget *)
+  max_retries : int;  (** split generations after a watchdog trip *)
+  oracle_sample : float;  (** per-batch oracle re-check probability, 0..1 *)
+  sample_seed : int64;
+  journal : string option;  (** JSONL checkpoint path *)
+  resume : bool;  (** replay an existing journal instead of truncating it *)
+  quarantine : bool;  (** false: any divergence aborts the campaign *)
+  inject_divergence : int option;
+      (** debug: corrupt this fault's verdict inside the concurrent engine
+          (see {!Engine.Concurrent.config}), to exercise the quarantine *)
+}
+
+(** Eraser engine, batches of 64, no watchdog, no journal, no sampling. *)
+val default_config : config
+
+type summary = {
+  result : Fault.result;  (** oracle verdicts win for quarantined faults *)
+  batches_total : int;
+  batches_resumed : int;  (** replayed from the journal *)
+  batches_executed : int;  (** simulated by this invocation *)
+  retries : int;  (** batch splits forced by the watchdog *)
+  oracle_checked : int;  (** batches re-checked against the serial oracle *)
+  divergences : divergence list;
+  quarantined : int list;  (** fault ids re-simulated serially *)
+}
+
+(** Run (or resume) a campaign. Raises {!Campaign_error} only — engine-level
+    [Workload.Invalid_workload] is mapped to [Bad_workload], budget trips
+    that survive retries to [Batch_timeout]. *)
+val run :
+  ?config:config ->
+  Rtlir.Elaborate.t ->
+  Workload.t ->
+  Fault.t array ->
+  summary
+
+(** [write_atomic path f] — crash-safe file write: [f] streams to
+    [path ^ ".tmp"], which is renamed over [path] only after a clean close.
+    Used for the JSON reports so a killed campaign never leaves a torn
+    report behind. *)
+val write_atomic : string -> (out_channel -> unit) -> unit

@@ -15,4 +15,5 @@ let () =
       ("classify", Test_classify.suite);
       ("transient", Test_transient.suite);
       ("differential", Test_rand_diff.suite);
+      ("resilient", Test_resilient.suite);
     ]

@@ -1,0 +1,406 @@
+(* Resilient-runner tests: batched == monolithic verdicts, journal
+   checkpoint/resume (including torn final records), journal corruption
+   detection, watchdog budgets with retry-by-splitting, online divergence
+   quarantine of an injected engine bug, and workload validation. *)
+open Faultsim
+module H = Harness
+module R = Harness.Resilient
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let scale = 0.06
+
+let campaign name =
+  let c = Circuits.find name in
+  Circuits.Bench_circuit.instantiate c ~scale
+
+let temp_journal () = Filename.temp_file "eraser_test_resilient" ".jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let journal_lines path =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' (read_file path))
+
+(* Simulate a mid-write crash: drop the final record entirely and tear the
+   one before it in half. *)
+let crash_truncate path =
+  match List.rev (journal_lines path) with
+  | last :: prev :: rest ->
+      ignore last;
+      let torn = String.sub prev 0 (String.length prev / 2) in
+      write_file path
+        (String.concat "\n" (List.rev rest) ^ "\n" ^ torn)
+  | _ -> Alcotest.fail "journal too short to truncate"
+
+let same_result (a : Fault.result) (b : Fault.result) =
+  a.Fault.detected = b.Fault.detected
+  && a.Fault.detection_cycle = b.Fault.detection_cycle
+
+let expect_error name pred f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Campaign_error" name
+  | exception R.Campaign_error e ->
+      if not (pred e) then
+        Alcotest.failf "%s: unexpected error: %s" name (R.error_message e)
+
+let render_report ~design ~g ~faults summary =
+  let verdicts = Classify.classify g faults in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.resilient ppf ~design ~engine:"Eraser" ~faults ~verdicts
+    summary;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* ---- batching ---- *)
+
+let test_batched_equals_monolithic () =
+  List.iter
+    (fun name ->
+      let _, g, w, faults = campaign name in
+      let mono = H.Campaign.run H.Campaign.Eraser g w faults in
+      List.iter
+        (fun batch_size ->
+          let s =
+            R.run ~config:{ R.default_config with R.batch_size } g w faults
+          in
+          if not (same_result mono s.R.result) then
+            Alcotest.failf "%s: batch size %d changes the verdicts" name
+              batch_size;
+          check int_t
+            (Printf.sprintf "%s/%d batch count" name batch_size)
+            ((Array.length faults + batch_size - 1) / batch_size)
+            s.R.batches_total)
+        [ 1; 7; Array.length faults + 5 ])
+    [ "alu"; "apb" ]
+
+let test_batched_serial_engine () =
+  let _, g, w, faults = campaign "alu" in
+  let mono = H.Campaign.run H.Campaign.Ifsim g w faults in
+  let s =
+    R.run
+      ~config:
+        { R.default_config with R.engine = H.Campaign.Ifsim; batch_size = 5 }
+      g w faults
+  in
+  check bool_t "serial engine batched == monolithic" true
+    (same_result mono s.R.result)
+
+(* ---- journal / resume ---- *)
+
+let test_resume_after_crash () =
+  let design, g, w, faults = campaign "alu" in
+  let mono = H.Campaign.run H.Campaign.Eraser g w faults in
+  let journal = temp_journal () in
+  let cfg =
+    {
+      R.default_config with
+      R.batch_size = 7;
+      journal = Some journal;
+      oracle_sample = 0.3;
+    }
+  in
+  let cold = R.run ~config:cfg g w faults in
+  check bool_t "cold == monolithic" true (same_result mono cold.R.result);
+  let cold_report = render_report ~design ~g ~faults cold in
+  crash_truncate journal;
+  let resumed = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Sys.remove journal;
+  check bool_t "resumed verdicts identical" true
+    (same_result cold.R.result resumed.R.result);
+  check bool_t "some batches replayed" true (resumed.R.batches_resumed > 0);
+  check bool_t "some batches re-executed" true
+    (resumed.R.batches_executed >= 2);
+  check int_t "all batches accounted for" cold.R.batches_total
+    (resumed.R.batches_resumed + resumed.R.batches_executed);
+  let resumed_report = render_report ~design ~g ~faults resumed in
+  check bool_t "reports byte-identical" true (cold_report = resumed_report)
+
+let test_resume_noop_when_complete () =
+  let _, g, w, faults = campaign "apb" in
+  let journal = temp_journal () in
+  let cfg =
+    { R.default_config with R.batch_size = 9; journal = Some journal }
+  in
+  let cold = R.run ~config:cfg g w faults in
+  let resumed = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Sys.remove journal;
+  check int_t "nothing re-executed" 0 resumed.R.batches_executed;
+  check int_t "everything replayed" cold.R.batches_total
+    resumed.R.batches_resumed;
+  check bool_t "verdicts identical" true
+    (same_result cold.R.result resumed.R.result)
+
+let test_corrupt_middle_record () =
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let cfg =
+    { R.default_config with R.batch_size = 7; journal = Some journal }
+  in
+  ignore (R.run ~config:cfg g w faults);
+  (match journal_lines journal with
+  | header :: _ :: rest ->
+      write_file journal
+        (String.concat "\n" ((header :: [ "{garbage" ]) @ rest) ^ "\n")
+  | _ -> Alcotest.fail "journal too short");
+  expect_error "corrupt middle record"
+    (function R.Journal_corrupt _ -> true | _ -> false)
+    (fun () -> R.run ~config:{ cfg with R.resume = true } g w faults);
+  Sys.remove journal
+
+let test_parameter_mismatch () =
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let cfg =
+    { R.default_config with R.batch_size = 7; journal = Some journal }
+  in
+  ignore (R.run ~config:cfg g w faults);
+  expect_error "batch size mismatch"
+    (function R.Journal_corrupt _ -> true | _ -> false)
+    (fun () ->
+      R.run
+        ~config:{ cfg with R.batch_size = 8; resume = true }
+        g w faults);
+  Sys.remove journal
+
+let test_journal_overwritten_without_resume () =
+  let _, g, w, faults = campaign "apb" in
+  let journal = temp_journal () in
+  let cfg =
+    { R.default_config with R.batch_size = 9; journal = Some journal }
+  in
+  ignore (R.run ~config:cfg g w faults);
+  (* without --resume a stale journal is truncated, not replayed *)
+  let again = R.run ~config:cfg g w faults in
+  Sys.remove journal;
+  check int_t "no batches resumed" 0 again.R.batches_resumed
+
+(* ---- divergence quarantine ---- *)
+
+let test_divergence_quarantined () =
+  let _, g, w, faults = campaign "alu" in
+  let oracle = H.Campaign.run H.Campaign.Ifsim g w faults in
+  let journal = temp_journal () in
+  let cfg =
+    {
+      R.default_config with
+      R.batch_size = 7;
+      journal = Some journal;
+      oracle_sample = 1.0;
+      inject_divergence = Some 3;
+    }
+  in
+  let s = R.run ~config:cfg g w faults in
+  check int_t "one divergence" 1 (List.length s.R.divergences);
+  check bool_t "fault 3 quarantined" true (s.R.quarantined = [ 3 ]);
+  let d = List.hd s.R.divergences in
+  check int_t "divergent fault id" 3 d.R.div_fault;
+  check bool_t "engine and oracle disagree" true
+    (d.R.engine_detected <> d.R.oracle_detected);
+  check bool_t "final verdicts follow the serial oracle" true
+    (same_result oracle s.R.result);
+  (* the divergence survives a journal replay *)
+  let resumed = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Sys.remove journal;
+  check int_t "nothing re-executed on replay" 0 resumed.R.batches_executed;
+  check int_t "divergence replayed from the journal" 1
+    (List.length resumed.R.divergences);
+  check bool_t "replayed verdicts identical" true
+    (same_result s.R.result resumed.R.result)
+
+let test_divergence_fatal_without_quarantine () =
+  let _, g, w, faults = campaign "alu" in
+  expect_error "no-quarantine divergence"
+    (function R.Engine_divergence [ d ] -> d.R.div_fault = 3 | _ -> false)
+    (fun () ->
+      R.run
+        ~config:
+          {
+            R.default_config with
+            R.batch_size = 7;
+            oracle_sample = 1.0;
+            inject_divergence = Some 3;
+            quarantine = false;
+          }
+        g w faults)
+
+(* ---- watchdog ---- *)
+
+let test_cycle_budget_timeout () =
+  let _, g, w, faults = campaign "alu" in
+  expect_error "cycle budget"
+    (function
+      | R.Batch_timeout { batch = 0; cycle; _ } -> cycle = 5
+      | _ -> false)
+    (fun () ->
+      R.run
+        ~config:
+          { R.default_config with R.batch_size = 8; max_batch_cycles = Some 5 }
+        g w faults)
+
+let test_wallclock_splits_to_single_fault () =
+  let _, g, w, faults = campaign "alu" in
+  (* an already-expired deadline trips every attempt: the runner must split
+     all the way down to single-fault batches before giving up *)
+  expect_error "expired deadline"
+    (function
+      | R.Batch_timeout { ids; _ } -> Array.length ids = 1
+      | _ -> false)
+    (fun () ->
+      R.run
+        ~config:
+          {
+            R.default_config with
+            R.batch_size = 8;
+            max_batch_seconds = Some 0.0;
+            max_retries = 99;
+          }
+        g w faults)
+
+let test_generous_budget_no_trip () =
+  let _, g, w, faults = campaign "apb" in
+  let mono = H.Campaign.run H.Campaign.Eraser g w faults in
+  let s =
+    R.run
+      ~config:
+        {
+          R.default_config with
+          R.batch_size = 9;
+          max_batch_cycles = Some (w.Workload.cycles + 1);
+          max_batch_seconds = Some 3600.0;
+        }
+      g w faults
+  in
+  check int_t "no splits" 0 s.R.retries;
+  check bool_t "verdicts unchanged" true (same_result mono s.R.result)
+
+(* ---- workload validation ---- *)
+
+let test_budget_exceeded_unit () =
+  let w =
+    { Workload.cycles = 20; clock = 0; drive = (fun _ -> []) }
+  in
+  let wb = Workload.with_budget ~max_cycles:5 w in
+  match
+    Workload.run wb
+      ~set_input:(fun _ _ -> ())
+      ~step:(fun () -> ())
+      ~observe:(fun _ -> true)
+  with
+  | () -> Alcotest.fail "expected Budget_exceeded"
+  | exception Workload.Budget_exceeded { cycle; _ } ->
+      check int_t "tripped at the budget" 5 cycle
+
+let test_negative_cycles_rejected () =
+  let w = { Workload.cycles = -1; clock = 0; drive = (fun _ -> []) } in
+  (match
+     Workload.run w
+       ~set_input:(fun _ _ -> ())
+       ~step:(fun () -> ())
+       ~observe:(fun _ -> true)
+   with
+  | () -> Alcotest.fail "expected Invalid_workload"
+  | exception Workload.Invalid_workload _ -> ());
+  let _, g, _, faults = campaign "alu" in
+  expect_error "negative cycles through the runner"
+    (function R.Bad_workload _ -> true | _ -> false)
+    (fun () -> ignore (R.run g w faults))
+
+let test_unknown_drive_target_rejected () =
+  let _, g, w, faults = campaign "alu" in
+  let bad = { w with Workload.drive = (fun _ -> [ (9999, Rtlir.Bits.one 1) ]) } in
+  (match Engine.Concurrent.run g bad faults with
+  | _ -> Alcotest.fail "expected Invalid_workload"
+  | exception Workload.Invalid_workload msg ->
+      check bool_t "message names the signal" true
+        (String.length msg > 0
+        && String.index_opt msg '9' <> None));
+  (match Baselines.Serial.ifsim g bad faults with
+  | _ -> Alcotest.fail "expected Invalid_workload (serial)"
+  | exception Workload.Invalid_workload _ -> ());
+  expect_error "unknown target through the runner"
+    (function R.Bad_workload _ -> true | _ -> false)
+    (fun () -> ignore (R.run g bad faults))
+
+let test_clock_in_drive_rejected () =
+  let _, g, w, faults = campaign "alu" in
+  let bad =
+    {
+      w with
+      Workload.drive = (fun _ -> [ (w.Workload.clock, Rtlir.Bits.one 1) ]);
+    }
+  in
+  match Engine.Concurrent.run g bad faults with
+  | _ -> Alcotest.fail "expected Invalid_workload"
+  | exception Workload.Invalid_workload _ -> ()
+
+(* ---- Jsonl ---- *)
+
+let test_jsonl_roundtrip () =
+  let v =
+    H.Jsonl.Obj
+      [
+        ("type", H.Jsonl.String "batch");
+        ("ids", H.Jsonl.List [ H.Jsonl.Int 1; H.Jsonl.Int (-2) ]);
+        ("ok", H.Jsonl.Bool true);
+        ("none", H.Jsonl.Null);
+        ("rate", H.Jsonl.Float 0.25);
+        ("text", H.Jsonl.String "a \"quoted\"\nline\twith\\escapes");
+        ("nested", H.Jsonl.Obj [ ("empty", H.Jsonl.List []) ]);
+      ]
+  in
+  check bool_t "roundtrip" true (H.Jsonl.parse (H.Jsonl.to_string v) = v);
+  List.iter
+    (fun s ->
+      match H.Jsonl.parse s with
+      | _ -> Alcotest.failf "parse %S should fail" s
+      | exception H.Jsonl.Parse_error _ -> ())
+    [ "{\"a\":1"; "[1,2,"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ]
+
+let suite =
+  [
+    Alcotest.test_case "batched == monolithic verdicts" `Quick
+      test_batched_equals_monolithic;
+    Alcotest.test_case "batched serial engine" `Quick
+      test_batched_serial_engine;
+    Alcotest.test_case "resume after torn journal" `Quick
+      test_resume_after_crash;
+    Alcotest.test_case "resume of a complete journal" `Quick
+      test_resume_noop_when_complete;
+    Alcotest.test_case "corrupt middle record rejected" `Quick
+      test_corrupt_middle_record;
+    Alcotest.test_case "journal parameter mismatch rejected" `Quick
+      test_parameter_mismatch;
+    Alcotest.test_case "stale journal overwritten without resume" `Quick
+      test_journal_overwritten_without_resume;
+    Alcotest.test_case "injected divergence quarantined" `Quick
+      test_divergence_quarantined;
+    Alcotest.test_case "divergence fatal without quarantine" `Quick
+      test_divergence_fatal_without_quarantine;
+    Alcotest.test_case "cycle-budget watchdog" `Quick
+      test_cycle_budget_timeout;
+    Alcotest.test_case "watchdog splits to single-fault batches" `Quick
+      test_wallclock_splits_to_single_fault;
+    Alcotest.test_case "generous budget never trips" `Quick
+      test_generous_budget_no_trip;
+    Alcotest.test_case "with_budget unit" `Quick test_budget_exceeded_unit;
+    Alcotest.test_case "negative cycle count rejected" `Quick
+      test_negative_cycles_rejected;
+    Alcotest.test_case "unknown drive target rejected" `Quick
+      test_unknown_drive_target_rejected;
+    Alcotest.test_case "clock in drive rejected" `Quick
+      test_clock_in_drive_rejected;
+    Alcotest.test_case "jsonl roundtrip and error cases" `Quick
+      test_jsonl_roundtrip;
+  ]
