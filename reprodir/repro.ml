@@ -1,0 +1,32 @@
+
+module H = Harness
+module R = Harness.Resilient
+
+let () =
+  let c = Circuits.find "alu" in
+  let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale:0.06 in
+  let journal = Filename.temp_file "repro" ".jsonl" in
+  let cfg = { R.default_config with R.batch_size = 7; journal = Some journal } in
+  let cold = R.run ~config:cfg g w faults in
+  Printf.printf "cold: %d batches\n%!" cold.R.batches_total;
+  (* tear the final line: drop its trailing newline and half its bytes *)
+  let ic = open_in_bin journal in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let rev = List.rev lines in
+  let last = List.hd rev and rest = List.rev (List.tl rev) in
+  let torn = String.sub last 0 (String.length last / 2) in
+  let oc = open_out_bin journal in
+  output_string oc (String.concat "\n" rest ^ "\n" ^ torn);
+  close_out oc;
+  (* first resume: should work (torn final line tolerated) *)
+  let r1 = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Printf.printf "resume1: resumed=%d executed=%d\n%!" r1.R.batches_resumed r1.R.batches_executed;
+  (* second resume of the now-complete journal: does it survive? *)
+  (try
+     let r2 = R.run ~config:{ cfg with R.resume = true } g w faults in
+     Printf.printf "resume2 OK: resumed=%d executed=%d\n%!" r2.R.batches_resumed r2.R.batches_executed
+   with R.Campaign_error e ->
+     Printf.printf "resume2 FAILED: %s (exit %d)\n%!" (R.error_message e) (R.exit_code e));
+  Sys.remove journal
