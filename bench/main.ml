@@ -55,6 +55,19 @@ let resilience ~scale =
   Format.fprintf ppf "@.";
   H.Report.resilience ppf (H.Experiments.resilience ~scale)
 
+let scaling ~scale ~jobs ~out =
+  Format.fprintf ppf "@.";
+  let rows = H.Experiments.scaling ~jobs ~scale () in
+  H.Report.scaling ppf rows;
+  let json = H.Experiments.scaling_json ~scale rows in
+  let text = H.Jsonl.to_string json in
+  (* self-check: the emitted document must parse back *)
+  ignore (H.Jsonl.parse text);
+  H.Resilient.write_atomic out (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Format.fprintf ppf "  json       %s@." out
+
 (* --- Bechamel micro-benchmarks --- *)
 
 let micro () =
@@ -160,8 +173,16 @@ let micro () =
       | _ -> Format.fprintf ppf "  %-28s (no estimate)@." name)
     results
 
+let parse_jobs s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+  |> List.map int_of_string
+
 let () =
   let scale = ref 0.5 in
+  let jobs = ref [ 1; 2; 4; 8 ] in
+  let scaling_out = ref "BENCH_scaling.json" in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then
@@ -172,12 +193,24 @@ let () =
       | s when String.length s > 8 && String.sub s 0 8 = "--scale=" ->
           scale := float_of_string (String.sub s 8 (String.length s - 8));
           parse (i + 1)
+      | "--jobs" ->
+          jobs := parse_jobs Sys.argv.(i + 1);
+          parse (i + 2)
+      | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" ->
+          jobs := parse_jobs (String.sub s 7 (String.length s - 7));
+          parse (i + 1)
+      | "--scaling-out" ->
+          scaling_out := Sys.argv.(i + 1);
+          parse (i + 2)
       | cmd ->
           cmds := cmd :: !cmds;
           parse (i + 1)
   in
   (try parse 1
-   with _ -> prerr_endline "usage: main [tableN|figN|micro] [--scale S]");
+   with _ ->
+     prerr_endline
+       "usage: main [tableN|figN|scaling|micro] [--scale S] [--jobs 1,2,4] \
+        [--scaling-out FILE]");
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
   let scale = !scale in
   Format.fprintf ppf "ERASER reproduction harness (scale %.2f)@.@." scale;
@@ -192,6 +225,7 @@ let () =
       | "fig7" -> fig7 ~scale
       | "ablation" -> ablation ~scale
       | "resilience" -> resilience ~scale
+      | "scaling" -> scaling ~scale ~jobs:!jobs ~out:!scaling_out
       | "micro" -> micro ()
       | "all" ->
           table1 ();
@@ -202,6 +236,7 @@ let () =
           table3 ~scale;
           ablation ~scale;
           resilience ~scale;
+          scaling ~scale ~jobs:!jobs ~out:!scaling_out;
           micro ()
       | other -> Format.fprintf ppf "unknown experiment %S@." other)
     cmds

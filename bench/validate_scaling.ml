@@ -1,0 +1,59 @@
+(* Validate a BENCH_scaling.json document (bench-smoke alias): parse it
+   back through Harness.Jsonl and check the schema and the invariants the
+   sweep guarantees — every circuit carries one point per requested worker
+   count, the first point's speedup is 1.0, and the redundancy counters are
+   identical across a circuit's points (parallelism must change no
+   simulation work). *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_scaling FILE" in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "scaling" then
+    fail "%s: not a scaling document" path;
+  ignore (J.get_float "scale" doc);
+  let circuits = J.get_list "circuits" doc in
+  if circuits = [] then fail "%s: no circuits" path;
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      if J.get_int "faults" c < 1 then fail "%s: no faults" name;
+      ignore (J.get_int "cycles" c);
+      let points = J.get_list "points" c in
+      if points = [] then fail "%s: no points" name;
+      let stats_key s =
+        List.map
+          (fun f -> J.get_int f s)
+          [
+            "bn_good"; "bn_fault_exec"; "bn_skipped_explicit";
+            "bn_skipped_implicit"; "rtl_good_eval"; "rtl_fault_eval";
+          ]
+      in
+      let first_stats = ref None in
+      List.iteri
+        (fun i p ->
+          if J.get_int "jobs" p < 1 then fail "%s: bad jobs" name;
+          if J.get_float "wall_s" p < 0.0 then fail "%s: negative wall" name;
+          ignore (J.get_float "faults_per_sec" p);
+          let speedup = J.get_float "speedup" p in
+          if i = 0 && speedup <> 1.0 then
+            fail "%s: first point's speedup is %g, expected 1.0" name speedup;
+          let s =
+            match J.member "stats" p with
+            | Some s -> stats_key s
+            | None -> fail "%s: point without stats" name
+          in
+          match !first_stats with
+          | None -> first_stats := Some s
+          | Some s0 ->
+              if s <> s0 then
+                fail "%s: counters differ across worker counts" name)
+        points)
+    circuits;
+  Printf.printf "bench-smoke: %s ok (%d circuits)\n" path
+    (List.length circuits)

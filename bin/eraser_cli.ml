@@ -125,6 +125,15 @@ let describe_cmd =
 
 (* --- run --- *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains. Faults are partitioned across $(docv) parallel \
+           engine instances; verdicts and reports are identical for any \
+           $(docv).")
+
 let run_cmd =
   let engine_arg =
     Arg.(
@@ -156,13 +165,19 @@ let run_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the full campaign result as JSON.")
   in
-  let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json =
+  let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json
+      jobs =
    guard @@ fun () ->
+    if jobs < 1 then
+      raise
+        (H.Resilient.Campaign_error
+           (H.Resilient.Bad_workload
+              (Printf.sprintf "jobs must be positive, got %d" jobs)));
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
     Format.printf "%s on %s: %d cycles, %d faults@."
       (H.Campaign.engine_name engine) c.name w.Workload.cycles
       (Array.length faults);
-    let r = H.Campaign.run ~instrument engine g w faults in
+    let r = H.Campaign.run ~instrument ~jobs engine g w faults in
     Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
       (Fault.count_detected r) (Array.length faults);
     Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
@@ -221,7 +236,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a fault-simulation campaign on one circuit.")
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
-      $ verify_arg $ json_arg)
+      $ verify_arg $ json_arg $ jobs_arg)
 
 (* --- campaign (resilient runner) --- *)
 
@@ -307,13 +322,14 @@ let campaign_cmd =
   in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json =
+      inject json jobs =
    guard @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
     let config =
       {
         H.Resilient.default_config with
         H.Resilient.engine;
+        jobs;
         batch_size = batch;
         journal;
         resume;
@@ -386,7 +402,7 @@ let campaign_cmd =
       const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
-      $ json_arg)
+      $ json_arg $ jobs_arg)
 
 (* --- faults --- *)
 

@@ -19,7 +19,7 @@ let same_outputs a b =
   Array.length b = n && scan 0
 
 let run ~config g (w : Workload.t) faults =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Stats.now () in
   let w =
     Workload.checked ~num_signals:(Design.num_signals g.Elaborate.design) w
   in
@@ -62,7 +62,7 @@ let run ~config g (w : Workload.t) faults =
       stats.Stats.bn_fault_exec <-
         stats.Stats.bn_fault_exec + Simulator.proc_executions sim)
     faults;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Stats.now () -. t0 in
   stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 

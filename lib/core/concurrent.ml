@@ -27,27 +27,32 @@ let default_config =
     corrupt_verdict = None;
   }
 
-(* Growable int vector used for per-node fault sets. *)
-module Ivec = struct
-  type t = { mutable data : int array; mutable len : int }
+(* An instance is the immutable compiled form of one elaborated design:
+   every behavioral body and every continuous-assign expression, compiled
+   once. All per-campaign mutable state lives inside {!run_i}, so a single
+   instance can be reused across any number of sequential runs — the
+   parallel harness gives each worker domain its own instance and reuses it
+   for every batch that worker executes. Instances must not be shared
+   across domains concurrently (compiled closures are reentrant, but the
+   engine state that feeds them is not). *)
+type instance = {
+  inst_graph : Elaborate.t;
+  inst_procs : Compile.t array;  (** by process id *)
+  inst_assigns : Compile.compiled_expr array;  (** by assign index *)
+}
 
-  let create () = { data = Array.make 64 0; len = 0 }
-  let clear v = v.len <- 0
-
-  let push v x =
-    if v.len = Array.length v.data then begin
-      let d = Array.make (2 * v.len) 0 in
-      Array.blit v.data 0 d 0 v.len;
-      v.data <- d
-    end;
-    v.data.(v.len) <- x;
-    v.len <- v.len + 1
-
-  let iter f v =
-    for i = 0 to v.len - 1 do
-      f v.data.(i)
-    done
-end
+let instance (g : Elaborate.t) =
+  let d = g.Elaborate.design in
+  let mem_size m = d.Design.mems.(m).Design.size in
+  {
+    inst_graph = g;
+    inst_procs =
+      Array.map (fun (p : Design.proc) -> Compile.proc ~mem_size p.body) d.procs;
+    inst_assigns =
+      Array.map
+        (fun (a : Design.assign) -> Compile.expr ~mem_size a.expr)
+        d.assigns;
+  }
 
 type comb_kind =
   | Kassign of {
@@ -69,9 +74,10 @@ let edge_fired edge ~old_b ~new_b =
   | Design.Posedge -> (not (Bits.bit old_b 0)) && Bits.bit new_b 0
   | Design.Negedge -> Bits.bit old_b 0 && not (Bits.bit new_b 0)
 
-let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
+let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     faults =
-  let t_start = Unix.gettimeofday () in
+  let g = inst.inst_graph in
+  let t_start = Stats.now () in
   let d = g.design in
   let nsig = Design.num_signals d in
   let w = Workload.checked ~num_signals:nsig w in
@@ -310,16 +316,8 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
           fault_nba_mem := (!cur_pid, !cur_fault, m, a, v) :: !fault_nba_mem);
     }
   in
-  (* ---- compiled nodes ---- *)
-  let compiled_proc = Array.make nproc None in
-  let get_cp pid =
-    match compiled_proc.(pid) with
-    | Some cp -> cp
-    | None ->
-        let cp = Compile.proc ~mem_size d.procs.(pid).body in
-        compiled_proc.(pid) <- Some cp;
-        cp
-  in
+  (* ---- compiled nodes (shared, immutable — see {!instance}) ---- *)
+  let get_cp pid = inst.inst_procs.(pid) in
   let per_proc_exec = Array.make nproc 0 in
   let per_proc_impl = Array.make nproc 0 in
   let record = Array.make nproc [||] in
@@ -337,7 +335,7 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
             Kassign
               {
                 target = a.target;
-                eval = Compile.expr ~mem_size a.expr;
+                eval = inst.inst_assigns.(i);
                 reads = g.comb_reads.(pos);
                 read_mems = g.comb_read_mems.(pos);
               }
@@ -441,11 +439,11 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
   in
   (* ---- instrumentation ---- *)
   let bn_clock = ref 0.0 in
-  let bn_begin () = if config.instrument then bn_clock := Unix.gettimeofday () in
+  let bn_begin () = if config.instrument then bn_clock := Stats.now () in
   let bn_end () =
     if config.instrument then
       stats.Stats.bn_seconds <-
-        stats.Stats.bn_seconds +. (Unix.gettimeofday () -. !bn_clock)
+        stats.Stats.bn_seconds +. (Stats.now () -. !bn_clock)
   in
   (* ---- combinational settle ---- *)
   let process_comb pos =
@@ -898,12 +896,17 @@ let run ?(config = default_config) ?probe (g : Elaborate.t) (w : Workload.t)
       detected.(f) <- not detected.(f);
       detection_cycle.(f) <- (if detected.(f) then 0 else -1)
   | Some _ | None -> ());
-  let wall = Unix.gettimeofday () -. t_start in
+  let wall = Stats.now () -. t_start in
   stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 
-let run_batch ?config ?probe g w faults ~ids =
+let run ?config ?probe g w faults = run_i ?config ?probe (instance g) w faults
+
+let run_batch ?config ?probe ?instance:existing g w faults ~ids =
   let sub =
     Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
   in
-  run ?config ?probe g w sub
+  let inst =
+    match existing with Some inst -> inst | None -> instance g
+  in
+  run_i ?config ?probe inst w sub

@@ -50,6 +50,17 @@ type config = {
 
 val default_config : config
 
+(** The immutable compiled form of one elaborated design: every behavioral
+    body and continuous-assign expression, compiled once. All per-campaign
+    mutable state is allocated inside each run, so one instance is reusable
+    across any number of {e sequential} runs — the parallel harness builds
+    one instance per worker domain and amortises compilation over that
+    worker's batches. An instance must not be used by two domains at the
+    same time. *)
+type instance
+
+val instance : Elaborate.t -> instance
+
 (** Run a fault-simulation campaign. The result's detected set matches the
     serial per-fault oracle for any mode. Setting the environment variable
     [ERASER_PROC_STATS] prints per-process executed/implicit counters to
@@ -67,15 +78,27 @@ val run :
     current value (good value overlaid with the fault's diffs). Used by the
     differential tests to localise divergences. *)
 
+(** [run_i inst w faults] — as {!run}, over a prebuilt {!instance} (skips
+    recompilation; the per-batch entry point of the parallel harness). *)
+val run_i :
+  ?config:config ->
+  ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  instance ->
+  Workload.t ->
+  Fault.t array ->
+  Fault.result
+
 (** [run_batch g w faults ~ids] runs the subset [ids] of the campaign's
     fault list: the selected faults are renumbered to dense ids [0..n-1]
     (the engine's indexing invariant) and simulated together. The result is
     indexed by position in [ids]; because faulty networks never interact,
     each fault's verdict equals its verdict in a whole-list run — the
-    property the resilient runner's batching relies on. *)
+    property the resilient runner's batching relies on. [?instance] reuses
+    a prebuilt instance instead of recompiling the design. *)
 val run_batch :
   ?config:config ->
   ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  ?instance:instance ->
   Elaborate.t ->
   Workload.t ->
   Fault.t array ->

@@ -18,6 +18,15 @@ let int t bound =
 let bits t width = Rtlir.Bits.make width (next t)
 let bool t = Int64.logand (next t) 1L = 1L
 
+let seed t = t.state
+
+let split t n =
+  if n < 0 then invalid_arg "Rng.split: negative count";
+  (* Each child is seeded with one full splitmix64 output of the parent, so
+     sibling streams start from well-mixed, distinct states and the whole
+     family is a pure function of the parent's state at the split point. *)
+  Array.init n (fun _ -> create (next t))
+
 let shuffle t arr =
   for i = Array.length arr - 1 downto 1 do
     let j = int t (i + 1) in

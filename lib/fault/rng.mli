@@ -18,5 +18,17 @@ val bits : t -> int -> Rtlir.Bits.t
 
 val bool : t -> bool
 
+(** Current state, usable as the seed of a derived generator:
+    [create (seed t)] continues exactly where [t] is now. *)
+val seed : t -> int64
+
+(** [split t n] derives [n] independent child generators, each seeded with
+    one splitmix64 output of [t] (advancing [t] by [n] draws). The family
+    is deterministic in the parent's state at the split point, and sibling
+    streams are statistically independent — the per-partition RNG
+    primitive: one child per worker domain, per random-design section, or
+    per workload shard. *)
+val split : t -> int -> t array
+
 (** Fisher-Yates shuffle (in place). *)
 val shuffle : t -> 'a array -> unit

@@ -10,6 +10,23 @@ type t = {
   mutable per_proc : (string * int * int) array;
 }
 
+(* Monotonic-safe wall clock. [Unix.gettimeofday] can step backwards under
+   NTP adjustment; feeding a negative delta into the accumulated timing
+   counters would corrupt every percentage derived from them. The guard
+   never returns a value below any previously returned one, across all
+   domains (one shared high-water mark, CAS-advanced). *)
+let clock_hwm = Atomic.make 0.0
+
+let now () =
+  let rec advance () =
+    let last = Atomic.get clock_hwm in
+    let t = Unix.gettimeofday () in
+    if t <= last then last
+    else if Atomic.compare_and_set clock_hwm last t then t
+    else advance ()
+  in
+  advance ()
+
 let create () =
   {
     bn_good = 0;

@@ -27,6 +27,13 @@ type t = {
 
 val create : unit -> t
 
+(** Monotonic-safe wall clock, shared by every engine's instrumentation:
+    [Unix.gettimeofday] guarded so no call ever returns less than a
+    previous call (in any domain — the high-water mark is one process-wide
+    atomic). Deltas between two [now] readings are therefore never
+    negative, even across an NTP step. *)
+val now : unit -> float
+
 (** Faulty behavioral executions had no elimination been applied. *)
 val total_bn_executions : t -> int
 

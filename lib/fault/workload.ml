@@ -64,7 +64,7 @@ let with_budget ?max_cycles ?deadline w =
              })
     | _ -> ());
     (match deadline with
-    | Some t when Unix.gettimeofday () > t ->
+    | Some t when Stats.now () > t ->
         raise (Budget_exceeded { cycle; reason = "wall-clock budget exhausted" })
     | _ -> ());
     w.drive cycle

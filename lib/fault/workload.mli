@@ -46,7 +46,9 @@ val checked : num_signals:int -> t -> t
 
 (** [with_budget ?max_cycles ?deadline w] installs a per-run watchdog: the
     wrapped drive raises {!Budget_exceeded} when the cycle index reaches
-    [max_cycles] or when [Unix.gettimeofday () > deadline]. The exception
+    [max_cycles] or when [Stats.now () > deadline] (the monotonic-safe
+    wall clock, so a backwards clock step never arms or disarms the
+    watchdog spuriously). The exception
     propagates out of [run] (and out of any engine), leaving the engine's
     partial state behind — callers are expected to retry with a smaller
     fault batch or report a timeout. *)

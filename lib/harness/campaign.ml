@@ -19,7 +19,7 @@ let concurrent_mode = function
   | Eraser -> Engine.Concurrent.Full
   | Ifsim | Vfsim -> invalid_arg "concurrent_mode"
 
-let run ?(instrument = false) engine (g : Rtlir.Elaborate.t) w faults =
+let run_mono ~instrument engine (g : Rtlir.Elaborate.t) w faults =
   match engine with
   | Ifsim -> Baselines.Serial.ifsim g w faults
   | Vfsim -> Baselines.Serial.vfsim g w faults
@@ -33,6 +33,67 @@ let run ?(instrument = false) engine (g : Rtlir.Elaborate.t) w faults =
       in
       Engine.Concurrent.run ~config g w faults
 
-let run_circuit ?instrument engine (c : Circuits.Bench_circuit.t) ~scale =
+(* Fault-partition parallel run: the fault list is cut into [jobs]
+   contiguous chunks, one per worker domain. Faulty networks never
+   interact, so each chunk's verdicts equal the monolithic run's; the merge
+   walks chunks in index order, so verdicts and merged stats are
+   deterministic whatever order the workers finish in. *)
+let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+  let open Faultsim in
+  let t0 = Stats.now () in
+  let n = Array.length faults in
+  let k = min jobs n in
+  let chunks =
+    Array.init k (fun i ->
+        let lo = i * n / k and hi = (i + 1) * n / k in
+        Array.init (hi - lo) (fun j -> lo + j))
+  in
+  let renumber ids = Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids in
+  let results =
+    Pool.with_pool ~jobs:k (fun pool ->
+        let futures =
+          Array.map
+            (fun ids ->
+              Pool.submit pool (fun (_ : Pool.ctx) ->
+                  match engine with
+                  | Ifsim -> Baselines.Serial.ifsim g w (renumber ids)
+                  | Vfsim -> Baselines.Serial.vfsim g w (renumber ids)
+                  | e ->
+                      let config =
+                        {
+                          Engine.Concurrent.default_config with
+                          mode = concurrent_mode e;
+                          instrument;
+                        }
+                      in
+                      Engine.Concurrent.run_batch ~config g w faults ~ids))
+            chunks
+        in
+        Array.map Pool.await futures)
+  in
+  let detected = Array.make n false in
+  let detection_cycle = Array.make n (-1) in
+  let stats = ref (Stats.create ()) in
+  Array.iteri
+    (fun ci (r : Fault.result) ->
+      Array.iteri
+        (fun j id ->
+          detected.(id) <- r.Fault.detected.(j);
+          detection_cycle.(id) <- r.Fault.detection_cycle.(j))
+        chunks.(ci);
+      stats := Stats.add !stats r.Fault.stats)
+    results;
+  let wall = Stats.now () -. t0 in
+  !stats.Stats.total_seconds <- wall;
+  Fault.make_result ~detected ~detection_cycle ~stats:!stats ~wall_time:wall ()
+
+let run ?(instrument = false) ?(jobs = 1) engine (g : Rtlir.Elaborate.t) w
+    faults =
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  if jobs = 1 || Array.length faults = 0 then run_mono ~instrument engine g w faults
+  else run_partitioned ~instrument ~jobs engine g w faults
+
+let run_circuit ?instrument ?jobs engine (c : Circuits.Bench_circuit.t) ~scale
+    =
   let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
-  run ?instrument engine g w faults
+  run ?instrument ?jobs engine g w faults

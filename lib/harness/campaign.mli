@@ -24,8 +24,18 @@ val all_engines : engine list
     [Invalid_argument] for the serial baselines [Ifsim] and [Vfsim]. *)
 val concurrent_mode : engine -> Engine.Concurrent.mode
 
+(** [run ?jobs engine g w faults] — with [jobs > 1] (default 1) the fault
+    list is partitioned into [jobs] contiguous chunks simulated by a
+    {!Pool} of worker domains. Verdicts and detection cycles are identical
+    to the monolithic run for any [jobs] (faulty networks never interact);
+    counters tied to the partitioning differ — each worker re-simulates
+    the good network ([bn_good], [rtl_good_eval] scale with the partition
+    count) and faulty RTL-evaluation sharing is per-partition. For
+    byte-identical reports at any [jobs], use {!Resilient.run}, whose
+    batch decomposition is independent of the worker count. *)
 val run :
   ?instrument:bool ->
+  ?jobs:int ->
   engine ->
   Rtlir.Elaborate.t ->
   Faultsim.Workload.t ->
@@ -35,6 +45,7 @@ val run :
 (** Instantiate a registered circuit and run it on one engine. *)
 val run_circuit :
   ?instrument:bool ->
+  ?jobs:int ->
   engine ->
   Circuits.Bench_circuit.t ->
   scale:float ->

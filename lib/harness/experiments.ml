@@ -202,6 +202,100 @@ let resilience ~scale =
       })
     resilience_names
 
+type scaling_point = {
+  sp_jobs : int;
+  sp_wall : float;
+  sp_faults_per_sec : float;
+  sp_speedup : float;  (* vs the first (jobs = 1) point of the same row *)
+  sp_stats : Stats.t;
+}
+
+type scaling_row = {
+  sc_name : string;
+  sc_faults : int;
+  sc_cycles : int;
+  sc_points : scaling_point list;
+}
+
+(* Multicore scaling sweep: the same resilient campaign at several worker
+   counts. The batch decomposition (and therefore every verdict and
+   counter) is fixed by the fault count alone — only wall time responds to
+   [jobs] — so the sweep isolates the parallel speedup. *)
+let scaling ?(jobs = [ 1; 2; 4; 8 ]) ~scale () =
+  List.map
+    (fun (c : Circuits.Bench_circuit.t) ->
+      let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+      let n = Array.length faults in
+      let base_wall = ref 0.0 in
+      let points =
+        List.map
+          (fun j ->
+            let config =
+              {
+                Resilient.default_config with
+                Resilient.jobs = j;
+                batch_size = max 1 (n / 16);
+              }
+            in
+            let s = Resilient.run ~config g w faults in
+            let wall = s.Resilient.result.Fault.wall_time in
+            if !base_wall = 0.0 then base_wall := wall;
+            {
+              sp_jobs = j;
+              sp_wall = wall;
+              sp_faults_per_sec =
+                (if wall > 0.0 then float_of_int n /. wall else 0.0);
+              sp_speedup = (if wall > 0.0 then !base_wall /. wall else 1.0);
+              sp_stats = s.Resilient.result.Fault.stats;
+            })
+          jobs
+      in
+      {
+        sc_name = c.paper_name;
+        sc_faults = n;
+        sc_cycles = w.Workload.cycles;
+        sc_points = points;
+      })
+    Circuits.all
+
+let scaling_json ~scale rows =
+  let stats_json (s : Stats.t) =
+    Jsonl.Obj
+      [
+        ("bn_good", Jsonl.Int s.Stats.bn_good);
+        ("bn_fault_exec", Jsonl.Int s.Stats.bn_fault_exec);
+        ("bn_skipped_explicit", Jsonl.Int s.Stats.bn_skipped_explicit);
+        ("bn_skipped_implicit", Jsonl.Int s.Stats.bn_skipped_implicit);
+        ("rtl_good_eval", Jsonl.Int s.Stats.rtl_good_eval);
+        ("rtl_fault_eval", Jsonl.Int s.Stats.rtl_fault_eval);
+      ]
+  in
+  let point_json p =
+    Jsonl.Obj
+      [
+        ("jobs", Jsonl.Int p.sp_jobs);
+        ("wall_s", Jsonl.Float p.sp_wall);
+        ("faults_per_sec", Jsonl.Float p.sp_faults_per_sec);
+        ("speedup", Jsonl.Float p.sp_speedup);
+        ("stats", stats_json p.sp_stats);
+      ]
+  in
+  let row_json r =
+    Jsonl.Obj
+      [
+        ("name", Jsonl.String r.sc_name);
+        ("faults", Jsonl.Int r.sc_faults);
+        ("cycles", Jsonl.Int r.sc_cycles);
+        ("points", Jsonl.List (List.map point_json r.sc_points));
+      ]
+  in
+  Jsonl.Obj
+    [
+      ("experiment", Jsonl.String "scaling");
+      ("scale", Jsonl.Float scale);
+      ("circuits", Jsonl.List (List.map row_json rows));
+    ]
+
 let mean_speedup rows ~num ~den =
   let log_sum, n =
     List.fold_left

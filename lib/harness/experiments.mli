@@ -78,3 +78,31 @@ type resilience_row = {
     monolithic coverage, crash/resume equivalence through the journal, and
     quarantine of an injected engine divergence. *)
 val resilience : scale:float -> resilience_row list
+
+type scaling_point = {
+  sp_jobs : int;
+  sp_wall : float;  (** whole-campaign wall time at this worker count *)
+  sp_faults_per_sec : float;
+  sp_speedup : float;  (** vs the row's first point (jobs = 1) *)
+  sp_stats : Faultsim.Stats.t;
+      (** redundancy-hit counters — identical across the row's points, a
+          built-in check that parallelism changed no simulation work *)
+}
+
+type scaling_row = {
+  sc_name : string;
+  sc_faults : int;
+  sc_cycles : int;
+  sc_points : scaling_point list;
+}
+
+(** Multicore scaling sweep (DESIGN.md §9): every Table II circuit through
+    the resilient runner at each worker count in [jobs] (default
+    [1; 2; 4; 8]). Speedups are relative to the first point; real gains of
+    course require as many hardware cores as workers. *)
+val scaling : ?jobs:int list -> scale:float -> unit -> scaling_row list
+
+(** One-line JSON document for [BENCH_scaling.json] (parse it back with
+    {!Jsonl.parse}): [{experiment, scale, circuits: [{name, faults, cycles,
+    points: [{jobs, wall_s, faults_per_sec, speedup, stats}]}]}]. *)
+val scaling_json : scale:float -> scaling_row list -> Jsonl.t

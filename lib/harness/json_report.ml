@@ -43,9 +43,12 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
   Format.fprintf ppf
     "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
      \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
-     \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d },@."
+     \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d, \"eliminated\": %d, \
+     \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \"bn_seconds\": %.6f },@."
     s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
-    s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval;
+    s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval
+    (Stats.eliminated s) (Stats.explicit_pct s) (Stats.implicit_pct s)
+    s.Stats.bn_seconds;
   Format.fprintf ppf "  \"fault_list\": [@.";
   Array.iteri
     (fun i (f : Fault.t) ->

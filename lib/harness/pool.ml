@@ -1,0 +1,211 @@
+open Faultsim
+module Ivec = Engine.Ivec
+
+type ctx = { worker : int; jobs : int; rng : Rng.t }
+
+exception Shutdown
+
+type 'a fstate =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  mutable st : 'a fstate;
+  fm : Mutex.t;  (* the pool's lock — completion is signalled on [fc] *)
+  fc : Condition.t;
+}
+
+(* A queued task: [run] executes it and records the outcome in its future;
+   [cancel] completes the future with [Shutdown]. [cancel] is called with
+   the pool lock held, so it must not lock. *)
+type task = { run : ctx -> unit; cancel : unit -> unit }
+
+(* Elements [head, length) are live; the owner pops from the back, thieves
+   advance [head]. Resetting [head] when the deque empties keeps the
+   backing storage bounded by the peak queue depth. *)
+type deque = { iv : Ivec.t; mutable head : int }
+
+type t = {
+  m : Mutex.t;
+  cond : Condition.t;
+  deques : deque array;  (* one per worker, task ids *)
+  mutable tasks : task option array;  (* slot emptied once claimed *)
+  mutable ntasks : int;
+  mutable closed : bool;
+  mutable next : int;  (* round-robin submission cursor *)
+  rngs : Rng.t array;
+  mutable domains : unit Domain.t array;
+  njobs : int;
+}
+
+let jobs t = t.njobs
+
+let deque_empty d =
+  if d.head = Ivec.length d.iv then begin
+    Ivec.clear d.iv;
+    d.head <- 0;
+    true
+  end
+  else false
+
+let take_back d =
+  if deque_empty d then None
+  else begin
+    let id = Ivec.pop d.iv in
+    ignore (deque_empty d);
+    Some id
+  end
+
+let steal_front d =
+  if deque_empty d then None
+  else begin
+    let id = Ivec.get d.iv d.head in
+    d.head <- d.head + 1;
+    ignore (deque_empty d);
+    Some id
+  end
+
+(* Own deque first (LIFO keeps caches warm), then scan siblings from the
+   next index so thieves spread out. Caller holds the lock. *)
+let find_work t w =
+  match take_back t.deques.(w) with
+  | Some _ as r -> r
+  | None ->
+      let rec scan i =
+        if i = t.njobs then None
+        else
+          match steal_front t.deques.((w + i) mod t.njobs) with
+          | Some _ as r -> r
+          | None -> scan (i + 1)
+      in
+      scan 1
+
+let worker_loop t w =
+  let ctx = { worker = w; jobs = t.njobs; rng = t.rngs.(w) } in
+  Mutex.lock t.m;
+  let rec loop () =
+    match find_work t w with
+    | Some id ->
+        let task =
+          match t.tasks.(id) with Some k -> k | None -> assert false
+        in
+        t.tasks.(id) <- None;
+        Mutex.unlock t.m;
+        task.run ctx;
+        Mutex.lock t.m;
+        loop ()
+    | None ->
+        if t.closed then Mutex.unlock t.m
+        else begin
+          Condition.wait t.cond t.m;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ?(seed = 0x51CA5EEDL) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      m = Mutex.create ();
+      cond = Condition.create ();
+      deques =
+        Array.init jobs (fun _ -> { iv = Ivec.create ~capacity:16 (); head = 0 });
+      tasks = Array.make 64 None;
+      ntasks = 0;
+      closed = false;
+      next = 0;
+      rngs = Rng.split (Rng.create seed) jobs;
+      domains = [||];
+      njobs = jobs;
+    }
+  in
+  t.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+let submit t f =
+  let fut = { st = Pending; fm = t.m; fc = t.cond } in
+  let run ctx =
+    let r =
+      try Done (f ctx)
+      with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.m;
+    fut.st <- r;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.m
+  in
+  let cancel () =
+    match fut.st with
+    | Pending -> fut.st <- Failed (Shutdown, Printexc.get_callstack 0)
+    | Done _ | Failed _ -> ()
+  in
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let id = t.ntasks in
+  if id = Array.length t.tasks then begin
+    let a = Array.make (2 * id) None in
+    Array.blit t.tasks 0 a 0 id;
+    t.tasks <- a
+  end;
+  t.tasks.(id) <- Some { run; cancel };
+  t.ntasks <- id + 1;
+  Ivec.push t.deques.(t.next).iv id;
+  t.next <- (t.next + 1) mod t.njobs;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.st with
+    | Pending ->
+        Condition.wait fut.fc fut.fm;
+        wait ()
+    | Done v ->
+        Mutex.unlock fut.fm;
+        v
+    | Failed (e, bt) ->
+        Mutex.unlock fut.fm;
+        Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let shutdown ?(discard = false) t =
+  Mutex.lock t.m;
+  if t.closed then Mutex.unlock t.m
+  else begin
+    t.closed <- true;
+    if discard then
+      Array.iter
+        (fun d ->
+          while not (deque_empty d) do
+            let id = Ivec.get d.iv d.head in
+            d.head <- d.head + 1;
+            match t.tasks.(id) with
+            | Some task ->
+                t.tasks.(id) <- None;
+                task.cancel ()
+            | None -> ()
+          done)
+        t.deques;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains
+  end
+
+let with_pool ?seed ~jobs f =
+  let t = create ?seed ~jobs () in
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown ~discard:true t;
+      Printexc.raise_with_backtrace e bt

@@ -143,7 +143,14 @@ let rec gen_comb_stmt rng pool mems targets depth =
           ]
 
 let generate ?(cycles = 150) ?(max_faults = 60) ~seed () =
+  (* The structure stream is seeded directly; workload and fault sampling
+     get independent streams split from an auxiliary parent, so the
+     stimulus and fault list do not depend on how many draws the structure
+     generator happened to consume. *)
   let rng = Rng.create seed in
+  let streams = Rng.split (Rng.create (Int64.lognot seed)) 2 in
+  let workload_seed = Rng.seed streams.(0) in
+  let fault_seed = Rng.seed streams.(1) in
   let ctx = B.create (Printf.sprintf "rand_%Ld" seed) in
   let clk = B.input ctx "clk" 1 in
   let n_in = 2 + Rng.int rng 4 in
@@ -259,8 +266,8 @@ let generate ?(cycles = 150) ?(max_faults = 60) ~seed () =
     {
       Workload.cycles;
       clock = clk_id;
-      drive = Workload.random_drive ~seed:(Int64.add seed 1L) ~inputs ();
+      drive = Workload.random_drive ~seed:workload_seed ~inputs ();
     }
   in
-  let faults = Fault.generate ~max_faults ~seed:(Int64.add seed 2L) design in
+  let faults = Fault.generate ~max_faults ~seed:fault_seed design in
   { design; graph; workload; faults }

@@ -132,6 +132,22 @@ let mem_ablation ppf rows =
         r.m_time_conservative)
     rows
 
+let scaling ppf rows =
+  Format.fprintf ppf
+    "Scaling: fault-partition parallelism over worker domains@.";
+  Format.fprintf ppf "  %-12s %7s %7s | %s@." "Benchmark" "#Faults" "#Cycles"
+    "per jobs: wall(s) faults/s speedup";
+  List.iter
+    (fun (r : Experiments.scaling_row) ->
+      Format.fprintf ppf "  %-12s %7d %7d |" r.sc_name r.sc_faults r.sc_cycles;
+      List.iter
+        (fun (p : Experiments.scaling_point) ->
+          Format.fprintf ppf "  j%d: %.3f %.0f %.2fx" p.sp_jobs p.sp_wall
+            p.sp_faults_per_sec p.sp_speedup)
+        r.sc_points;
+      Format.fprintf ppf "@.")
+    rows
+
 let resilience ppf rows =
   Format.fprintf ppf
     "Resilient runner: batched / resumed coverage parity and divergence \

@@ -15,3 +15,6 @@ val mem_ablation :
   Format.formatter -> Experiments.mem_ablation_row list -> unit
 
 val resilience : Format.formatter -> Experiments.resilience_row list -> unit
+
+(** Text table for the multicore scaling sweep. *)
+val scaling : Format.formatter -> Experiments.scaling_row list -> unit

@@ -49,6 +49,7 @@ let exit_code = function
 
 type config = {
   engine : Campaign.engine;
+  jobs : int;
   batch_size : int;
   max_batch_seconds : float option;
   max_batch_cycles : int option;
@@ -64,6 +65,7 @@ type config = {
 let default_config =
   {
     engine = Campaign.Eraser;
+    jobs = 1;
     batch_size = 64;
     max_batch_seconds = None;
     max_batch_cycles = None;
@@ -309,12 +311,16 @@ let index_of ids x =
 
 let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     faults =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Stats.now () in
   if config.batch_size < 1 then
     err
       (Bad_workload
          (Printf.sprintf "batch size must be positive, got %d"
             config.batch_size));
+  if config.jobs < 1 then
+    err
+      (Bad_workload
+         (Printf.sprintf "jobs must be positive, got %d" config.jobs));
   if config.oracle_sample < 0.0 || config.oracle_sample > 1.0 then
     err
       (Bad_workload
@@ -361,11 +367,23 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     try Baselines.Serial.ifsim g w (renumber faults ids)
     with Workload.Invalid_workload msg -> err (Bad_workload msg)
   in
-  let engine_on ids =
+  (* Per-worker engine instance: the compiled design is immutable once
+     built, but each worker gets its own so instances are never shared
+     across domains, and reuse across a worker's batches amortises
+     compilation. Each slot is touched only by its owning worker (slot 0 by
+     the jobs = 1 serial loop). *)
+  let instances = Array.make config.jobs None in
+  let instance_for worker =
+    match instances.(worker) with
+    | Some inst -> inst
+    | None ->
+        let inst = Engine.Concurrent.instance g in
+        instances.(worker) <- Some inst;
+        inst
+  in
+  let engine_on ~worker ids =
     let deadline =
-      Option.map
-        (fun s -> Unix.gettimeofday () +. s)
-        config.max_batch_seconds
+      Option.map (fun s -> Stats.now () +. s) config.max_batch_seconds
     in
     let wb =
       Workload.with_budget ?max_cycles:config.max_batch_cycles ?deadline w
@@ -386,26 +404,27 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
             corrupt_verdict;
           }
         in
-        Engine.Concurrent.run_batch ~config:cc g wb faults ~ids
+        Engine.Concurrent.run_batch ~config:cc
+          ~instance:(instance_for worker) g wb faults ~ids
   in
-  let retries = ref 0 in
+  let retries = Atomic.make 0 in
   (* Run one batch under the watchdog. A budget trip splits the batch in
      half and retries both halves with a fresh budget, down to single-fault
      batches or [max_retries] split generations — whichever comes first —
      then reports a structured timeout. *)
-  let rec exec_pieces b_index depth ids =
-    match engine_on ids with
+  let rec exec_pieces ~worker b_index depth ids =
+    match engine_on ~worker ids with
     | r -> [ (ids, r) ]
     | exception Workload.Budget_exceeded { cycle; reason } ->
         if Array.length ids <= 1 || depth >= config.max_retries then
           err (Batch_timeout { batch = b_index; ids; cycle; reason })
         else begin
-          incr retries;
+          Atomic.incr retries;
           let half = Array.length ids / 2 in
           let left = Array.sub ids 0 half in
           let right = Array.sub ids half (Array.length ids - half) in
-          exec_pieces b_index (depth + 1) left
-          @ exec_pieces b_index (depth + 1) right
+          exec_pieces ~worker b_index (depth + 1) left
+          @ exec_pieces ~worker b_index (depth + 1) right
         end
     | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
   in
@@ -421,9 +440,9 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
        Rng.int rng 1_000_000
        < int_of_float (config.oracle_sample *. 1_000_000.))
   in
-  let run_one_batch b_index ids =
-    let t = Unix.gettimeofday () in
-    let pieces = exec_pieces b_index 0 ids in
+  let run_one_batch ~worker b_index ids =
+    let t = Stats.now () in
+    let pieces = exec_pieces ~worker b_index 0 ids in
     let nb = Array.length ids in
     let detected = Array.make nb false in
     let cycles = Array.make nb (-1) in
@@ -473,27 +492,53 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       b_detected = detected;
       b_cycles = cycles;
       b_stats = !stats;
-      b_wall = Unix.gettimeofday () -. t;
+      b_wall = Stats.now () -. t;
       b_oracle_checked = sampled;
       b_divergences = List.rev !divergences;
     }
   in
   let executed = ref 0 in
+  (* The coordinator is the only domain that touches [outcomes] and the
+     journal: workers hand finished batches back through futures, and the
+     coordinator records them in batch-index order. The journal therefore
+     always holds an index-ordered prefix (plus resumed records), and the
+     final merge below is independent of which worker ran which batch — the
+     report is byte-identical for any [jobs]. *)
+  let record i b =
+    outcomes.(i) <- Some b;
+    incr executed;
+    match jout with
+    | Some oc -> append_record oc (batch_to_json b)
+    | None -> ()
+  in
   Fun.protect
     ~finally:(fun () ->
       match jout with Some oc -> close_out_noerr oc | None -> ())
     (fun () ->
-      for i = 0 to nbatches - 1 do
-        match outcomes.(i) with
-        | Some _ -> ()
-        | None ->
-            let b = run_one_batch i expected_ids.(i) in
-            outcomes.(i) <- Some b;
-            incr executed;
-            (match jout with
-            | Some oc -> append_record oc (batch_to_json b)
-            | None -> ())
-      done);
+      if config.jobs = 1 then
+        for i = 0 to nbatches - 1 do
+          match outcomes.(i) with
+          | Some _ -> ()
+          | None -> record i (run_one_batch ~worker:0 i expected_ids.(i))
+        done
+      else
+        Pool.with_pool ~jobs:config.jobs (fun pool ->
+            let futures =
+              Array.init nbatches (fun i ->
+                  match outcomes.(i) with
+                  | Some _ -> None
+                  | None ->
+                      Some
+                        (Pool.submit pool (fun (ctx : Pool.ctx) ->
+                             run_one_batch ~worker:ctx.Pool.worker i
+                               expected_ids.(i))))
+            in
+            Array.iteri
+              (fun i fut ->
+                match fut with
+                | None -> ()
+                | Some fut -> record i (Pool.await fut))
+              futures));
   let detected = Array.make n false in
   let detection_cycle = Array.make n (-1) in
   let stats = ref (Stats.create ()) in
@@ -512,7 +557,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
           if b.b_oracle_checked then incr oracle_checked;
           divergences := !divergences @ b.b_divergences)
     outcomes;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Stats.now () -. t0 in
   !stats.Stats.total_seconds <- wall;
   let result =
     Fault.make_result ~detected ~detection_cycle ~stats:!stats
@@ -523,7 +568,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     batches_total = nbatches;
     batches_resumed = List.length resumed;
     batches_executed = !executed;
-    retries = !retries;
+    retries = Atomic.get retries;
     oracle_checked = !oracle_checked;
     divergences = !divergences;
     quarantined = List.map (fun d -> d.div_fault) !divergences;

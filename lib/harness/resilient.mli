@@ -72,6 +72,12 @@ val exit_code : campaign_error -> int
 
 type config = {
   engine : Campaign.engine;
+  jobs : int;
+      (** worker domains, >= 1. With [jobs > 1] batches are dispatched to a
+          {!Pool} of domains, each owning an independent engine instance;
+          the coordinator journals and merges outcomes in batch-index
+          order, so the final report is byte-identical for any [jobs] (and
+          a journal written at one [jobs] resumes at another). *)
   batch_size : int;  (** faults per batch, >= 1 *)
   max_batch_seconds : float option;  (** per-batch wall-clock budget *)
   max_batch_cycles : int option;  (** per-batch cycle budget *)

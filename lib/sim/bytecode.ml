@@ -154,9 +154,14 @@ let compile ~mem_size e =
   }
 
 let zero_v4 = { av = 0L; bx = 0L; w = 1 }
-let scratch = ref (Array.make 64 zero_v4)
+
+(* Evaluation scratch stack. Domain-local: concurrent campaigns run one
+   simulator per worker domain, and a process-global buffer would be a data
+   race (two domains growing and writing the same array). *)
+let scratch_key = Domain.DLS.new_key (fun () -> ref (Array.make 64 zero_v4))
 
 let eval_v4 p (r : Access.reader) =
+  let scratch = Domain.DLS.get scratch_key in
   let stack =
     if Array.length !scratch >= p.max_stack then !scratch
     else begin

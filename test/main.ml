@@ -16,4 +16,6 @@ let () =
       ("transient", Test_transient.suite);
       ("differential", Test_rand_diff.suite);
       ("resilient", Test_resilient.suite);
+      ("ivec", Test_ivec.suite);
+      ("pool", Test_pool.suite);
     ]
