@@ -16,7 +16,11 @@ let () =
   let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
   if J.get_string "experiment" doc <> "scaling" then
     fail "%s: not a scaling document" path;
-  ignore (J.get_float "scale" doc);
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  ignore (finite "scale" (J.get_float "scale" doc));
   let circuits = J.get_list "circuits" doc in
   if circuits = [] then fail "%s: no circuits" path;
   List.iter
@@ -38,9 +42,10 @@ let () =
       List.iteri
         (fun i p ->
           if J.get_int "jobs" p < 1 then fail "%s: bad jobs" name;
-          if J.get_float "wall_s" p < 0.0 then fail "%s: negative wall" name;
-          ignore (J.get_float "faults_per_sec" p);
-          let speedup = J.get_float "speedup" p in
+          if finite "wall_s" (J.get_float "wall_s" p) < 0.0 then
+            fail "%s: negative wall" name;
+          ignore (finite "faults_per_sec" (J.get_float "faults_per_sec" p));
+          let speedup = finite "speedup" (J.get_float "speedup" p) in
           if i = 0 && speedup <> 1.0 then
             fail "%s: first point's speedup is %g, expected 1.0" name speedup;
           let s =

@@ -1,0 +1,91 @@
+(* Validate the observability artifacts of a traced smoke campaign
+   (bench-smoke alias): the Chrome trace_event document must be well-formed
+   and contain the span families the engine promises, and the metrics
+   document must parse with finite values and the core engine metrics
+   present. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  let text = String.trim (read_all path) in
+  if text = "" then fail "%s: empty" path;
+  try J.parse text with J.Parse_error m -> fail "%s: %s" path m
+
+let check_trace path =
+  let doc = parse path in
+  let events =
+    match J.member "traceEvents" doc with
+    | Some (J.List l) -> l
+    | _ -> fail "%s: no traceEvents array" path
+  in
+  if events = [] then fail "%s: empty trace" path;
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i e ->
+      let name = J.get_string "name" e in
+      if name = "" then fail "%s: event %d has an empty name" path i;
+      let ph = J.get_string "ph" e in
+      if not (List.mem ph [ "X"; "C"; "i" ]) then
+        fail "%s: event %d has unknown phase %S" path i ph;
+      if J.get_float "ts" e < 0.0 then
+        fail "%s: event %d has negative timestamp" path i;
+      ignore (J.get_int "pid" e);
+      ignore (J.get_int "tid" e);
+      if ph = "X" && J.get_float "dur" e < 0.0 then
+        fail "%s: event %d has negative duration" path i;
+      Hashtbl.replace seen name ())
+    events;
+  List.iter
+    (fun required ->
+      if not (Hashtbl.mem seen required) then
+        fail "%s: no %S span recorded" path required)
+    [ "fault_sim_run"; "good_sim"; "bn_eval"; "vdg_walk" ];
+  List.length events
+
+let check_metrics path =
+  let doc = parse path in
+  let metrics =
+    match J.member "metrics" doc with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> fail "%s: no metrics object" path
+  in
+  if metrics = [] then fail "%s: empty metrics" path;
+  let finite name v =
+    if not (Float.is_finite v) then fail "%s: %s is not finite" path name
+  in
+  List.iter
+    (fun (name, m) ->
+      match J.get_string "type" m with
+      | "counter" ->
+          if J.get_int "value" m < 0 then fail "%s: %s negative" path name
+      | "histogram" ->
+          if J.get_int "count" m < 0 then fail "%s: %s negative" path name;
+          finite name (J.get_float "sum" m);
+          finite name (J.get_float "max" m);
+          List.iter
+            (fun b -> if J.get_int "count" b < 0 then fail "%s: %s bucket" path name)
+            (J.get_list "buckets" m)
+      | k -> fail "%s: %s has unknown type %S" path name k)
+    metrics;
+  let has name = List.mem_assoc name metrics in
+  if not (has "engine.bn_fault_exec") then
+    fail "%s: counter engine.bn_fault_exec missing" path;
+  if not (has "engine.vdg_walk_depth") then
+    fail "%s: histogram engine.vdg_walk_depth missing" path;
+  List.length metrics
+
+let () =
+  if Array.length Sys.argv < 3 then
+    fail "usage: validate_trace TRACE_FILE METRICS_FILE";
+  let nev = check_trace Sys.argv.(1) in
+  let nm = check_metrics Sys.argv.(2) in
+  Printf.printf "bench-smoke: %s ok (%d events), %s ok (%d metrics)\n"
+    Sys.argv.(1) nev Sys.argv.(2) nm

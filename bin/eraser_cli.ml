@@ -75,6 +75,54 @@ let scale_arg =
           "Scale stimulus length and fault count relative to the paper's \
            Table II parameters.")
 
+(* --- observability flags (run + campaign) --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Profile the campaign and write a Chrome trace_event JSON file \
+           to $(docv) (open in chrome://tracing or Perfetto): spans for \
+           engine runs, batches, good simulation, behavioral-node \
+           evaluations and VDG walks, one track per worker domain.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record named engine metrics (execution/skip counters per \
+           behavioral node, VDG walk depth and detection-latency \
+           histograms) and write them as JSON to $(docv).")
+
+(* Enable the requested instrumentation around [f] and export on a normal
+   return. Exports are skipped when [f] raises — a partial trace of a
+   failed campaign would be mistaken for a complete one. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Obs.Trace.enable ();
+  if metrics <> None then Obs.Metrics.enable ();
+  let code = f () in
+  (match trace with
+  | Some path ->
+      Obs.Trace.disable ();
+      let oc = open_out path in
+      Obs.Trace.export_chrome oc;
+      close_out oc;
+      Format.printf "  trace      %s@." path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      Obs.Metrics.disable ();
+      let oc = open_out path in
+      Obs.Metrics.export_json oc;
+      close_out oc;
+      Format.printf "  metrics    %s@." path
+  | None -> ());
+  code
+
 (* --- list --- *)
 
 let list_cmd =
@@ -166,8 +214,9 @@ let run_cmd =
           ~doc:"Also write the full campaign result as JSON.")
   in
   let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json
-      jobs =
+      jobs trace metrics =
    guard @@ fun () ->
+   with_obs ~trace ~metrics @@ fun () ->
     if jobs < 1 then
       raise
         (H.Resilient.Campaign_error
@@ -189,11 +238,13 @@ let run_cmd =
     if instrument then
       Format.printf "  behavioral-node time %.0f%%@." (Stats.bn_time_pct s);
     let verdicts = Classify.classify g faults in
-    Format.printf "  adjusted   %.2f%% over %d testable faults@."
-      (Classify.adjusted_coverage verdicts r)
-      (Array.fold_left
-         (fun acc v -> if v = Classify.Testable then acc + 1 else acc)
-         0 verdicts);
+    (match Classify.adjusted_coverage verdicts r with
+    | Some adj ->
+        Format.printf "  adjusted   %.2f%% over %d testable faults@." adj
+          (Array.fold_left
+             (fun acc v -> if v = Classify.Testable then acc + 1 else acc)
+             0 verdicts)
+    | None -> Format.printf "  adjusted   n/a (no testable faults)@.");
     (match json with
     | Some path ->
         let oc = open_out path in
@@ -236,7 +287,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a fault-simulation campaign on one circuit.")
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
-      $ verify_arg $ json_arg $ jobs_arg)
+      $ verify_arg $ json_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* --- campaign (resilient runner) --- *)
 
@@ -320,10 +371,21 @@ let campaign_cmd =
             "Debug: corrupt this fault's verdict inside the concurrent \
              engine to exercise the quarantine path.")
   in
+  let progress_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "progress" ] ~docv:"SECONDS"
+          ~doc:
+            "Print a progress heartbeat (faults/sec, ETA, live coverage) \
+             to stderr every $(docv) seconds, and append it to the journal \
+             when one is in use.")
+  in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json jobs =
+      inject json jobs trace metrics progress =
    guard @@ fun () ->
+   with_obs ~trace ~metrics @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
     let config =
       {
@@ -339,6 +401,7 @@ let campaign_cmd =
         max_retries;
         quarantine = not no_quarantine;
         inject_divergence = inject;
+        progress;
       }
     in
     Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
@@ -402,7 +465,7 @@ let campaign_cmd =
       const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
-      $ json_arg $ jobs_arg)
+      $ json_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
 
 (* --- faults --- *)
 
@@ -428,9 +491,11 @@ let faults_cmd =
             | Classify.Testable -> ""
             | v -> Classify.verdict_name v))
       faults;
-    Format.printf "raw coverage %.2f%%, adjusted (testable only) %.2f%%@."
+    Format.printf "raw coverage %.2f%%, adjusted (testable only) %s@."
       r.Fault.coverage_pct
-      (Classify.adjusted_coverage verdicts r);
+      (match Classify.adjusted_coverage verdicts r with
+      | Some adj -> Printf.sprintf "%.2f%%" adj
+      | None -> "n/a (no testable faults)");
     0
   in
   Cmd.v

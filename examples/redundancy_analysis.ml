@@ -32,9 +32,11 @@ let () =
   (* where the executions happen, per behavioral node *)
   Printf.printf "\nper behavioral node (Eraser):\n";
   Array.iter
-    (fun (name, e, i) ->
-      if e + i > 0 then
-        Printf.printf "  %-16s executed %8d   implicit skips %8d\n" name e i)
+    (fun (r : Stats.proc_row) ->
+      if r.pr_exec + r.pr_impl + r.pr_expl > 0 then
+        Printf.printf
+          "  %-16s executed %8d   implicit skips %8d   explicit skips %8d\n"
+          r.pr_name r.pr_exec r.pr_impl r.pr_expl)
     s.Stats.per_proc;
   (* coverage growth over the stimulus, from the recorded detection cycles *)
   let cycles = w.Workload.cycles in

@@ -63,6 +63,7 @@ let run ~config g (w : Workload.t) faults =
         stats.Stats.bn_fault_exec + Simulator.proc_executions sim)
     faults;
   let wall = Stats.now () -. t0 in
+  stats.Stats.cpu_seconds <- wall;
   stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 

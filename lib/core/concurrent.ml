@@ -85,6 +85,12 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let nproc = Array.length d.procs in
   let nfaults = Array.length faults in
   let stats = Stats.create () in
+  (* Observability is enabled (or not) before the run starts, so the flags
+     can be hoisted into locals: the disabled hot path pays one branch on an
+     already-loaded bool instead of an atomic load per event. *)
+  let tracing = Obs.Trace.on () in
+  let metrics_on = Obs.Metrics.on () in
+  let run_t0 = Obs.Trace.span_begin "fault_sim_run" in
   let mem_size m = d.mems.(m).size in
   (* ---- good state ---- *)
   let values = Array.init nsig (fun i -> Bits.zero d.signals.(i).width) in
@@ -320,6 +326,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let get_cp pid = inst.inst_procs.(pid) in
   let per_proc_exec = Array.make nproc 0 in
   let per_proc_impl = Array.make nproc 0 in
+  let per_proc_expl = Array.make nproc 0 in
   let record = Array.make nproc [||] in
   let record_of pid =
     if Array.length record.(pid) = 0 then
@@ -394,6 +401,11 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     | Some v -> not (Bits.equal v mems.(m).(a))
     | None -> false
   in
+  let walk_steps = ref 0 in
+  let vdg_hist = Array.make Obs.Metrics.nbuckets 0 in
+  let vdg_count = ref 0 in
+  let vdg_sum = ref 0.0 in
+  let vdg_max = ref 0.0 in
   let walk_redundant (cp : Compile.t) rec_arr =
     (* fast path: no blocking writes in the body, so every read is external
        and selectors can be re-evaluated against pre-execution state.
@@ -411,6 +423,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       else not (mem_visible f m)
     in
     let rec walk cur =
+      incr walk_steps;
       match nodes.(cur) with
       | Cfg.Exit -> true
       | Cfg.Decision dec ->
@@ -425,25 +438,46 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
           then false
           else walk vdg.Vdg.next.(cur)
     in
-    if cp.has_blocking then
-      Vdg.redundant vdg
-        ~good_choice:(fun id -> rec_arr.(id))
-        ~eval_good:(fun e -> Eval.eval ~mem_size good_reader e)
-        ~eval_fault:(fun e -> Eval.eval ~mem_size fault_reader e)
-        ~visible:(visible f)
-        ~mem_word_visible:(fun m addr ->
-          if config.exact_mem_check then
-            mem_word_diff f m (Eval.wrap_address addr d.mems.(m).size)
-          else mem_visible f m)
-    else walk cp.cfg.entry
+    let t0 = if tracing then Obs.Trace.span_begin "vdg_walk" else 0 in
+    walk_steps := 0;
+    let res =
+      if cp.has_blocking then
+        Vdg.redundant vdg
+          ~good_choice:(fun id ->
+            incr walk_steps;
+            rec_arr.(id))
+          ~eval_good:(fun e -> Eval.eval ~mem_size good_reader e)
+          ~eval_fault:(fun e -> Eval.eval ~mem_size fault_reader e)
+          ~visible:(visible f)
+          ~mem_word_visible:(fun m addr ->
+            if config.exact_mem_check then
+              mem_word_diff f m (Eval.wrap_address addr d.mems.(m).size)
+            else mem_visible f m)
+      else walk cp.cfg.entry
+    in
+    if tracing then Obs.Trace.span_end "vdg_walk" t0;
+    if metrics_on then begin
+      let depth = float_of_int !walk_steps in
+      vdg_hist.(Obs.Metrics.bucket_of depth) <-
+        vdg_hist.(Obs.Metrics.bucket_of depth) + 1;
+      incr vdg_count;
+      vdg_sum := !vdg_sum +. depth;
+      if depth > !vdg_max then vdg_max := depth
+    end;
+    res
   in
   (* ---- instrumentation ---- *)
   let bn_clock = ref 0.0 in
-  let bn_begin () = if config.instrument then bn_clock := Stats.now () in
+  let bn_trace = ref 0 in
+  let bn_begin () =
+    if config.instrument then bn_clock := Stats.now ();
+    if tracing then bn_trace := Obs.Trace.span_begin "bn_eval"
+  in
   let bn_end () =
     if config.instrument then
       stats.Stats.bn_seconds <-
-        stats.Stats.bn_seconds +. (Stats.now () -. !bn_clock)
+        stats.Stats.bn_seconds +. (Stats.now () -. !bn_clock);
+    if tracing then Obs.Trace.span_end "bn_eval" !bn_trace
   in
   (* ---- combinational settle ---- *)
   let process_comb pos =
@@ -472,7 +506,9 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
         bn_begin ();
         if gd then begin
           stats.Stats.bn_good <- stats.Stats.bn_good + 1;
-          Compile.exec p.cp ~record:record.(p.pid) good_reader comb_good_writer
+          let gs_t0 = if tracing then Obs.Trace.span_begin "good_sim" else 0 in
+          Compile.exec p.cp ~record:record.(p.pid) good_reader comb_good_writer;
+          if tracing then Obs.Trace.span_end "good_sim" gs_t0
         end;
         if gd || fd then begin
           let live_at = !n_live in
@@ -534,12 +570,12 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             fset;
           stats.Stats.bn_skipped_implicit <-
             stats.Stats.bn_skipped_implicit + !implicit;
-          if gd then
-            stats.Stats.bn_skipped_explicit <-
-              stats.Stats.bn_skipped_explicit + live_at - !executed - !implicit
-          else
-            stats.Stats.bn_skipped_explicit <-
-              stats.Stats.bn_skipped_explicit + !expl
+          let expl_here =
+            if gd then live_at - !executed - !implicit else !expl
+          in
+          stats.Stats.bn_skipped_explicit <-
+            stats.Stats.bn_skipped_explicit + expl_here;
+          per_proc_expl.(p.pid) <- per_proc_expl.(p.pid) + expl_here
         end;
         bn_end ()
   in
@@ -647,7 +683,11 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             cur_good_writes := [];
             cur_good_mem_writes := [];
             stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+            let gs_t0 =
+              if tracing then Obs.Trace.span_begin "good_sim" else 0
+            in
             Compile.exec cp ~record:record.(pid) good_reader ff_good_writer;
+            if tracing then Obs.Trace.span_end "good_sim" gs_t0;
             Hashtbl.replace good_writes_of pid (List.rev !cur_good_writes);
             Hashtbl.replace good_mem_writes_of pid
               (List.rev !cur_good_mem_writes);
@@ -705,10 +745,12 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
               fset;
             stats.Stats.bn_skipped_implicit <-
               stats.Stats.bn_skipped_implicit + !implicit;
+            let expl_here =
+              live_at - List.length suppressed_here - !executed - !implicit
+            in
             stats.Stats.bn_skipped_explicit <-
-              stats.Stats.bn_skipped_explicit + live_at
-              - List.length suppressed_here
-              - !executed - !implicit)
+              stats.Stats.bn_skipped_explicit + expl_here;
+            per_proc_expl.(pid) <- per_proc_expl.(pid) + expl_here)
           fired;
         (* suppressed faults keep their (and the good network's) old register
            values: capture them before the commit moves the good values *)
@@ -880,13 +922,19 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   stats.Stats.per_proc <-
     Array.mapi
       (fun pid (p : Design.proc) ->
-        (p.pname, per_proc_exec.(pid), per_proc_impl.(pid)))
+        {
+          Stats.pr_name = p.pname;
+          pr_exec = per_proc_exec.(pid);
+          pr_impl = per_proc_impl.(pid);
+          pr_expl = per_proc_expl.(pid);
+        })
       d.procs;
   (match Sys.getenv_opt "ERASER_PROC_STATS" with
   | Some _ ->
       Array.iter
-        (fun (name, e, i) ->
-          Format.eprintf "proc %-16s exec=%d impl=%d@." name e i)
+        (fun (r : Stats.proc_row) ->
+          Format.eprintf "proc %-16s exec=%d impl=%d expl=%d@." r.pr_name
+            r.pr_exec r.pr_impl r.pr_expl)
         stats.Stats.per_proc
   | None -> ());
   (* debug knob: simulate an engine bug by flipping one verdict, so the
@@ -897,7 +945,39 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       detection_cycle.(f) <- (if detected.(f) then 0 else -1)
   | Some _ | None -> ());
   let wall = Stats.now () -. t_start in
+  (* One engine run is single-threaded, so its CPU time equals its wall
+     time. [Stats.add] sums [cpu_seconds] across workers but not
+     [total_seconds] — coordinators overwrite the latter with campaign wall
+     time. *)
+  stats.Stats.cpu_seconds <- wall;
   stats.Stats.total_seconds <- wall;
+  if tracing then Obs.Trace.span_end "fault_sim_run" run_t0;
+  if metrics_on then begin
+    Obs.Metrics.add "engine.runs" 1;
+    Obs.Metrics.add "engine.bn_good" stats.Stats.bn_good;
+    Obs.Metrics.add "engine.bn_fault_exec" stats.Stats.bn_fault_exec;
+    Obs.Metrics.add "engine.bn_skip_explicit" stats.Stats.bn_skipped_explicit;
+    Obs.Metrics.add "engine.bn_skip_implicit" stats.Stats.bn_skipped_implicit;
+    Obs.Metrics.add "engine.rtl_good_eval" stats.Stats.rtl_good_eval;
+    Obs.Metrics.add "engine.rtl_fault_eval" stats.Stats.rtl_fault_eval;
+    Array.iter
+      (fun (r : Stats.proc_row) ->
+        Obs.Metrics.add ("engine.proc." ^ r.pr_name ^ ".exec") r.pr_exec;
+        Obs.Metrics.add
+          ("engine.proc." ^ r.pr_name ^ ".skip_implicit")
+          r.pr_impl;
+        Obs.Metrics.add
+          ("engine.proc." ^ r.pr_name ^ ".skip_explicit")
+          r.pr_expl)
+      stats.Stats.per_proc;
+    Obs.Metrics.merge_histogram "engine.vdg_walk_depth" vdg_hist
+      ~count:!vdg_count ~sum:!vdg_sum ~max:!vdg_max;
+    for f = 0 to nfaults - 1 do
+      if detected.(f) then
+        Obs.Metrics.observe "engine.detection_latency_cycles"
+          (float_of_int detection_cycle.(f))
+    done
+  end;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 
 let run ?config ?probe g w faults = run_i ?config ?probe (instance g) w faults

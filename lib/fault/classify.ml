@@ -155,5 +155,5 @@ let adjusted_coverage verdicts (r : Fault.result) =
         if r.Fault.detected.(i) then incr detected
       end)
     verdicts;
-  if !testable = 0 then 100.0
-  else 100.0 *. float_of_int !detected /. float_of_int !testable
+  if !testable = 0 then None
+  else Some (100.0 *. float_of_int !detected /. float_of_int !testable)

@@ -33,5 +33,8 @@ val constants : Elaborate.t -> Bits.t option array
 val classify : Elaborate.t -> Fault.t array -> verdict array
 
 (** [adjusted_coverage verdicts result] — detected over testable faults, in
-    percent (the "fault coverage" a tool reports after classification). *)
-val adjusted_coverage : verdict array -> Fault.result -> float
+    percent (the "fault coverage" a tool reports after classification).
+    [None] when no fault is testable: the ratio is undefined, and the
+    historical [100.0] answer read as a perfect campaign on designs where
+    nothing could be tested at all. *)
+val adjusted_coverage : verdict array -> Fault.result -> float option

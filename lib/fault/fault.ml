@@ -98,7 +98,7 @@ let make_result ~detected ?detection_cycle ~stats ~wall_time () =
     wall_time;
   }
 
-let mean_detection_latency r =
+let mean_detection_latency_opt r =
   let sum = ref 0 and n = ref 0 in
   Array.iter
     (fun c ->
@@ -107,4 +107,7 @@ let mean_detection_latency r =
         incr n
       end)
     r.detection_cycle;
-  if !n = 0 then 0.0 else float_of_int !sum /. float_of_int !n
+  if !n = 0 then None else Some (float_of_int !sum /. float_of_int !n)
+
+let mean_detection_latency r =
+  Option.value ~default:0.0 (mean_detection_latency_opt r)

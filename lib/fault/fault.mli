@@ -59,5 +59,12 @@ val make_result :
   unit ->
   result
 
-(** Mean detection latency in cycles over detected faults (0 if none). *)
+(** Mean detection latency in cycles over detected faults; [None] when no
+    fault was detected — the mean of an empty set has no value, and
+    formatting one as a number is how literal [nan] ends up in JSON
+    reports. *)
+val mean_detection_latency_opt : result -> float option
+
+(** [mean_detection_latency_opt] with [None] collapsed to [0.0], for
+    human-readable output that wants a number. *)
 val mean_detection_latency : result -> float

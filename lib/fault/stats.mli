@@ -10,6 +10,14 @@
     [bn_good + bn_fault_exec + bn_skipped_explicit + bn_skipped_implicit]
     minus the good share, matching the paper's "#Total BN Execution". *)
 
+(** Per-behavioral-node counters, one row per node (keyed by [pr_name]). *)
+type proc_row = {
+  pr_name : string;
+  mutable pr_exec : int;  (** faulty executions performed *)
+  mutable pr_impl : int;  (** implicit-redundancy skips *)
+  mutable pr_expl : int;  (** explicit-redundancy skips *)
+}
+
 type t = {
   mutable bn_good : int;  (** good behavioral executions *)
   mutable bn_fault_exec : int;  (** faulty behavioral executions performed *)
@@ -18,11 +26,15 @@ type t = {
   mutable rtl_good_eval : int;  (** good RTL-node evaluations *)
   mutable rtl_fault_eval : int;  (** faulty RTL-node evaluations *)
   mutable bn_seconds : float;
-      (** wall time inside behavioral execution (only when instrumented) *)
+      (** CPU time inside behavioral execution, summed across workers
+          (only when instrumented) *)
+  mutable cpu_seconds : float;
+      (** CPU time inside engine runs, summed across workers by {!add} *)
   mutable total_seconds : float;
-  mutable per_proc : (string * int * int) array;
-      (** per behavioral node: (name, faulty executions, implicit skips) —
-          filled by the concurrent engine *)
+      (** wall-clock time of the campaign. {!add} takes the max of the two
+          operands (parallel workers overlap); coordinators overwrite it
+          with the measured wall time. Never sum worker times into it. *)
+  mutable per_proc : proc_row array;  (** filled by the concurrent engine *)
 }
 
 val create : unit -> t
@@ -47,9 +59,19 @@ val explicit_pct : t -> float
 
 val implicit_pct : t -> float
 
-(** Share of instrumented behavioral time in total time, in percent. *)
+(** Share of instrumented behavioral time, in percent. The denominator is
+    [cpu_seconds] (comparable to [bn_seconds], which is also a CPU-time
+    sum); falls back to [total_seconds] when no CPU time was recorded
+    (e.g. stats reconstructed from a journal). *)
 val bn_time_pct : t -> float
 
+(** Merge two workers' counters. Integer counters, [bn_seconds] and
+    [cpu_seconds] are summed; [total_seconds] is the max (wall clocks of
+    parallel workers overlap — summing them was the historical bug that
+    corrupted [bn_time_pct] at [--jobs > 1]); [per_proc] is merged by
+    [pr_name] (the historical [Array.append] duplicated every row per
+    worker), preserving first-occurrence order so identically-ordered
+    inputs — all engines emit rows in program order — merge positionally. *)
 val add : t -> t -> t
 
 val pp : Format.formatter -> t -> unit

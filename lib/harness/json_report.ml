@@ -15,6 +15,13 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* JSON has no NaN/Infinity: a non-finite value (and an undefined one,
+   carried as [None]) renders as [null] rather than a literal the parser
+   chokes on. *)
+let opt_float fmt = function
+  | Some v when Float.is_finite v -> Printf.sprintf fmt v
+  | Some _ | None -> "null"
+
 let kind_name (f : Fault.t) =
   match f.stuck with
   | Fault.Stuck_at_0 -> "stuck-at-0"
@@ -35,20 +42,32 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
   Format.fprintf ppf "  \"faults\": %d,@." (Array.length faults);
   Format.fprintf ppf "  \"detected\": %d,@." (Fault.count_detected r);
   Format.fprintf ppf "  \"coverage_pct\": %.4f,@." r.Fault.coverage_pct;
-  Format.fprintf ppf "  \"adjusted_coverage_pct\": %.4f,@."
-    (Classify.adjusted_coverage verdicts r);
+  Format.fprintf ppf "  \"adjusted_coverage_pct\": %s,@."
+    (opt_float "%.4f" (Classify.adjusted_coverage verdicts r));
   Format.fprintf ppf "  \"wall_time_s\": %.6f,@." r.Fault.wall_time;
-  Format.fprintf ppf "  \"mean_detection_latency\": %.2f,@."
-    (Fault.mean_detection_latency r);
+  Format.fprintf ppf "  \"mean_detection_latency\": %s,@."
+    (opt_float "%.2f" (Fault.mean_detection_latency_opt r));
   Format.fprintf ppf
     "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
      \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
      \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d, \"eliminated\": %d, \
-     \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \"bn_seconds\": %.6f },@."
+     \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \"bn_seconds\": %.6f, \
+     \"cpu_seconds\": %.6f },@."
     s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
     s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval
     (Stats.eliminated s) (Stats.explicit_pct s) (Stats.implicit_pct s)
-    s.Stats.bn_seconds;
+    s.Stats.bn_seconds s.Stats.cpu_seconds;
+  Format.fprintf ppf "  \"per_proc\": [@.";
+  Array.iteri
+    (fun i (row : Stats.proc_row) ->
+      Format.fprintf ppf
+        "    { \"name\": \"%s\", \"exec\": %d, \"skip_implicit\": %d, \
+         \"skip_explicit\": %d }%s@."
+        (escape row.Stats.pr_name) row.Stats.pr_exec row.Stats.pr_impl
+        row.Stats.pr_expl
+        (if i = Array.length s.Stats.per_proc - 1 then "" else ","))
+    s.Stats.per_proc;
+  Format.fprintf ppf "  ],@.";
   Format.fprintf ppf "  \"fault_list\": [@.";
   Array.iteri
     (fun i (f : Fault.t) ->
@@ -84,8 +103,8 @@ let resilient ppf ~design ~engine ~faults ~verdicts (s : Resilient.summary) =
   Format.fprintf ppf "  \"faults\": %d,@." (Array.length faults);
   Format.fprintf ppf "  \"detected\": %d,@." (Fault.count_detected r);
   Format.fprintf ppf "  \"coverage_pct\": %.4f,@." r.Fault.coverage_pct;
-  Format.fprintf ppf "  \"adjusted_coverage_pct\": %.4f,@."
-    (Classify.adjusted_coverage verdicts r);
+  Format.fprintf ppf "  \"adjusted_coverage_pct\": %s,@."
+    (opt_float "%.4f" (Classify.adjusted_coverage verdicts r));
   Format.fprintf ppf "  \"batches\": %d,@." s.Resilient.batches_total;
   Format.fprintf ppf "  \"oracle_checked_batches\": %d,@."
     s.Resilient.oracle_checked;

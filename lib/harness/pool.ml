@@ -26,6 +26,15 @@ type task = { run : ctx -> unit; cancel : unit -> unit }
    backing storage bounded by the peak queue depth. *)
 type deque = { iv : Ivec.t; mutable head : int }
 
+(* Per-worker utilization accounting, mutated only by the owning worker
+   under the pool lock (idle time around [Condition.wait], counts at task
+   claim), read by {!worker_stats} under the same lock. *)
+type worker_stat = {
+  mutable ws_tasks : int;
+  mutable ws_steals : int;
+  mutable ws_idle_s : float;
+}
+
 type t = {
   m : Mutex.t;
   cond : Condition.t;
@@ -37,6 +46,7 @@ type t = {
   rngs : Rng.t array;
   mutable domains : unit Domain.t array;
   njobs : int;
+  wstats : worker_stat array;
 }
 
 let jobs t = t.njobs
@@ -67,42 +77,58 @@ let steal_front d =
   end
 
 (* Own deque first (LIFO keeps caches warm), then scan siblings from the
-   next index so thieves spread out. Caller holds the lock. *)
+   next index so thieves spread out. Caller holds the lock. The flag says
+   whether the task came from a sibling's deque (a steal). *)
 let find_work t w =
   match take_back t.deques.(w) with
-  | Some _ as r -> r
+  | Some id -> Some (id, false)
   | None ->
       let rec scan i =
         if i = t.njobs then None
         else
           match steal_front t.deques.((w + i) mod t.njobs) with
-          | Some _ as r -> r
+          | Some id -> Some (id, true)
           | None -> scan (i + 1)
       in
       scan 1
 
 let worker_loop t w =
   let ctx = { worker = w; jobs = t.njobs; rng = t.rngs.(w) } in
+  let ws = t.wstats.(w) in
   Mutex.lock t.m;
   let rec loop () =
     match find_work t w with
-    | Some id ->
+    | Some (id, stolen) ->
         let task =
           match t.tasks.(id) with Some k -> k | None -> assert false
         in
         t.tasks.(id) <- None;
+        ws.ws_tasks <- ws.ws_tasks + 1;
+        if stolen then ws.ws_steals <- ws.ws_steals + 1;
         Mutex.unlock t.m;
+        let t0 = Obs.Trace.span_begin "pool.task" in
         task.run ctx;
+        Obs.Trace.span_end "pool.task" t0;
         Mutex.lock t.m;
         loop ()
     | None ->
         if t.closed then Mutex.unlock t.m
         else begin
+          (* waiting is already the slow path: always time it *)
+          let idle0 = Unix.gettimeofday () in
           Condition.wait t.cond t.m;
+          ws.ws_idle_s <- ws.ws_idle_s +. (Unix.gettimeofday () -. idle0);
           loop ()
         end
   in
-  loop ()
+  loop ();
+  (* Each worker stamps its own utilization totals into its domain's ring
+     on exit, so the Chrome trace shows one counter track per worker. *)
+  if Obs.Trace.on () then begin
+    Obs.Trace.counter "pool.worker_tasks" (float_of_int ws.ws_tasks);
+    Obs.Trace.counter "pool.worker_steals" (float_of_int ws.ws_steals);
+    Obs.Trace.counter "pool.worker_idle_s" ws.ws_idle_s
+  end
 
 let create ?(seed = 0x51CA5EEDL) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -119,6 +145,9 @@ let create ?(seed = 0x51CA5EEDL) ~jobs () =
       rngs = Rng.split (Rng.create seed) jobs;
       domains = [||];
       njobs = jobs;
+      wstats =
+        Array.init jobs (fun _ ->
+            { ws_tasks = 0; ws_steals = 0; ws_idle_s = 0.0 });
     }
   in
   t.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker_loop t w));
@@ -198,6 +227,14 @@ let shutdown ?(discard = false) t =
     Mutex.unlock t.m;
     Array.iter Domain.join t.domains
   end
+
+let worker_stats t =
+  Mutex.lock t.m;
+  let r =
+    Array.map (fun ws -> (ws.ws_tasks, ws.ws_steals, ws.ws_idle_s)) t.wstats
+  in
+  Mutex.unlock t.m;
+  r
 
 let with_pool ?seed ~jobs f =
   let t = create ?seed ~jobs () in

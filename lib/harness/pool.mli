@@ -46,6 +46,14 @@ val submit : t -> (ctx -> 'a) -> 'a future
     original backtrace if it failed, or {!Shutdown} if it was discarded. *)
 val await : 'a future -> 'a
 
+(** Per-worker utilization snapshot: [(tasks_run, tasks_stolen,
+    idle_seconds)] for each worker index. Steals count tasks claimed from a
+    sibling's deque; idle time is the cumulative wait for work. When
+    tracing is enabled ({!Obs.Trace}), every task additionally records a
+    ["pool.task"] span on its worker's timeline and each worker stamps
+    these totals as counters on exit. *)
+val worker_stats : t -> (int * int * float) array
+
 (** Close the pool and join every worker. With [discard = false] (the
     default) queued tasks are drained first; with [discard = true] tasks no
     worker has started are dropped and their futures complete with

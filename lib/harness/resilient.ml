@@ -60,6 +60,7 @@ type config = {
   resume : bool;
   quarantine : bool;
   inject_divergence : int option;
+  progress : float option;
 }
 
 let default_config =
@@ -76,6 +77,7 @@ let default_config =
     resume = false;
     quarantine = true;
     inject_divergence = None;
+    progress = None;
   }
 
 type summary = {
@@ -243,9 +245,22 @@ let load_journal path ~expected_header ~expected_ids =
         (fun i line ->
           let last = i = total - 1 in
           let record_no = i + 1 in
-          match batch_of_json (Jsonl.parse line) with
+          match Jsonl.parse line with
           | exception Jsonl.Parse_error m ->
               (* mid-line crash can only tear the final record *)
+              if not last then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf "record %d unreadable (%s)" record_no m))
+          | j when
+              (match Jsonl.member "type" j with
+              | Some (Jsonl.String "heartbeat") -> true
+              | _ -> false) ->
+              (* progress heartbeats are informational — replay ignores them *)
+              ()
+          | j ->
+          match batch_of_json j with
+          | exception Jsonl.Parse_error m ->
               if not last then
                 err
                   (Journal_corrupt
@@ -442,6 +457,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   in
   let run_one_batch ~worker b_index ids =
     let t = Stats.now () in
+    let span_t0 = Obs.Trace.span_begin "batch" in
     let pieces = exec_pieces ~worker b_index 0 ids in
     let nb = Array.length ids in
     let detected = Array.make nb false in
@@ -486,6 +502,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       if !divergences <> [] && not config.quarantine then
         err (Engine_divergence (List.rev !divergences))
     end;
+    Obs.Trace.span_end "batch" span_t0;
     {
       b_index;
       b_ids = ids;
@@ -498,6 +515,20 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     }
   in
   let executed = ref 0 in
+  (* Heartbeat bookkeeping starts from the resumed batches so a resumed
+     campaign reports true completion, not just this invocation's share. *)
+  let done_faults = ref 0 in
+  let det_faults = ref 0 in
+  let count_batch b =
+    done_faults := !done_faults + Array.length b.b_ids;
+    Array.iter (fun d -> if d then incr det_faults) b.b_detected
+  in
+  List.iter count_batch resumed;
+  let hb =
+    Option.map
+      (fun interval -> Obs.Heartbeat.create ~interval ~total:n ())
+      config.progress
+  in
   (* The coordinator is the only domain that touches [outcomes] and the
      journal: workers hand finished batches back through futures, and the
      coordinator records them in batch-index order. The journal therefore
@@ -507,9 +538,25 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   let record i b =
     outcomes.(i) <- Some b;
     incr executed;
-    match jout with
+    count_batch b;
+    (match jout with
     | Some oc -> append_record oc (batch_to_json b)
+    | None -> ());
+    match hb with
     | None -> ()
+    | Some hb -> (
+        match
+          Obs.Heartbeat.update hb ~done_:!done_faults ~detected:!det_faults
+        with
+        | None -> ()
+        | Some tick ->
+            prerr_endline (Obs.Heartbeat.to_line hb tick);
+            (match jout with
+            | Some oc ->
+                output_string oc (Obs.Heartbeat.to_json hb tick);
+                output_char oc '\n';
+                flush oc
+            | None -> ()))
   in
   Fun.protect
     ~finally:(fun () ->

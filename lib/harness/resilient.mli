@@ -90,6 +90,12 @@ type config = {
   inject_divergence : int option;
       (** debug: corrupt this fault's verdict inside the concurrent engine
           (see {!Engine.Concurrent.config}), to exercise the quarantine *)
+  progress : float option;
+      (** heartbeat interval in seconds: every interval the coordinator
+          prints a progress line (faults/sec, ETA, live coverage) to stderr
+          and appends a [{"type":"heartbeat",...}] record to the journal
+          (heartbeats are skipped on resume — they never affect replay).
+          [None] disables the heartbeat. *)
 }
 
 (** Eraser engine, batches of 64, no watchdog, no journal, no sampling. *)

@@ -1,0 +1,61 @@
+type t = {
+  now : unit -> float;
+  interval : float;
+  total : int;
+  t0 : float;
+  mutable last_emit : float;
+}
+
+type tick = {
+  hb_done : int;
+  hb_detected : int;
+  hb_elapsed_s : float;
+  hb_rate : float;
+  hb_eta_s : float;
+}
+
+let create ?(now = Unix.gettimeofday) ?(interval = 10.0) ~total () =
+  let t0 = now () in
+  { now; interval; total; t0; last_emit = t0 }
+
+let update t ~done_ ~detected =
+  let ts = t.now () in
+  if ts -. t.last_emit < t.interval then None
+  else begin
+    t.last_emit <- ts;
+    let elapsed = ts -. t.t0 in
+    let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+    let remaining = t.total - done_ in
+    let eta =
+      if remaining <= 0 || rate <= 0.0 then 0.0 else float_of_int remaining /. rate
+    in
+    Some
+      {
+        hb_done = done_;
+        hb_detected = detected;
+        hb_elapsed_s = elapsed;
+        hb_rate = rate;
+        hb_eta_s = eta;
+      }
+  end
+
+let to_line t tick =
+  let pct =
+    if t.total > 0 then 100.0 *. float_of_int tick.hb_done /. float_of_int t.total
+    else 0.0
+  in
+  let cov =
+    if tick.hb_done > 0 then
+      100.0 *. float_of_int tick.hb_detected /. float_of_int tick.hb_done
+    else 0.0
+  in
+  Printf.sprintf
+    "[hb] %d/%d faults (%.1f%%) | %.1f faults/s | eta %.0fs | detected %d (%.1f%% of done)"
+    tick.hb_done t.total pct tick.hb_rate tick.hb_eta_s tick.hb_detected cov
+
+let to_json t tick =
+  Printf.sprintf
+    "{\"type\": \"heartbeat\", \"done\": %d, \"total\": %d, \"detected\": %d, \
+     \"elapsed_s\": %.3f, \"faults_per_sec\": %.2f, \"eta_s\": %.1f}"
+    tick.hb_done t.total tick.hb_detected tick.hb_elapsed_s tick.hb_rate
+    tick.hb_eta_s

@@ -1,0 +1,55 @@
+(** Named metrics registry: monotonic counters and power-of-two-bucket
+    histograms, replacing ad-hoc stats mutation for everything that is not
+    a paper table. The registry is global and mutex-protected — it is meant
+    for {e coarse} recording (per run, per batch, or merged from a local
+    accumulator at end of run), not per-event hot paths. Hot loops should
+    accumulate into a local [int array] and hand it to {!merge_histogram}
+    once.
+
+    Like {!Trace}, the disabled path is one atomic load and allocates
+    nothing. Counts are deterministic for a deterministic workload whatever
+    the domain interleaving: counters are sums, histogram buckets are sums,
+    and {!to_json_string} emits entries sorted by name. *)
+
+val on : unit -> bool
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** Drop every registered metric. *)
+val reset : unit -> unit
+
+(** [add name n] bumps the counter [name] by [n] (created at 0 on first
+    use). *)
+val add : string -> int -> unit
+
+(** [observe name v] records one histogram sample. Bucket upper bounds are
+    1, 2, 4, … 2{^30}, +inf; the histogram also tracks count, sum and max. *)
+val observe : string -> float -> unit
+
+(** [bucket_of v] — index of the histogram bucket [v] falls into, for local
+    accumulation arrays of size {!nbuckets}. *)
+val bucket_of : float -> int
+
+val nbuckets : int
+
+(** [merge_histogram name buckets ~count ~sum ~max] folds a locally
+    accumulated histogram ([buckets] indexed by {!bucket_of}, length ≤
+    {!nbuckets}) into the registry in one registry operation. *)
+val merge_histogram :
+  string -> int array -> count:int -> sum:float -> max:float -> unit
+
+(** Current counter value, if [name] is a counter (for tests). *)
+val counter_value : string -> int option
+
+(** Histogram (count, sum, max), if [name] is a histogram (for tests). *)
+val histogram_stats : string -> (int * float * float) option
+
+(** One JSON object: [{"metrics": {name: {...}, ...}}], names sorted.
+    Counters render as [{"type":"counter","value":n}]; histograms as
+    [{"type":"histogram","count":n,"sum":s,"max":m,"buckets":[{"le":b,
+    "count":n}, ...]}] with only non-empty buckets listed. *)
+val to_json_string : unit -> string
+
+val export_json : out_channel -> unit

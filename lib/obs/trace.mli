@@ -1,0 +1,60 @@
+(** Low-overhead span/counter tracer with a Chrome [trace_event] exporter.
+
+    Every domain owns one fixed-capacity ring buffer of preallocated event
+    records; recording an event mutates the next slot in place (no
+    allocation, no locking — the ring is domain-local) and wraps around
+    once the ring is full, so a trace always holds the {e last} [capacity]
+    events per domain. {!export_chrome} merges all rings into one Chrome
+    [trace_event] JSON document that loads in [chrome://tracing] and
+    Perfetto, with one track (tid) per domain.
+
+    The disabled path is a single atomic-flag load per call and performs no
+    allocation whatsoever (enforced by a [Gc.minor_words] smoke test):
+    instrumentation can stay compiled into the hot paths of the engine at
+    <3% cost. Hot loops should additionally hoist [on ()] into a local
+    [bool] and skip the calls entirely.
+
+    Timestamps are microseconds since {!enable}, as Chrome expects. Spans
+    are recorded as complete ["ph":"X"] events at {!span_end}, so an
+    unfinished span simply does not appear. *)
+
+(** [true] between {!enable} and {!disable}. *)
+val on : unit -> bool
+
+(** Start tracing. [capacity] (default 65536) is the per-domain ring size
+    in events; the rings of already-registered domains are resized and
+    cleared. Must not race with concurrent recording — call it before the
+    instrumented run starts (the CLI enables before simulating). *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+
+(** Drop every recorded event (rings stay allocated). *)
+val reset : unit -> unit
+
+(** [span_begin name] returns the span's start timestamp (µs), or [0] when
+    disabled. The name passed here is not recorded — pass the same name to
+    {!span_end}, which emits the complete event. *)
+val span_begin : string -> int
+
+val span_end : string -> int -> unit
+
+(** [with_span name f] runs [f ()] inside a span; the span is recorded even
+    if [f] raises. Convenience wrapper for cold paths ([span_begin]/[span_end]
+    avoid the closure on hot ones). *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** [counter name v] records a Chrome counter sample (["ph":"C"]). *)
+val counter : string -> float -> unit
+
+(** [instant name] records an instant event (["ph":"i"]). *)
+val instant : string -> unit
+
+(** Events currently held across all rings (≤ domains × capacity). *)
+val event_count : unit -> int
+
+(** The merged Chrome [trace_event] JSON document, events sorted by
+    timestamp. Valid JSON even when no event was recorded. *)
+val to_chrome_string : unit -> string
+
+val export_chrome : out_channel -> unit

@@ -18,4 +18,6 @@ let () =
       ("resilient", Test_resilient.suite);
       ("ivec", Test_ivec.suite);
       ("pool", Test_pool.suite);
+      ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
     ]

@@ -94,9 +94,14 @@ let untestable_never_detected name g w faults =
         Alcotest.failf "%s: fault %d classified %s but detected" name i
           (Classify.verdict_name v))
     verdicts;
-  let adj = Classify.adjusted_coverage verdicts r in
-  if adj +. 1e-9 < r.Fault.coverage_pct then
-    Alcotest.failf "%s: adjusted coverage below raw coverage" name
+  (match Classify.adjusted_coverage verdicts r with
+  | Some adj when adj +. 1e-9 < r.Fault.coverage_pct ->
+      Alcotest.failf "%s: adjusted coverage below raw coverage" name
+  | Some _ -> ()
+  | None ->
+      (* no testable fault at all: soundness then demands zero detections *)
+      if Fault.count_detected r > 0 then
+        Alcotest.failf "%s: nothing testable yet faults detected" name)
 
 let soundness_case (c : Circuits.Bench_circuit.t) =
   Alcotest.test_case (c.name ^ " classification sound") `Quick (fun () ->
@@ -123,9 +128,21 @@ let test_adjusted_coverage () =
       ~detected:[| true; false; false |]
       ~stats:(Stats.create ()) ~wall_time:0.0 ()
   in
-  check (Alcotest.float 0.01) "adjusted" 50.0
+  check (Alcotest.option (Alcotest.float 0.01)) "adjusted" (Some 50.0)
     (Classify.adjusted_coverage verdicts r);
-  check int_t "raw detected" 1 (Fault.count_detected r)
+  check int_t "raw detected" 1 (Fault.count_detected r);
+  (* no testable fault: the ratio is undefined, not a perfect 100% *)
+  let none_testable =
+    [| Classify.Untestable_constant; Classify.Untestable_unobservable |]
+  in
+  let r_empty =
+    Fault.make_result
+      ~detected:[| false; false |]
+      ~stats:(Stats.create ()) ~wall_time:0.0 ()
+  in
+  check (Alcotest.option (Alcotest.float 0.01)) "undefined when none testable"
+    None
+    (Classify.adjusted_coverage none_testable r_empty)
 
 let suite =
   [

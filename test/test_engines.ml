@@ -128,10 +128,13 @@ let test_per_proc_stats () =
       let s = r.Fault.stats in
       let sum f = Array.fold_left (fun acc p -> acc + f p) 0 s.Stats.per_proc in
       check int_t (name ^ " per-proc exec sums") s.Stats.bn_fault_exec
-        (sum (fun (_, e, _) -> e));
+        (sum (fun r -> r.Stats.pr_exec));
       check int_t (name ^ " per-proc implicit sums")
         s.Stats.bn_skipped_implicit
-        (sum (fun (_, _, i) -> i)))
+        (sum (fun r -> r.Stats.pr_impl));
+      check int_t (name ^ " per-proc explicit sums")
+        s.Stats.bn_skipped_explicit
+        (sum (fun r -> r.Stats.pr_expl)))
     [ "sha256_hv"; "riscv_mini"; "apb"; "picorv32" ]
 
 let test_mem_check_ablation () =

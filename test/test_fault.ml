@@ -75,6 +75,58 @@ let test_stats_accounting () =
   check (Alcotest.float 0.01) "explicit pct" 60.0 (Stats.explicit_pct s);
   check (Alcotest.float 0.01) "implicit pct" 30.0 (Stats.implicit_pct s)
 
+let row name exec impl expl =
+  { Stats.pr_name = name; pr_exec = exec; pr_impl = impl; pr_expl = expl }
+
+let rows_t =
+  Alcotest.testable
+    (fun ppf (r : Stats.proc_row) ->
+      Format.fprintf ppf "%s:%d/%d/%d" r.Stats.pr_name r.pr_exec r.pr_impl
+        r.pr_expl)
+    ( = )
+
+let test_stats_add_merges_per_proc () =
+  (* the parallel merge must sum per-process rows by name, not append the
+     tables (the old behaviour duplicated every process once per worker) *)
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.per_proc <- [| row "alu" 10 1 2; row "ctl" 3 0 0 |];
+  b.Stats.per_proc <- [| row "alu" 5 1 0; row "ctl" 1 2 3 |];
+  check (Alcotest.array rows_t) "same-order tables sum row by row"
+    [| row "alu" 15 2 2; row "ctl" 4 2 3 |]
+    (Stats.add a b).Stats.per_proc;
+  (* keyed merge when the tables disagree on order or membership *)
+  let c = Stats.create () and d = Stats.create () in
+  c.Stats.per_proc <- [| row "alu" 1 0 0; row "ctl" 2 0 0 |];
+  d.Stats.per_proc <- [| row "ctl" 10 0 0; row "mem" 4 0 0 |];
+  check (Alcotest.array rows_t) "keyed merge keeps first-occurrence order"
+    [| row "alu" 1 0 0; row "ctl" 12 0 0; row "mem" 4 0 0 |]
+    (Stats.add c d).Stats.per_proc;
+  (* merging from an empty accumulator copies, never aliases *)
+  let e = Stats.add (Stats.create ()) d in
+  d.Stats.per_proc.(0).Stats.pr_exec <- 999;
+  check int_t "copied row unaffected by source mutation" 10
+    e.Stats.per_proc.(0).Stats.pr_exec
+
+let test_stats_add_time_semantics () =
+  (* workers contribute CPU seconds (summed); the coordinator owns the wall
+     clock (max, then overwritten) — summing wall times across workers was
+     inflating the bn_time_pct denominator by the worker count *)
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.total_seconds <- 2.0;
+  a.Stats.cpu_seconds <- 2.0;
+  a.Stats.bn_seconds <- 1.0;
+  b.Stats.total_seconds <- 3.0;
+  b.Stats.cpu_seconds <- 3.0;
+  b.Stats.bn_seconds <- 2.0;
+  let m = Stats.add a b in
+  check (Alcotest.float 1e-9) "cpu seconds sum" 5.0 m.Stats.cpu_seconds;
+  check (Alcotest.float 1e-9) "wall time is the max, not the sum" 3.0
+    m.Stats.total_seconds;
+  check (Alcotest.float 1e-9) "bn seconds sum" 3.0 m.Stats.bn_seconds;
+  (* pct uses the aggregate CPU denominator, so it stays a fraction of the
+     work actually done rather than drifting with the worker count *)
+  check (Alcotest.float 0.01) "bn time pct" 60.0 (Stats.bn_time_pct m)
+
 let test_workload_protocol () =
   (* the protocol applies inputs, raises the clock, lowers it, observes *)
   let log = ref [] in
@@ -117,6 +169,10 @@ let suite =
     Alcotest.test_case "force" `Quick test_force;
     Alcotest.test_case "result helpers" `Quick test_result_helpers;
     Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "stats merge keys per_proc by name" `Quick
+      test_stats_add_merges_per_proc;
+    Alcotest.test_case "stats merge time semantics" `Quick
+      test_stats_add_time_semantics;
     Alcotest.test_case "workload protocol" `Quick test_workload_protocol;
     Alcotest.test_case "random drive deterministic" `Quick
       test_random_drive_deterministic;

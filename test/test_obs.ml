@@ -1,0 +1,215 @@
+(* Observability layer: tracer rings and Chrome export, metrics registry,
+   heartbeat pacing. The zero-allocation test is the contract that lets the
+   instrumentation stay compiled into the engine's hot paths. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+module J = Harness.Jsonl
+
+(* Every test owns the global tracer/metrics state: reset hard on entry so
+   ordering between tests (or a traced test elsewhere) cannot leak. *)
+let fresh () =
+  Obs.Trace.disable ();
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ()
+
+let parse_trace () =
+  let doc = J.parse (Obs.Trace.to_chrome_string ()) in
+  match J.member "traceEvents" doc with
+  | Some (J.List l) -> l
+  | _ -> Alcotest.fail "no traceEvents"
+
+let test_span_nesting () =
+  fresh ();
+  Obs.Trace.enable ~capacity:1024 ();
+  let outer = Obs.Trace.span_begin "outer" in
+  let inner = Obs.Trace.span_begin "inner" in
+  Obs.Trace.span_end "inner" inner;
+  Obs.Trace.span_end "outer" outer;
+  Obs.Trace.disable ();
+  let events = parse_trace () in
+  let find name =
+    List.find (fun e -> J.get_string "name" e = name) events
+  in
+  let ts e = J.get_int "ts" e and dur e = J.get_int "dur" e in
+  let o = find "outer" and i = find "inner" in
+  check bool_t "outer starts first" true (ts o <= ts i);
+  check bool_t "inner contained" true (ts i + dur i <= ts o + dur o);
+  check bool_t "durations non-negative" true (dur o >= 0 && dur i >= 0);
+  List.iter
+    (fun e -> check Alcotest.string "phase" "X" (J.get_string "ph" e))
+    events
+
+let test_ring_wraparound () =
+  fresh ();
+  Obs.Trace.enable ~capacity:4 ();
+  for i = 0 to 9 do
+    Obs.Trace.instant (Printf.sprintf "ev%d" i)
+  done;
+  Obs.Trace.disable ();
+  check int_t "ring keeps capacity events" 4 (Obs.Trace.event_count ());
+  let names =
+    List.map (fun e -> J.get_string "name" e) (parse_trace ())
+    |> List.sort compare
+  in
+  check
+    Alcotest.(list string)
+    "last four survive" [ "ev6"; "ev7"; "ev8"; "ev9" ] names
+
+let test_disabled_path_no_alloc () =
+  fresh ();
+  (* warm up the domain-local ring and any lazy state first *)
+  Obs.Trace.enable ~capacity:16 ();
+  Obs.Trace.instant "warmup";
+  ignore (Obs.Metrics.on ());
+  Obs.Trace.disable ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    let t0 = Obs.Trace.span_begin "hot" in
+    Obs.Trace.span_end "hot" t0;
+    Obs.Trace.instant "hot";
+    Obs.Trace.counter "hot" 1.0;
+    Obs.Metrics.add "hot" 1;
+    Obs.Metrics.observe "hot" 1.0
+  done;
+  let after = Gc.minor_words () in
+  check (Alcotest.float 0.0) "no minor allocation when disabled" 0.0
+    (after -. before)
+
+let test_chrome_export_shape () =
+  fresh ();
+  Obs.Trace.enable ~capacity:64 ();
+  let t0 = Obs.Trace.span_begin "span \"quoted\"" in
+  Obs.Trace.span_end "span \"quoted\"" t0;
+  Obs.Trace.counter "ctr" 42.5;
+  Obs.Trace.counter "bad" Float.nan;
+  Obs.Trace.instant "mark";
+  Obs.Trace.disable ();
+  let doc = J.parse (Obs.Trace.to_chrome_string ()) in
+  check Alcotest.string "display unit" "ms"
+    (J.get_string "displayTimeUnit" doc);
+  let events = parse_trace () in
+  check int_t "all four events survive" 4 (List.length events);
+  List.iter
+    (fun e ->
+      let ph = J.get_string "ph" e in
+      check bool_t "known phase" true (List.mem ph [ "X"; "C"; "i" ]);
+      check bool_t "ts present" true (J.get_int "ts" e >= 0);
+      ignore (J.get_int "pid" e);
+      ignore (J.get_int "tid" e);
+      if ph = "C" && J.get_string "name" e = "bad" then
+        (* the NaN sample must not become a bare nan token *)
+        match J.member "args" e with
+        | Some args -> check bool_t "nan exported as null" true
+            (J.member "value" args = Some J.Null)
+        | None -> Alcotest.fail "counter without args")
+    events
+
+let test_empty_trace_is_valid () =
+  fresh ();
+  Obs.Trace.enable ~capacity:8 ();
+  Obs.Trace.disable ();
+  check int_t "no events" 0 (List.length (parse_trace ()))
+
+let test_metrics_counters () =
+  fresh ();
+  Obs.Metrics.enable ();
+  Obs.Metrics.add "a" 2;
+  Obs.Metrics.add "a" 3;
+  Obs.Metrics.add "b" 1;
+  check (Alcotest.option int_t) "a" (Some 5) (Obs.Metrics.counter_value "a");
+  check (Alcotest.option int_t) "b" (Some 1) (Obs.Metrics.counter_value "b");
+  check (Alcotest.option int_t) "absent" None (Obs.Metrics.counter_value "c");
+  Obs.Metrics.disable ();
+  Obs.Metrics.add "a" 100;
+  check (Alcotest.option int_t) "disabled add ignored" (Some 5)
+    (Obs.Metrics.counter_value "a")
+
+let test_metrics_histogram () =
+  fresh ();
+  Obs.Metrics.enable ();
+  List.iter (Obs.Metrics.observe "h") [ 1.0; 2.0; 3.0; 100.0 ];
+  (match Obs.Metrics.histogram_stats "h" with
+  | Some (count, sum, max) ->
+      check int_t "count" 4 count;
+      check (Alcotest.float 1e-9) "sum" 106.0 sum;
+      check (Alcotest.float 1e-9) "max" 100.0 max
+  | None -> Alcotest.fail "histogram not registered");
+  (* local accumulation merges like direct observation *)
+  let buckets = Array.make Obs.Metrics.nbuckets 0 in
+  let bump v = buckets.(Obs.Metrics.bucket_of v) <- buckets.(Obs.Metrics.bucket_of v) + 1 in
+  bump 1.0;
+  bump 2.0;
+  bump 3.0;
+  bump 100.0;
+  Obs.Metrics.merge_histogram "h2" buckets ~count:4 ~sum:106.0 ~max:100.0;
+  check
+    (Alcotest.option (Alcotest.triple int_t (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "merged equals observed"
+    (Obs.Metrics.histogram_stats "h")
+    (Obs.Metrics.histogram_stats "h2")
+
+let test_metrics_json () =
+  fresh ();
+  Obs.Metrics.enable ();
+  Obs.Metrics.add "z.counter" 7;
+  Obs.Metrics.observe "a.hist" 5.0;
+  let doc = J.parse (Obs.Metrics.to_json_string ()) in
+  let metrics =
+    match J.member "metrics" doc with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> Alcotest.fail "no metrics object"
+  in
+  check
+    Alcotest.(list string)
+    "names sorted" [ "a.hist"; "z.counter" ] (List.map fst metrics);
+  let c = List.assoc "z.counter" metrics in
+  check Alcotest.string "counter type" "counter" (J.get_string "type" c);
+  check int_t "counter value" 7 (J.get_int "value" c);
+  let h = List.assoc "a.hist" metrics in
+  check Alcotest.string "hist type" "histogram" (J.get_string "type" h);
+  check int_t "hist count" 1 (J.get_int "count" h);
+  check int_t "one non-empty bucket" 1 (List.length (J.get_list "buckets" h))
+
+let test_heartbeat () =
+  let t = ref 0.0 in
+  let hb = Obs.Heartbeat.create ~now:(fun () -> !t) ~interval:10.0 ~total:1000 () in
+  (* inside the interval: silent *)
+  t := 5.0;
+  check bool_t "quiet before interval" true
+    (Obs.Heartbeat.update hb ~done_:100 ~detected:50 = None);
+  t := 10.0;
+  (match Obs.Heartbeat.update hb ~done_:200 ~detected:80 with
+  | None -> Alcotest.fail "tick expected at the interval"
+  | Some tick ->
+      check int_t "done" 200 tick.Obs.Heartbeat.hb_done;
+      check (Alcotest.float 1e-9) "rate" 20.0 tick.Obs.Heartbeat.hb_rate;
+      check (Alcotest.float 1e-9) "eta" 40.0 tick.Obs.Heartbeat.hb_eta_s;
+      let line = Obs.Heartbeat.to_line hb tick in
+      check bool_t "line mentions progress" true
+        (String.length line > 0 && line.[0] = '[');
+      let j = J.parse (Obs.Heartbeat.to_json hb tick) in
+      check Alcotest.string "journal type" "heartbeat" (J.get_string "type" j);
+      check int_t "journal done" 200 (J.get_int "done" j);
+      check int_t "journal total" 1000 (J.get_int "total" j));
+  (* the emission resets the pacing clock *)
+  t := 15.0;
+  check bool_t "quiet again after a tick" true
+    (Obs.Heartbeat.update hb ~done_:300 ~detected:90 = None)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "disabled path allocates nothing" `Quick
+      test_disabled_path_no_alloc;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "empty trace is valid JSON" `Quick
+      test_empty_trace_is_valid;
+    Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics histogram" `Quick test_metrics_histogram;
+    Alcotest.test_case "metrics JSON export" `Quick test_metrics_json;
+    Alcotest.test_case "heartbeat pacing" `Quick test_heartbeat;
+  ]

@@ -159,6 +159,28 @@ let test_campaign_jobs_verdicts () =
     "detection cycles match" mono.Fault.detection_cycle
     par.Fault.detection_cycle
 
+let test_campaign_jobs_per_proc () =
+  (* regression for the parallel stats merge: the per-process table counts
+     fault-network work only, so it is a pure function of the fault list —
+     it must come out identical whatever the partition count (it used to be
+     one concatenated copy per worker) *)
+  let s = Lazy.force sample in
+  let g = s.H.Rand_design.graph
+  and w = s.H.Rand_design.workload
+  and faults = s.H.Rand_design.faults in
+  let per_proc jobs =
+    let r = H.Campaign.run ~jobs H.Campaign.Eraser g w faults in
+    Array.to_list r.Fault.stats.Stats.per_proc
+    |> List.map (fun (row : Stats.proc_row) ->
+           Printf.sprintf "%s exec=%d impl=%d expl=%d" row.Stats.pr_name
+             row.pr_exec row.pr_impl row.pr_expl)
+  in
+  let p1 = per_proc 1 in
+  check Alcotest.bool "non-trivial table" true (p1 <> []);
+  check
+    (Alcotest.list Alcotest.string)
+    "jobs 4 per-proc table identical to jobs 1" p1 (per_proc 4)
+
 let test_parallel_watchdog () =
   let s = Lazy.force sample in
   let config =
@@ -212,6 +234,8 @@ let suite =
       test_resilient_jobs_identical;
     Alcotest.test_case "partitioned campaign verdicts" `Quick
       test_campaign_jobs_verdicts;
+    Alcotest.test_case "per-proc table independent of jobs" `Quick
+      test_campaign_jobs_per_proc;
     Alcotest.test_case "watchdog aborts a parallel campaign cleanly" `Quick
       test_parallel_watchdog;
     Alcotest.test_case "jobs validation" `Quick test_jobs_validation;

@@ -1,0 +1,93 @@
+(* JSON report well-formedness: the campaign document must stay parseable
+   in the degenerate cases that used to leak bare [nan] tokens — zero
+   detections (undefined mean latency) and zero testable faults (undefined
+   adjusted coverage) — and must carry the per-process skip table. *)
+open Rtlir
+open Faultsim
+module H = Harness
+module J = H.Jsonl
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+
+let tiny_design () =
+  let module B = Builder in
+  let ctx = B.create "tiny" in
+  let _clk = B.input ctx "clk" 1 in
+  let a = B.input ctx "a" 3 in
+  let o = B.output ctx "o" 3 in
+  B.assign ctx o a;
+  B.finalize ctx
+
+let render ~verdicts ~result ~faults design =
+  let buf = Buffer.create 2048 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.campaign ppf ~design ~engine:"Eraser" ~faults ~verdicts result;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let make ~detected ?detection_cycle ~stats () =
+  Fault.make_result ~detected ?detection_cycle ~stats ~wall_time:0.5 ()
+
+let test_no_detection_no_testable () =
+  let design = tiny_design () in
+  let faults = Fault.generate ~max_faults:3 ~seed:7L design in
+  let n = Array.length faults in
+  let verdicts = Array.make n Classify.Untestable_constant in
+  let stats = Stats.create () in
+  stats.Stats.per_proc <-
+    [|
+      { Stats.pr_name = "p0"; pr_exec = 4; pr_impl = 2; pr_expl = 1 };
+      { Stats.pr_name = "p1"; pr_exec = 0; pr_impl = 0; pr_expl = 9 };
+    |];
+  let result = make ~detected:(Array.make n false) ~stats () in
+  let text = render ~verdicts ~result ~faults design in
+  (* the whole point: the degenerate document must parse as JSON *)
+  let doc =
+    try J.parse text
+    with J.Parse_error m -> Alcotest.failf "unparseable report: %s" m
+  in
+  check int_t "detected" 0 (J.get_int "detected" doc);
+  check Alcotest.bool "undefined mean latency is null" true
+    (J.member "mean_detection_latency" doc = Some J.Null);
+  check Alcotest.bool "undefined adjusted coverage is null" true
+    (J.member "adjusted_coverage_pct" doc = Some J.Null);
+  let per_proc = J.get_list "per_proc" doc in
+  check int_t "per_proc rows" 2 (List.length per_proc);
+  let row name =
+    List.find (fun r -> J.get_string "name" r = name) per_proc
+  in
+  check int_t "p0 exec" 4 (J.get_int "exec" (row "p0"));
+  check int_t "p0 skip_implicit" 2 (J.get_int "skip_implicit" (row "p0"));
+  check int_t "p1 skip_explicit" 9 (J.get_int "skip_explicit" (row "p1"));
+  check int_t "fault_list length" n
+    (List.length (J.get_list "fault_list" doc))
+
+let test_detection_fields_finite () =
+  let design = tiny_design () in
+  let faults = Fault.generate ~max_faults:2 ~seed:7L design in
+  let verdicts = [| Classify.Testable; Classify.Untestable_constant |] in
+  let result =
+    make
+      ~detected:[| true; false |]
+      ~detection_cycle:[| 6; -1 |]
+      ~stats:(Stats.create ()) ()
+  in
+  let doc = J.parse (render ~verdicts ~result ~faults design) in
+  check (Alcotest.float 0.01) "mean latency" 6.0
+    (J.get_float "mean_detection_latency" doc);
+  (* 1 detected of 1 testable *)
+  check (Alcotest.float 0.01) "adjusted coverage" 100.0
+    (J.get_float "adjusted_coverage_pct" doc);
+  check Alcotest.bool "cpu_seconds present" true
+    (match J.member "stats" doc with
+    | Some s -> J.member "cpu_seconds" s <> None
+    | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "degenerate campaign report parses" `Quick
+      test_no_detection_no_testable;
+    Alcotest.test_case "defined latency and coverage stay numeric" `Quick
+      test_detection_fields_finite;
+  ]

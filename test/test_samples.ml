@@ -69,8 +69,16 @@ let test_json () =
       "\"design\": \"gray_counter\""; "\"coverage_pct\""; "\"fault_list\"";
       "\"stuck-at-"; "\"class\"";
     ];
+  (* and the report must actually parse as JSON, with one fault_list
+     record per fault and the per-process skip table present *)
+  let doc =
+    try H.Jsonl.parse text
+    with H.Jsonl.Parse_error m -> Alcotest.failf "unparseable report: %s" m
+  in
   check Alcotest.int "one record per fault" (Array.length faults)
-    (count '\n' - 13)
+    (List.length (H.Jsonl.get_list "fault_list" doc));
+  check bool_t "per_proc table present" true
+    (H.Jsonl.get_list "per_proc" doc <> [])
 
 let suite =
   List.map campaign_case
