@@ -163,6 +163,79 @@ let qcheck_suite =
             (Int64.logand
                (Int64.mul (Bits.to_int64 a) (Bits.to_int64 b))
                (Bits.to_int64 (Bits.ones (Bits.width a)))));
+      (* Representation pins: these properties fix the 2-state semantics the
+         unboxed value layer must reproduce bit-for-bit. *)
+      prop "mask_roundtrip" (QCheck2.Gen.pair gen_width (QCheck2.Gen.map Int64.of_int QCheck2.Gen.int))
+        (fun (w, v) ->
+          let m =
+            if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+          in
+          Int64.equal (Bits.to_int64 (Bits.make w v)) (Int64.logand v m));
+      prop "make_is_idempotent" gen_bits (fun a ->
+          Bits.equal a (Bits.make (Bits.width a) (Bits.to_int64 a)));
+      prop "add_matches_int64" gen_pair (fun (a, b) ->
+          Bits.equal (Bits.add a b)
+            (Bits.make (Bits.width a)
+               (Int64.add (Bits.to_int64 a) (Bits.to_int64 b))));
+      prop "sub_matches_int64" gen_pair (fun (a, b) ->
+          Bits.equal (Bits.sub a b)
+            (Bits.make (Bits.width a)
+               (Int64.sub (Bits.to_int64 a) (Bits.to_int64 b))));
+      prop "signed_add_identity" gen_pair (fun (a, b) ->
+          (* two's complement: signed and unsigned addition coincide under
+             the width mask *)
+          Bits.equal (Bits.add a b)
+            (Bits.make (Bits.width a)
+               (Int64.add (Bits.to_signed a) (Bits.to_signed b))));
+      prop "neg_signed_negates" gen_bits (fun a ->
+          Bits.equal (Bits.neg a)
+            (Bits.make (Bits.width a) (Int64.neg (Bits.to_signed a))));
+      prop "to_signed_roundtrip" gen_bits (fun a ->
+          Bits.equal a (Bits.make (Bits.width a) (Bits.to_signed a)));
+      prop "divu_by_zero_all_ones" gen_bits (fun a ->
+          Bits.equal
+            (Bits.divu a (Bits.zero (Bits.width a)))
+            (Bits.ones (Bits.width a)));
+      prop "modu_by_zero_is_lhs" gen_bits (fun a ->
+          Bits.equal (Bits.modu a (Bits.zero (Bits.width a))) a);
+      prop "divmod_roundtrip" gen_pair (fun (a, b) ->
+          (* a = (a / b) * b + (a mod b) for non-zero b *)
+          if not (Bits.is_true b) then true
+          else
+            Bits.equal a
+              (Bits.add (Bits.mul (Bits.divu a b) b) (Bits.modu a b)));
+      prop "divu_matches_int64" gen_pair (fun (a, b) ->
+          (not (Bits.is_true b))
+          || Int64.equal
+               (Bits.to_int64 (Bits.divu a b))
+               (Int64.unsigned_div (Bits.to_int64 a) (Bits.to_int64 b)));
+      prop "shru_then_shl_masks_low" gen_bits (fun a ->
+          let w = Bits.width a in
+          let one = Bits.of_int 7 1 in
+          Bits.equal
+            (Bits.shift_right (Bits.shift_left a one) one)
+            (if w = 1 then Bits.zero 1
+             else Bits.slice a ~hi:(w - 2) ~lo:0 |> fun s -> Bits.zext s w));
+      prop "shra_matches_signed_int64" gen_bits (fun a ->
+          let n = 3 in
+          Bits.equal
+            (Bits.shift_right_arith a (Bits.of_int 7 n))
+            (Bits.make (Bits.width a)
+               (Int64.shift_right (Bits.to_signed a) n)));
+      prop "reduce_xor_is_parity" gen_bits (fun a ->
+          let rec pop acc v =
+            if Int64.equal v 0L then acc
+            else pop (acc + 1) (Int64.logand v (Int64.sub v 1L))
+          in
+          Bits.is_true (Bits.reduce_xor a)
+          = (pop 0 (Bits.to_int64 a) land 1 = 1));
+      prop "eq_matches_equal" gen_pair (fun (a, b) ->
+          Bits.is_true (Bits.eq a b) = Bits.equal a b);
+      prop "leu_is_ltu_or_eq" gen_pair (fun (a, b) ->
+          Bits.is_true (Bits.leu a b)
+          = (Bits.is_true (Bits.ltu a b) || Bits.equal a b));
+      prop "ges_is_not_lts" gen_pair (fun (a, b) ->
+          Bits.is_true (Bits.ges a b) = not (Bits.is_true (Bits.lts a b)));
     ]
 
 let suite =
