@@ -68,6 +68,110 @@ let scaling ~scale ~jobs ~out =
       output_char oc '\n');
   Format.fprintf ppf "  json       %s@." out
 
+(* --- representation experiment: boxed vs flat value representation --- *)
+
+(* End-to-end serial fault-simulation throughput (compile + golden trace +
+   one full simulator per fault) under each evaluation style, old (boxed
+   Bits.t per value) vs new (flat int64 state) representation. The two
+   representations are verdict-checked against each other on every run. *)
+let repr_bench ~scale ~out =
+  Format.fprintf ppf
+    "@.Value representation: boxed vs flat, serial engine per style@.";
+  let styles =
+    [
+      ("closures", Sim.Simulator.Closures);
+      ("ast", Sim.Simulator.Ast);
+      ("bytecode", Sim.Simulator.Bytecode);
+    ]
+  in
+  let circuits = [ "alu"; "sha256_hv" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let c = Circuits.find name in
+        let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+        let nfaults = Array.length faults in
+        (* best-of-3: the per-config runs are short enough that a single
+           sample is at the mercy of the scheduler *)
+        let run eval repr =
+          let one () =
+            Baselines.Serial.run
+              ~config:
+                {
+                  Sim.Simulator.eval;
+                  scheduler = Sim.Simulator.Levelized;
+                  repr;
+                }
+              g w faults
+          in
+          let r = one () in
+          let best = ref r.Faultsim.Fault.wall_time in
+          for _ = 1 to 2 do
+            let r' = one () in
+            if r'.Faultsim.Fault.detected <> r.Faultsim.Fault.detected then
+              failwith (Printf.sprintf "%s: nondeterministic verdicts" name);
+            if r'.wall_time < !best then best := r'.wall_time
+          done;
+          (r, !best)
+        in
+        let style_rows =
+          List.map
+            (fun (sname, eval) ->
+              let rb, bw = run eval Sim.Simulator.Boxed in
+              let rf, fw = run eval Sim.Simulator.Flat in
+              if rb.Faultsim.Fault.detected <> rf.Faultsim.Fault.detected then
+                failwith
+                  (Printf.sprintf "%s/%s: representations disagree" name sname);
+              let speedup = bw /. fw in
+              Format.fprintf ppf
+                "  %-10s %-9s boxed %8.4f s  flat %8.4f s  speedup %5.2fx@."
+                name sname bw fw speedup;
+              (sname, bw, fw, speedup))
+            styles
+        in
+        (name, nfaults, w.Faultsim.Workload.cycles, style_rows))
+      circuits
+  in
+  let json =
+    H.Jsonl.Obj
+      [
+        ("experiment", H.Jsonl.String "repr");
+        ("scale", H.Jsonl.Float scale);
+        ( "circuits",
+          H.Jsonl.List
+            (List.map
+               (fun (name, nfaults, cycles, style_rows) ->
+                 H.Jsonl.Obj
+                   [
+                     ("name", H.Jsonl.String name);
+                     ("faults", H.Jsonl.Int nfaults);
+                     ("cycles", H.Jsonl.Int cycles);
+                     ( "styles",
+                       H.Jsonl.List
+                         (List.map
+                            (fun (sname, bw, fw, speedup) ->
+                              H.Jsonl.Obj
+                                [
+                                  ("style", H.Jsonl.String sname);
+                                  ("boxed_wall_s", H.Jsonl.Float bw);
+                                  ("flat_wall_s", H.Jsonl.Float fw);
+                                  ( "flat_faults_per_sec",
+                                    H.Jsonl.Float (float_of_int nfaults /. fw)
+                                  );
+                                  ("speedup_vs_boxed", H.Jsonl.Float speedup);
+                                ])
+                            style_rows) );
+                   ])
+               rows) );
+      ]
+  in
+  let text = H.Jsonl.to_string json in
+  ignore (H.Jsonl.parse text);
+  H.Resilient.write_atomic out (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Format.fprintf ppf "  json       %s@." out
+
 (* --- Bechamel micro-benchmarks --- *)
 
 let micro () =
@@ -183,6 +287,7 @@ let () =
   let scale = ref 0.5 in
   let jobs = ref [ 1; 2; 4; 8 ] in
   let scaling_out = ref "BENCH_scaling.json" in
+  let repr_out = ref "BENCH_repr.json" in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then
@@ -202,6 +307,9 @@ let () =
       | "--scaling-out" ->
           scaling_out := Sys.argv.(i + 1);
           parse (i + 2)
+      | "--repr-out" ->
+          repr_out := Sys.argv.(i + 1);
+          parse (i + 2)
       | cmd ->
           cmds := cmd :: !cmds;
           parse (i + 1)
@@ -209,8 +317,8 @@ let () =
   (try parse 1
    with _ ->
      prerr_endline
-       "usage: main [tableN|figN|scaling|micro] [--scale S] [--jobs 1,2,4] \
-        [--scaling-out FILE]");
+       "usage: main [tableN|figN|scaling|repr|micro] [--scale S] [--jobs \
+        1,2,4] [--scaling-out FILE] [--repr-out FILE]");
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
   let scale = !scale in
   Format.fprintf ppf "ERASER reproduction harness (scale %.2f)@.@." scale;
@@ -226,6 +334,7 @@ let () =
       | "ablation" -> ablation ~scale
       | "resilience" -> resilience ~scale
       | "scaling" -> scaling ~scale ~jobs:!jobs ~out:!scaling_out
+      | "repr" -> repr_bench ~scale ~out:!repr_out
       | "micro" -> micro ()
       | "all" ->
           table1 ();
@@ -237,6 +346,7 @@ let () =
           ablation ~scale;
           resilience ~scale;
           scaling ~scale ~jobs:!jobs ~out:!scaling_out;
+          repr_bench ~scale ~out:!repr_out;
           micro ()
       | other -> Format.fprintf ppf "unknown experiment %S@." other)
     cmds

@@ -1,0 +1,60 @@
+(* Validate a BENCH_repr.json document (bench-smoke alias): parse it back
+   through Harness.Jsonl and check the schema and the invariants the
+   experiment guarantees — both Table II circuits present, all three eval
+   styles per circuit, finite positive timings, speedup consistent with the
+   recorded wall times, and the flat representation beating the boxed one
+   on at least one circuit/style pair (the bytecode path wins by several x
+   even at smoke scale, so a >= 1.0 bar is noise-proof). *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: validate_repr FILE" in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "repr" then
+    fail "%s: not a repr document" path;
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  if finite "scale" (J.get_float "scale" doc) <= 0.0 then
+    fail "%s: non-positive scale" path;
+  let circuits = J.get_list "circuits" doc in
+  let names = List.map (fun c -> J.get_string "name" c) circuits in
+  if List.sort compare names <> [ "alu"; "sha256_hv" ] then
+    fail "%s: expected circuits alu and sha256_hv" path;
+  let best = ref 0.0 in
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      if J.get_int "faults" c < 1 then fail "%s: no faults" name;
+      if J.get_int "cycles" c < 1 then fail "%s: no cycles" name;
+      let styles = J.get_list "styles" c in
+      let style_names = List.map (fun s -> J.get_string "style" s) styles in
+      if List.sort compare style_names <> [ "ast"; "bytecode"; "closures" ]
+      then fail "%s: expected styles closures, ast, bytecode" name;
+      List.iter
+        (fun s ->
+          let style = J.get_string "style" s in
+          let bw = finite "boxed_wall_s" (J.get_float "boxed_wall_s" s) in
+          let fw = finite "flat_wall_s" (J.get_float "flat_wall_s" s) in
+          if bw <= 0.0 || fw <= 0.0 then
+            fail "%s/%s: non-positive wall time" name style;
+          if finite "flat_faults_per_sec" (J.get_float "flat_faults_per_sec" s)
+             <= 0.0
+          then fail "%s/%s: non-positive throughput" name style;
+          let speedup =
+            finite "speedup_vs_boxed" (J.get_float "speedup_vs_boxed" s)
+          in
+          if abs_float (speedup -. (bw /. fw)) > 1e-9 *. speedup then
+            fail "%s/%s: speedup inconsistent with wall times" name style;
+          if speedup > !best then best := speedup)
+        styles)
+    circuits;
+  if !best < 1.0 then
+    fail "%s: flat representation never beats boxed (best %.2fx)" path !best;
+  Printf.printf "bench-smoke: %s ok (best flat speedup %.2fx)\n" path !best

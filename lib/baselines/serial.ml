@@ -67,13 +67,25 @@ let run ~config g (w : Workload.t) faults =
   stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 
+(* Both baselines pin the boxed representation: they model the published
+   tools' per-value cost, and the representation benchmark compares the flat
+   engine against them. *)
 let ifsim g w faults =
   run
-    ~config:{ Simulator.eval = Simulator.Bytecode; scheduler = Simulator.Fifo }
+    ~config:
+      {
+        Simulator.eval = Simulator.Bytecode;
+        scheduler = Simulator.Fifo;
+        repr = Simulator.Boxed;
+      }
     g w faults
 
 let vfsim g w faults =
   run
     ~config:
-      { Simulator.eval = Simulator.Closures; scheduler = Simulator.Cycle_based }
+      {
+        Simulator.eval = Simulator.Closures;
+        scheduler = Simulator.Cycle_based;
+        repr = Simulator.Boxed;
+      }
     g w faults

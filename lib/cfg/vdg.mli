@@ -63,3 +63,15 @@ val redundant :
   visible:(int -> bool) ->
   mem_word_visible:(int -> Bits.t -> bool) ->
   bool
+
+(** Payload twin of {!redundant}: expression values are masked int64
+    payloads (the flat representation), label matching via
+    {!Cfg.choose_i}. Traversal and verdicts are identical. *)
+val redundant_i :
+  t ->
+  good_choice:(int -> int) ->
+  eval_good:(Expr.t -> int64) ->
+  eval_fault:(Expr.t -> int64) ->
+  visible:(int -> bool) ->
+  mem_word_visible:(int -> int64 -> bool) ->
+  bool

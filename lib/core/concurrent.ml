@@ -29,41 +29,49 @@ let default_config =
 
 (* An instance is the immutable compiled form of one elaborated design:
    every behavioral body and every continuous-assign expression, compiled
-   once. All per-campaign mutable state lives inside {!run_i}, so a single
-   instance can be reused across any number of sequential runs — the
-   parallel harness gives each worker domain its own instance and reuses it
-   for every batch that worker executes. Instances must not be shared
-   across domains concurrently (compiled closures are reentrant, but the
-   engine state that feeds them is not). *)
+   once (in the payload-compiled form: widths resolved at compile time,
+   values flow as masked int64 payloads). All per-campaign mutable state
+   lives inside {!run_i}, so a single instance can be reused across any
+   number of sequential runs — the parallel harness gives each worker
+   domain its own instance and reuses it for every batch that worker
+   executes. Instances must not be shared across domains concurrently
+   (compiled closures are reentrant, but the engine state that feeds them
+   is not). *)
 type instance = {
   inst_graph : Elaborate.t;
-  inst_procs : Compile.t array;  (** by process id *)
-  inst_assigns : Compile.compiled_expr array;  (** by assign index *)
+  inst_procs : Compile.ti array;  (** by process id *)
+  inst_assigns : Compile.compiled_expr_i array;  (** by assign index *)
 }
 
 let instance (g : Elaborate.t) =
   let d = g.Elaborate.design in
+  let sig_width i = d.Design.signals.(i).Design.width in
+  let mem_width m = d.Design.mems.(m).Design.data_width in
   let mem_size m = d.Design.mems.(m).Design.size in
   {
     inst_graph = g;
     inst_procs =
-      Array.map (fun (p : Design.proc) -> Compile.proc ~mem_size p.body) d.procs;
+      Array.map
+        (fun (p : Design.proc) ->
+          Compile.proc_i ~sig_width ~mem_width ~mem_size p.body)
+        d.procs;
     inst_assigns =
       Array.map
-        (fun (a : Design.assign) -> Compile.expr ~mem_size a.expr)
+        (fun (a : Design.assign) ->
+          Compile.expr_i ~sig_width ~mem_width ~mem_size a.expr)
         d.assigns;
   }
 
 type comb_kind =
   | Kassign of {
       target : int;
-      eval : Compile.compiled_expr;
+      eval : Compile.compiled_expr_i;
       reads : int array;
       read_mems : int array;
     }
   | Kproc of {
       pid : int;
-      cp : Compile.t;
+      cp : Compile.ti;
       reads : int array;
       read_mems : int array;
       writes : int array;  (* blocking targets; covered on every path *)
@@ -71,8 +79,10 @@ type comb_kind =
 
 let edge_fired edge ~old_b ~new_b =
   match edge with
-  | Design.Posedge -> (not (Bits.bit old_b 0)) && Bits.bit new_b 0
-  | Design.Negedge -> Bits.bit old_b 0 && not (Bits.bit new_b 0)
+  | Design.Posedge ->
+      Int64.logand old_b 1L = 0L && Int64.logand new_b 1L = 1L
+  | Design.Negedge ->
+      Int64.logand old_b 1L = 1L && Int64.logand new_b 1L = 0L
 
 let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     faults =
@@ -91,30 +101,30 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let tracing = Obs.Trace.on () in
   let metrics_on = Obs.Metrics.on () in
   let run_t0 = Obs.Trace.span_begin "fault_sim_run" in
+  let sig_width i = d.Design.signals.(i).Design.width in
+  let mem_width m = d.Design.mems.(m).Design.data_width in
   let mem_size m = d.mems.(m).size in
-  (* ---- good state ---- *)
-  let values = Array.init nsig (fun i -> Bits.zero d.signals.(i).width) in
-  let mems =
-    Array.map
-      (fun (m : Design.mem) ->
-        match m.init with
-        | Some a -> Array.copy a
-        | None -> Array.make m.size (Bits.zero m.data_width))
-      d.mems
-  in
+  (* ---- good state: flat int64 arrays, shared representation with the
+     serial simulator's flat backend ---- *)
+  let st = State.create d in
   (* ---- fault bookkeeping ---- *)
   let live = Array.make nfaults true in
   let detected = Array.make nfaults false in
   let detection_cycle = Array.make nfaults (-1) in
   let n_live = ref nfaults in
-  let diffs : (int, Bits.t) Hashtbl.t array =
-    Array.init nsig (fun _ -> Hashtbl.create 4)
+  (* Diff stores are sized from the fault-batch width: the per-site tables
+     (one per signal / memory) expect a fraction of the batch and grow on
+     demand; the per-memory fault index and per-clock snapshots are bounded
+     by the batch width itself. *)
+  let expect_site = min nfaults 16 in
+  let diffs : Diffstore.t array =
+    Array.init nsig (fun _ -> Diffstore.create ~expect:expect_site)
   in
-  let mem_diffs : (int, Bits.t) Hashtbl.t array =
-    Array.init nmem (fun _ -> Hashtbl.create 16)
+  let mem_diffs : Diffstore.t array =
+    Array.init nmem (fun _ -> Diffstore.create ~expect:expect_site)
   in
-  let mem_fault_words : (int, int) Hashtbl.t array =
-    Array.init nmem (fun _ -> Hashtbl.create 8)
+  let mem_fault_words : Diffstore.Counts.t array =
+    Array.init nmem (fun _ -> Diffstore.Counts.create ~expect:nfaults)
   in
   let site_faults = Array.make nsig [] in
   let transients_at : (int, Fault.t list) Hashtbl.t = Hashtbl.create 8 in
@@ -129,7 +139,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     faults;
   let force_if_site f id v =
     let fa = faults.(f) in
-    if fa.Fault.signal = id then Fault.force fa v else v
+    if fa.Fault.signal = id then Fault.force_i64 fa v else v
   in
   (* ---- dirty tracking over topological comb positions ---- *)
   let ncomb = Array.length g.comb_nodes in
@@ -181,130 +191,118 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       touch pos
     done
   in
-  (* ---- diff store ---- *)
+  (* ---- diff store ----
+     Payload equality is full equality: every stored payload is masked to
+     its signal's width, and a slot's good value shares that width. *)
   let set_diff id f v =
     let tbl = diffs.(id) in
-    if Bits.equal v values.(id) then begin
-      if Hashtbl.mem tbl f then begin
-        Hashtbl.remove tbl f;
+    let good = State.get st id in
+    if v = good then begin
+      if Diffstore.mem tbl f then begin
+        Diffstore.remove tbl f;
         mark_fault_fanout id
       end
     end
-    else
-      match Hashtbl.find_opt tbl f with
-      | Some old when Bits.equal old v -> ()
-      | Some _ | None ->
-          Hashtbl.replace tbl f v;
-          mark_fault_fanout id
+    else if Diffstore.find tbl f ~default:good <> v then begin
+      Diffstore.set tbl f v;
+      mark_fault_fanout id
+    end
   in
-  let fault_value f id =
-    match Hashtbl.find_opt diffs.(id) f with
-    | Some v -> v
-    | None -> values.(id)
-  in
+  let fault_value f id = Diffstore.find diffs.(id) f ~default:(State.get st id) in
   let visible f id =
-    match Hashtbl.find_opt diffs.(id) f with
-    | Some v -> not (Bits.equal v values.(id))
-    | None -> false
+    let tbl = diffs.(id) in
+    (not (Diffstore.is_empty tbl))
+    &&
+    let good = State.get st id in
+    Diffstore.find tbl f ~default:good <> good
   in
   let mem_key m f a = (f * d.mems.(m).size) + a in
   let fault_mem_value f m a =
-    match Hashtbl.find_opt mem_diffs.(m) (mem_key m f a) with
-    | Some v -> v
-    | None -> mems.(m).(a)
+    Diffstore.find mem_diffs.(m) (mem_key m f a)
+      ~default:(State.get_mem st m a)
   in
-  let mem_visible f m = Hashtbl.mem mem_fault_words.(m) f in
-  let mem_words_bump m f delta =
-    let tbl = mem_fault_words.(m) in
-    let c = (match Hashtbl.find_opt tbl f with Some c -> c | None -> 0) + delta in
-    if c <= 0 then Hashtbl.remove tbl f else Hashtbl.replace tbl f c
-  in
+  let mem_visible f m = Diffstore.Counts.mem mem_fault_words.(m) f in
+  let mem_words_bump m f delta = Diffstore.Counts.bump mem_fault_words.(m) f delta in
   let set_mem_diff m f a v =
     let key = mem_key m f a in
     let tbl = mem_diffs.(m) in
-    if Bits.equal v mems.(m).(a) then begin
-      if Hashtbl.mem tbl key then begin
-        Hashtbl.remove tbl key;
+    let good = State.get_mem st m a in
+    if v = good then begin
+      if Diffstore.mem tbl key then begin
+        Diffstore.remove tbl key;
         mem_words_bump m f (-1);
         mark_mem_fault_fanout m
       end
     end
-    else
-      match Hashtbl.find_opt tbl key with
-      | Some old when Bits.equal old v -> ()
-      | Some _ ->
-          Hashtbl.replace tbl key v;
-          mark_mem_fault_fanout m
-      | None ->
-          Hashtbl.add tbl key v;
-          mem_words_bump m f 1;
-          mark_mem_fault_fanout m
+    else if Diffstore.mem tbl key then begin
+      if Diffstore.find tbl key ~default:good <> v then begin
+        Diffstore.set tbl key v;
+        mark_mem_fault_fanout m
+      end
+    end
+    else begin
+      Diffstore.set tbl key v;
+      mem_words_bump m f 1;
+      mark_mem_fault_fanout m
+    end
   in
   (* ---- good writes (with fault-site injection and stale-diff sweep) ---- *)
-  let scratch_dead = ref [] in
+  let scratch_dead = Ivec.create ~capacity:16 () in
   let write_good id v =
-    if not (Bits.equal values.(id) v) then begin
-      values.(id) <- v;
+    if State.get st id <> v then begin
+      State.set st id v;
       let tbl = diffs.(id) in
-      if Hashtbl.length tbl > 0 then begin
-        scratch_dead := [];
-        Hashtbl.iter
-          (fun f fv ->
-            if (not live.(f)) || Bits.equal fv v then
-              scratch_dead := f :: !scratch_dead)
-          tbl;
-        List.iter (Hashtbl.remove tbl) !scratch_dead
+      if Diffstore.length tbl > 0 then begin
+        Ivec.clear scratch_dead;
+        Diffstore.iter tbl (fun f fv ->
+            if (not live.(f)) || fv = v then Ivec.push scratch_dead f);
+        Ivec.iter (fun f -> Diffstore.remove tbl f) scratch_dead
       end;
       mark_good_fanout id
     end;
     List.iter
-      (fun f -> if live.(f) then set_diff id f (Fault.force faults.(f) v))
+      (fun f -> if live.(f) then set_diff id f (Fault.force_i64 faults.(f) v))
       site_faults.(id)
   in
   let write_good_mem m a v =
-    if not (Bits.equal mems.(m).(a) v) then begin
-      mems.(m).(a) <- v;
+    if State.get_mem st m a <> v then begin
+      State.set_mem st m a v;
       mark_mem_good_fanout m
     end
   in
   (* ---- readers / writers ---- *)
-  let good_reader =
-    {
-      Access.get = (fun id -> values.(id));
-      get_mem = (fun m a -> mems.(m).(a));
-    }
-  in
+  let good_reader = Access.reader_of_state st in
   let cur_fault = ref (-1) in
   let fault_reader =
     {
-      Access.get = (fun id -> fault_value !cur_fault id);
-      get_mem = (fun m a -> fault_mem_value !cur_fault m a);
+      Access.iget = (fun id -> fault_value !cur_fault id);
+      iget_mem = (fun m a -> fault_mem_value !cur_fault m a);
     }
   in
   let bad_write kind _ _ = failwith ("concurrent: unexpected " ^ kind) in
   let comb_good_writer =
     {
-      Access.set_blocking = write_good;
-      set_nonblocking = bad_write "nonblocking write in comb process";
-      write_mem = (fun _ -> bad_write "memory write in comb process" 0);
+      Access.iset_blocking = write_good;
+      iset_nonblocking = bad_write "nonblocking write in comb process";
+      iwrite_mem = (fun _ -> bad_write "memory write in comb process" 0);
     }
   in
   let comb_fault_writer =
     {
-      Access.set_blocking =
+      Access.iset_blocking =
         (fun id v -> set_diff id !cur_fault (force_if_site !cur_fault id v));
-      set_nonblocking = bad_write "nonblocking write in comb process";
-      write_mem = (fun _ -> bad_write "memory write in comb process" 0);
+      iset_nonblocking = bad_write "nonblocking write in comb process";
+      iwrite_mem = (fun _ -> bad_write "memory write in comb process" 0);
     }
   in
   let cur_good_writes = ref [] in
   let cur_good_mem_writes = ref [] in
   let ff_good_writer =
     {
-      Access.set_blocking = bad_write "blocking write in ff process";
-      set_nonblocking =
+      Access.iset_blocking = bad_write "blocking write in ff process";
+      iset_nonblocking =
         (fun id v -> cur_good_writes := (id, v) :: !cur_good_writes);
-      write_mem =
+      iwrite_mem =
         (fun m a v ->
           cur_good_mem_writes := (m, a, v) :: !cur_good_mem_writes);
     }
@@ -314,10 +312,10 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let cur_pid = ref (-1) in
   let ff_fault_writer =
     {
-      Access.set_blocking = bad_write "blocking write in ff process";
-      set_nonblocking =
+      Access.iset_blocking = bad_write "blocking write in ff process";
+      iset_nonblocking =
         (fun id v -> fault_nba := (!cur_fault, id, v) :: !fault_nba);
-      write_mem =
+      iwrite_mem =
         (fun m a v ->
           fault_nba_mem := (!cur_pid, !cur_fault, m, a, v) :: !fault_nba_mem);
     }
@@ -330,7 +328,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let record = Array.make nproc [||] in
   let record_of pid =
     if Array.length record.(pid) = 0 then
-      record.(pid) <- Array.make (Array.length (get_cp pid).cfg.nodes) 0;
+      record.(pid) <- Array.make (Array.length (get_cp pid).Compile.icfg.nodes) 0;
     record.(pid)
   in
   let comb_kinds =
@@ -375,17 +373,16 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   in
   let add_sig_faults id =
     let tbl = diffs.(id) in
-    if Hashtbl.length tbl > 0 then begin
-      scratch_dead := [];
-      Hashtbl.iter
-        (fun f _ ->
-          if live.(f) then add_fault f else scratch_dead := f :: !scratch_dead)
-        tbl;
-      List.iter (Hashtbl.remove tbl) !scratch_dead
+    if Diffstore.length tbl > 0 then begin
+      Ivec.clear scratch_dead;
+      Diffstore.iter_keys tbl (fun f ->
+          if live.(f) then add_fault f else Ivec.push scratch_dead f);
+      Ivec.iter (fun f -> Diffstore.remove tbl f) scratch_dead
     end
   in
   let add_mem_faults m =
-    Hashtbl.iter (fun f _ -> if live.(f) then add_fault f) mem_fault_words.(m)
+    Diffstore.Counts.iter_keys mem_fault_words.(m) (fun f ->
+        if live.(f) then add_fault f)
   in
   let add_all_live () =
     for f = 0 to nfaults - 1 do
@@ -397,16 +394,15 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     Array.exists (visible f) reads || Array.exists (mem_visible f) read_mems
   in
   let mem_word_diff f m a =
-    match Hashtbl.find_opt mem_diffs.(m) (mem_key m f a) with
-    | Some v -> not (Bits.equal v mems.(m).(a))
-    | None -> false
+    let good = State.get_mem st m a in
+    Diffstore.find mem_diffs.(m) (mem_key m f a) ~default:good <> good
   in
   let walk_steps = ref 0 in
   let vdg_hist = Array.make Obs.Metrics.nbuckets 0 in
   let vdg_count = ref 0 in
   let vdg_sum = ref 0.0 in
   let vdg_max = ref 0.0 in
-  let walk_redundant (cp : Compile.t) rec_arr =
+  let walk_redundant (cp : Compile.ti) rec_arr =
     (* fast path: no blocking writes in the body, so every read is external
        and selectors can be re-evaluated against pre-execution state.
        Memory dependencies are checked per word: the site's address is
@@ -415,11 +411,11 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
        memory reads need no pre-check — the selector itself is re-evaluated
        under the fault overlay. *)
     let f = !cur_fault in
-    let nodes = cp.cfg.nodes in
-    let vdg = cp.vdg in
+    let nodes = cp.Compile.icfg.nodes in
+    let vdg = cp.Compile.ivdg in
     let site_clean (m, size, caddr) =
       if config.exact_mem_check then
-        not (mem_word_diff f m (Eval.wrap_address (caddr good_reader) size))
+        not (mem_word_diff f m (Eval.wrap_address_i (caddr good_reader) size))
       else not (mem_visible f m)
     in
     let rec walk cur =
@@ -428,32 +424,34 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       | Cfg.Exit -> true
       | Cfg.Decision dec ->
           let gc = rec_arr.(cur) in
-          if Compile.fault_choice cp cur fault_reader <> gc then false
+          if Compile.fault_choice_i cp cur fault_reader <> gc then false
           else walk dec.targets.(gc)
       | Cfg.Segment s ->
           if not vdg.Vdg.interesting.(cur) then walk vdg.Vdg.next.(cur)
           else if
             Array.exists (visible f) s.reads
-            || not (Array.for_all site_clean cp.seg_sites.(cur))
+            || not (Array.for_all site_clean cp.Compile.iseg_sites.(cur))
           then false
           else walk vdg.Vdg.next.(cur)
     in
     let t0 = if tracing then Obs.Trace.span_begin "vdg_walk" else 0 in
     walk_steps := 0;
     let res =
-      if cp.has_blocking then
-        Vdg.redundant vdg
+      if cp.Compile.ihas_blocking then
+        Vdg.redundant_i vdg
           ~good_choice:(fun id ->
             incr walk_steps;
             rec_arr.(id))
-          ~eval_good:(fun e -> Eval.eval ~mem_size good_reader e)
-          ~eval_fault:(fun e -> Eval.eval ~mem_size fault_reader e)
+          ~eval_good:(fun e ->
+            Eval.eval_i ~sig_width ~mem_width ~mem_size good_reader e)
+          ~eval_fault:(fun e ->
+            Eval.eval_i ~sig_width ~mem_width ~mem_size fault_reader e)
           ~visible:(visible f)
           ~mem_word_visible:(fun m addr ->
             if config.exact_mem_check then
-              mem_word_diff f m (Eval.wrap_address addr d.mems.(m).size)
+              mem_word_diff f m (Eval.wrap_address_i addr d.mems.(m).size)
             else mem_visible f m)
-      else walk cp.cfg.entry
+      else walk cp.Compile.icfg.entry
     in
     if tracing then Obs.Trace.span_end "vdg_walk" t0;
     if metrics_on then begin
@@ -507,7 +505,8 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
         if gd then begin
           stats.Stats.bn_good <- stats.Stats.bn_good + 1;
           let gs_t0 = if tracing then Obs.Trace.span_begin "good_sim" else 0 in
-          Compile.exec p.cp ~record:record.(p.pid) good_reader comb_good_writer;
+          Compile.exec_i p.cp ~record:record.(p.pid) good_reader
+            comb_good_writer;
           if tracing then Obs.Trace.span_end "good_sim" gs_t0
         end;
         if gd || fd then begin
@@ -558,14 +557,14 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
                 incr executed;
                 per_proc_exec.(p.pid) <- per_proc_exec.(p.pid) + 1;
                 stats.Stats.bn_fault_exec <- stats.Stats.bn_fault_exec + 1;
-                Compile.exec p.cp fault_reader comb_fault_writer
+                Compile.exec_i p.cp fault_reader comb_fault_writer
               end
               else if not (idiff && config.mode = Full) then incr expl;
               if not must_exec then
                 (* reconcile: the faulty execution would write the good
                    values (comb bodies assign every target on every path) *)
                 Array.iter
-                  (fun t -> set_diff t f (force_if_site f t values.(t)))
+                  (fun t -> set_diff t f (force_if_site f t (State.get st t)))
                   p.writes)
             fset;
           stats.Stats.bn_skipped_implicit <-
@@ -594,9 +593,9 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   in
   (* ---- clock edge tracking ---- *)
   let nclk = Array.length g.clocks in
-  let prev_clock_good = Array.map (fun c -> values.(c)) g.clocks in
-  let prev_clock_diff : (int, Bits.t) Hashtbl.t array =
-    Array.init nclk (fun _ -> Hashtbl.create 4)
+  let prev_clock_good = Array.map (fun c -> State.get st c) g.clocks in
+  let prev_clock_diff : Diffstore.t array =
+    Array.init nclk (fun _ -> Diffstore.create ~expect:nfaults)
   in
   let good_fired = Array.make nproc false in
   (* ---- the edge-triggered phase of one time slot ---- *)
@@ -613,8 +612,8 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       let solo = ref [] in
       for ci = 0 to nclk - 1 do
         let c = g.clocks.(ci) in
-        let old_g = prev_clock_good.(ci) and new_g = values.(c) in
-        if not (Bits.equal old_g new_g) then
+        let old_g = prev_clock_good.(ci) and new_g = State.get st c in
+        if old_g <> new_g then
           List.iter
             (fun (pid, edge) ->
               if edge_fired edge ~old_b:old_g ~new_b:new_g then begin
@@ -629,15 +628,12 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
              now or at the previous slot *)
           begin_set ();
           add_sig_faults c;
-          Hashtbl.iter
-            (fun f _ -> if live.(f) then add_fault f)
-            prev_clock_diff.(ci);
+          Diffstore.iter_keys prev_clock_diff.(ci) (fun f ->
+              if live.(f) then add_fault f);
           Ivec.iter
             (fun f ->
               let old_f =
-                match Hashtbl.find_opt prev_clock_diff.(ci) f with
-                | Some v -> v
-                | None -> old_g
+                Diffstore.find prev_clock_diff.(ci) f ~default:old_g
               in
               let new_f = fault_value f c in
               List.iter
@@ -650,10 +646,9 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             fset
         end;
         prev_clock_good.(ci) <- new_g;
-        Hashtbl.reset prev_clock_diff.(ci);
-        Hashtbl.iter
-          (fun f v -> if live.(f) then Hashtbl.add prev_clock_diff.(ci) f v)
-          diffs.(c)
+        Diffstore.clear prev_clock_diff.(ci);
+        Diffstore.iter diffs.(c) (fun f v ->
+            if live.(f) then Diffstore.set prev_clock_diff.(ci) f v)
       done;
       let fired = List.sort compare !fired_list in
       if fired = [] && !solo = [] then continue := false
@@ -686,7 +681,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             let gs_t0 =
               if tracing then Obs.Trace.span_begin "good_sim" else 0
             in
-            Compile.exec cp ~record:record.(pid) good_reader ff_good_writer;
+            Compile.exec_i cp ~record:record.(pid) good_reader ff_good_writer;
             if tracing then Obs.Trace.span_end "good_sim" gs_t0;
             Hashtbl.replace good_writes_of pid (List.rev !cur_good_writes);
             Hashtbl.replace good_mem_writes_of pid
@@ -735,7 +730,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
                       stats.Stats.bn_fault_exec + 1;
                     Hashtbl.replace executed_pairs (pid, f) ();
                     preserve_for pid f;
-                    Compile.exec cp fault_reader ff_fault_writer
+                    Compile.exec_i cp fault_reader ff_fault_writer
                   end
                   else begin
                     if not (idiff && config.mode = Full) then incr expl;
@@ -767,7 +762,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
               stats.Stats.bn_fault_exec <- stats.Stats.bn_fault_exec + 1;
               per_proc_exec.(pid) <- per_proc_exec.(pid) + 1;
               Hashtbl.replace executed_pairs (pid, f) ();
-              Compile.exec (get_cp pid) fault_reader ff_fault_writer
+              Compile.exec_i (get_cp pid) fault_reader ff_fault_writer
             end)
           !solo;
         bn_end ();
@@ -859,26 +854,25 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     (match probe with
     | Some f ->
         f cycle
-          (fun fid id -> fault_value fid id)
-          (fun fid m a -> fault_mem_value fid m a)
+          (fun fid id -> Bits.make (State.width st id) (fault_value fid id))
+          (fun fid m a ->
+            Bits.make (State.mem_width st m) (fault_mem_value fid m a))
     | None -> ());
     Array.iter
       (fun o ->
         let tbl = diffs.(o) in
-        if Hashtbl.length tbl > 0 then begin
-          scratch_dead := [];
-          Hashtbl.iter
-            (fun f v ->
-              if live.(f) && not (Bits.equal v values.(o)) then
-                scratch_dead := f :: !scratch_dead)
-            tbl;
-          List.iter
+        if Diffstore.length tbl > 0 then begin
+          Ivec.clear scratch_dead;
+          let good = State.get st o in
+          Diffstore.iter tbl (fun f v ->
+              if live.(f) && v <> good then Ivec.push scratch_dead f);
+          Ivec.iter
             (fun f ->
               detected.(f) <- true;
               detection_cycle.(f) <- cycle;
               live.(f) <- false;
               decr n_live)
-            !scratch_dead
+            scratch_dead
         end)
       g.outputs;
     !n_live > 0
@@ -886,7 +880,7 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   (* ---- initialisation ---- *)
   Array.iter
     (fun (f : Fault.t) ->
-      set_diff f.signal f.fid (Fault.force f values.(f.signal)))
+      set_diff f.signal f.fid (Fault.force_i64 f (State.get st f.signal)))
     faults;
   for pos = 0 to ncomb - 1 do
     good_dirty.(pos) <- true;
@@ -897,11 +891,10 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   settle ();
   for ci = 0 to nclk - 1 do
     let c = g.clocks.(ci) in
-    prev_clock_good.(ci) <- values.(c);
-    Hashtbl.reset prev_clock_diff.(ci);
-    Hashtbl.iter
-      (fun f v -> if live.(f) then Hashtbl.add prev_clock_diff.(ci) f v)
-      diffs.(c)
+    prev_clock_good.(ci) <- State.get st c;
+    Diffstore.clear prev_clock_diff.(ci);
+    Diffstore.iter diffs.(c) (fun f v ->
+        if live.(f) then Diffstore.set prev_clock_diff.(ci) f v)
   done;
   (* ---- drive the workload ---- *)
   let inject_transients cycle =
@@ -913,11 +906,12 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             if live.(f.fid) then begin
               let cur = fault_value f.fid f.signal in
               set_diff f.signal f.fid
-                (Bits.force_bit cur f.bit (not (Bits.bit cur f.bit)))
+                (Bitops.force_bit cur f.bit (not (Bitops.bit cur f.bit)))
             end)
           l
   in
-  Workload.run ~on_cycle_start:inject_transients w ~set_input:write_good
+  Workload.run ~on_cycle_start:inject_transients w
+    ~set_input:(fun id v -> write_good id (Bits.to_int64 v))
     ~step ~observe;
   stats.Stats.per_proc <-
     Array.mapi

@@ -1,0 +1,58 @@
+(** Specialized int-keyed stores for per-fault divergence bookkeeping.
+
+    The concurrent engine keeps, for every signal (and memory), the set of
+    faults whose value currently differs from the good network's — small
+    maps keyed by fault id (or fault-relative word index) holding unboxed
+    int64 payloads. The generic [Hashtbl] previously used here costs a
+    bucket-list cell and a boxed [Bits.t] per entry plus polymorphic
+    hashing on every probe; these open-addressing tables store keys in a
+    plain int array and payloads in an int64 Bigarray, probe with an
+    inlined integer mix, and are sized from the configured fault-batch
+    width instead of magic constants.
+
+    Iteration visits entries in slot order — deterministic for a given
+    insertion history. Engine reports do not depend on this order (every
+    entry is keyed by an independent fault), but determinism keeps runs
+    reproducible.
+
+    Keys must be non-negative (fault ids and word keys are). *)
+
+type t
+
+(** [create ~expect] sizes the table for [expect] expected entries (the
+    fault-batch width); the table grows as needed beyond that. *)
+val create : expect:int -> t
+
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+(** [find t key ~default] — the stored payload, or [default] when absent. *)
+val find : t -> int -> default:int64 -> int64
+
+(** [set t key v] inserts or replaces. *)
+val set : t -> int -> int64 -> unit
+
+(** [remove t key] — no-op when absent. *)
+val remove : t -> int -> unit
+
+val clear : t -> unit
+
+(** Slot-order iteration. The callback must not mutate the table. *)
+val iter : t -> (int -> int64 -> unit) -> unit
+
+val iter_keys : t -> (int -> unit) -> unit
+
+(** Open-addressing int -> int refcount table ([bump] removes entries that
+    drop to zero) — the [mem_fault_words] "does fault [f] diverge anywhere
+    in this memory" index. *)
+module Counts : sig
+  type t
+
+  val create : expect:int -> t
+  val length : t -> int
+  val mem : t -> int -> bool
+  val bump : t -> int -> int -> unit
+  val iter_keys : t -> (int -> unit) -> unit
+  val clear : t -> unit
+end

@@ -39,6 +39,12 @@ let force f v =
   | Stuck_at_1 -> Bits.force_bit v f.bit true
   | Flip_at _ -> v
 
+let force_i64 f v =
+  match f.stuck with
+  | Stuck_at_0 -> Bitops.force_bit v f.bit false
+  | Stuck_at_1 -> Bitops.force_bit v f.bit true
+  | Flip_at _ -> v
+
 let generate_transients ~seed ~count ~max_cycle design =
   let regs =
     Array.of_list

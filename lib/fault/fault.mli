@@ -30,6 +30,9 @@ val generate :
     transient faults — they do not force writes). *)
 val force : t -> Bits.t -> Bits.t
 
+(** Payload twin of {!force} over masked int64 payloads. *)
+val force_i64 : t -> int64 -> int64
+
 (** [generate_transients ~seed ~count ~max_cycle design] draws random SEUs:
     uniformly chosen register bits flipping at uniformly chosen cycles. *)
 val generate_transients :

@@ -1,0 +1,101 @@
+(* Unboxed int64 payload primitives. Invariant: inputs and outputs are
+   masked to their width (bits >= width are zero). Widths are trusted —
+   the checked layer lives in Bits. *)
+
+let mask w =
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+[@@inline]
+
+let keep w v = Int64.logand v (mask w) [@@inline]
+
+let to_signed w v =
+  if w = 64 then v
+  else if Int64.logand v (Int64.shift_left 1L (w - 1)) <> 0L then
+    Int64.logor v (Int64.lognot (mask w))
+  else v
+[@@inline]
+
+let of_bool b = if b then 1L else 0L [@@inline]
+let is_true v = v <> 0L [@@inline]
+
+let bit v i = Int64.logand (Int64.shift_right_logical v i) 1L = 1L [@@inline]
+
+let force_bit v i b =
+  let m = Int64.shift_left 1L i in
+  if b then Int64.logor v m else Int64.logand v (Int64.lognot m)
+[@@inline]
+
+let add w a b = keep w (Int64.add a b) [@@inline]
+let sub w a b = keep w (Int64.sub a b) [@@inline]
+let mul w a b = keep w (Int64.mul a b) [@@inline]
+
+let divu w a b =
+  if b = 0L then mask w else Int64.unsigned_div a b
+[@@inline]
+
+let modu a b = if b = 0L then a else Int64.unsigned_rem a b [@@inline]
+let neg w a = keep w (Int64.neg a) [@@inline]
+let lognot w a = keep w (Int64.lognot a) [@@inline]
+let logand a b = Int64.logand a b [@@inline]
+let logor a b = Int64.logor a b [@@inline]
+let logxor a b = Int64.logxor a b [@@inline]
+
+(* Shift amounts are small in practice; anything >= 64 saturates. *)
+let shift_amount v =
+  if Int64.unsigned_compare v 64L >= 0 then 64 else Int64.to_int v
+[@@inline]
+
+let shift_left w a b =
+  let n = shift_amount b in
+  if n >= w then 0L else keep w (Int64.shift_left a n)
+[@@inline]
+
+let shift_right w a b =
+  let n = shift_amount b in
+  if n >= w then 0L else Int64.shift_right_logical a n
+[@@inline]
+
+let shift_right_arith w a b =
+  let n = shift_amount b in
+  let signed = to_signed w a in
+  if n >= 64 then keep w (Int64.shift_right signed 63)
+  else keep w (Int64.shift_right signed n)
+[@@inline]
+
+let eq a b = if Int64.equal a b then 1L else 0L [@@inline]
+let neq a b = if Int64.equal a b then 0L else 1L [@@inline]
+let ltu a b = if Int64.unsigned_compare a b < 0 then 1L else 0L [@@inline]
+let leu a b = if Int64.unsigned_compare a b <= 0 then 1L else 0L [@@inline]
+let gtu a b = ltu b a [@@inline]
+let geu a b = leu b a [@@inline]
+
+let lts w a b =
+  if Int64.compare (to_signed w a) (to_signed w b) < 0 then 1L else 0L
+[@@inline]
+
+let les w a b =
+  if Int64.compare (to_signed w a) (to_signed w b) <= 0 then 1L else 0L
+[@@inline]
+
+let gts w a b = lts w b a [@@inline]
+let ges w a b = les w b a [@@inline]
+let reduce_and w a = if Int64.equal a (mask w) then 1L else 0L [@@inline]
+let reduce_or a = if a <> 0L then 1L else 0L [@@inline]
+
+let reduce_xor a =
+  let rec popcount acc v =
+    if v = 0L then acc
+    else popcount (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  if popcount 0 a land 1 = 1 then 1L else 0L
+
+let concat ~lo_width hi lo =
+  Int64.logor (Int64.shift_left hi lo_width) lo
+[@@inline]
+
+let slice ~hi ~lo v =
+  keep (hi - lo + 1) (Int64.shift_right_logical v lo)
+[@@inline]
+
+let sext ~from w v = keep w (to_signed from v) [@@inline]
+let resize w v = keep w v [@@inline]

@@ -1,0 +1,97 @@
+(** Width-parametric primitives on unboxed [int64] bit-vector payloads.
+
+    This is the representation kernel behind {!Bits}: a value is a bare
+    [int64] whose bits at positions >= the (externally carried) width are
+    zero — the "masked payload" invariant. Operations take the width as a
+    plain [int] argument where the result depends on it, and both consume
+    and produce masked payloads. Nothing here checks widths or bit ranges;
+    {!Bits} layers the checked record API on top for call sites that need
+    dynamic width safety.
+
+    Because everything is [int64 -> int64] on immediates, ocamlopt keeps
+    intermediates unboxed inside a compilation unit's hot loops — the
+    foundation of the zero-allocation simulator paths. Callers that need
+    allocation-free behaviour must keep the [int64] flow inside a single
+    function body (int64 crossing a non-inlined closure boundary boxes). *)
+
+(** [mask w] has the low [w] bits set. [w] must be in [1,64]. *)
+val mask : int -> int64
+
+(** [keep w v] masks a raw value to the payload invariant. *)
+val keep : int -> int64 -> int64
+
+(** Sign-extended value of a [w]-bit payload. *)
+val to_signed : int -> int64 -> int64
+
+val of_bool : bool -> int64
+val is_true : int64 -> bool
+
+(** [bit v i] is bit [i]; [i] must be within the payload width. *)
+val bit : int64 -> int -> bool
+
+(** [force_bit v i b] forces bit [i] to [b]; [i] must be within width. *)
+val force_bit : int64 -> int -> bool -> int64
+
+(* Modular arithmetic in the vector width. *)
+
+val add : int -> int64 -> int64 -> int64
+val sub : int -> int64 -> int64 -> int64
+val mul : int -> int64 -> int64 -> int64
+
+(** Unsigned division; division by zero yields all-ones (the 2-state
+    projection of Verilog's X result). *)
+val divu : int -> int64 -> int64 -> int64
+
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+val modu : int64 -> int64 -> int64
+
+val neg : int -> int64 -> int64
+
+(* Bitwise: masked payloads are closed under these, so no width needed
+   except for complement. *)
+
+val lognot : int -> int64 -> int64
+val logand : int64 -> int64 -> int64
+val logor : int64 -> int64 -> int64
+val logxor : int64 -> int64 -> int64
+
+(* Shifts: the amount is itself a payload of arbitrary width; amounts
+   >= [w] give zero (or all sign bits for [shift_right_arith]). *)
+
+val shift_left : int -> int64 -> int64 -> int64
+val shift_right : int -> int64 -> int64 -> int64
+val shift_right_arith : int -> int64 -> int64 -> int64
+
+(* Comparisons return 1-bit payloads (0L / 1L). Unsigned ones compare
+   payloads directly; signed ones need the operand width. *)
+
+val eq : int64 -> int64 -> int64
+val neq : int64 -> int64 -> int64
+val ltu : int64 -> int64 -> int64
+val leu : int64 -> int64 -> int64
+val gtu : int64 -> int64 -> int64
+val geu : int64 -> int64 -> int64
+val lts : int -> int64 -> int64 -> int64
+val les : int -> int64 -> int64 -> int64
+val gts : int -> int64 -> int64 -> int64
+val ges : int -> int64 -> int64 -> int64
+
+(* Reductions return 1-bit payloads. *)
+
+val reduce_and : int -> int64 -> int64
+val reduce_or : int64 -> int64
+val reduce_xor : int64 -> int64
+
+(** [concat ~lo_width hi lo]: [hi] lands in the upper bits. The combined
+    width must be <= 64 (caller-checked). *)
+val concat : lo_width:int -> int64 -> int64 -> int64
+
+(** [slice ~hi ~lo v] extracts bits [hi..lo] inclusive (caller-checked). *)
+val slice : hi:int -> lo:int -> int64 -> int64
+
+(** [sext ~from w v] sign-extends a [from]-bit payload to [w] bits. *)
+val sext : from:int -> int -> int64 -> int64
+
+(** [resize w v] truncates (or keeps, zext being a no-op on payloads) to
+    exactly [w] bits. *)
+val resize : int -> int64 -> int64

@@ -1,21 +1,23 @@
+(* Checked, boxed compatibility layer over the unboxed Bitops payload
+   kernel. All value semantics (masking, division conventions, shift
+   saturation) live in Bitops; this module adds dynamic width checks and
+   the record representation for call sites that carry widths per value. *)
+
 type t = { width : int; v : int64 }
 
 exception Width_error of string
 
 let width_error fmt = Format.kasprintf (fun s -> raise (Width_error s)) fmt
 
-let mask w =
-  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
-
 let make w v =
   if w < 1 || w > 64 then width_error "Bits.make: width %d out of [1,64]" w;
-  { width = w; v = Int64.logand v (mask w) }
+  { width = w; v = Bitops.keep w v }
 
 let of_int w n = make w (Int64.of_int n)
 let zero w = make w 0L
 let one w = make w 1L
 let ones w = make w (-1L)
-let of_bool b = { width = 1; v = (if b then 1L else 0L) }
+let of_bool b = { width = 1; v = Bitops.of_bool b }
 let to_int64 b = b.v
 
 let to_int b =
@@ -23,12 +25,7 @@ let to_int b =
   then width_error "Bits.to_int: %Ld does not fit" b.v
   else Int64.to_int b.v
 
-let to_signed b =
-  if b.width = 64 then b.v
-  else if Int64.logand b.v (Int64.shift_left 1L (b.width - 1)) <> 0L then
-    Int64.logor b.v (Int64.lognot (mask b.width))
-  else b.v
-
+let to_signed b = Bitops.to_signed b.width b.v
 let width b = b.width
 let equal a b = a.width = b.width && Int64.equal a.v b.v
 
@@ -37,7 +34,7 @@ let compare a b =
   | 0 -> Int64.unsigned_compare a.v b.v
   | c -> c
 
-let is_true b = b.v <> 0L
+let is_true b = Bitops.is_true b.v
 
 let check_bit b i =
   if i < 0 || i >= b.width then
@@ -45,98 +42,63 @@ let check_bit b i =
 
 let bit b i =
   check_bit b i;
-  Int64.logand (Int64.shift_right_logical b.v i) 1L = 1L
+  Bitops.bit b.v i
 
 let force_bit b i value =
   check_bit b i;
-  let m = Int64.shift_left 1L i in
-  if value then { b with v = Int64.logor b.v m }
-  else { b with v = Int64.logand b.v (Int64.lognot m) }
+  { b with v = Bitops.force_bit b.v i value }
 
 let same_width op a b =
   if a.width <> b.width then
     width_error "Bits.%s: width mismatch %d vs %d" op a.width b.width
 
-let add a b = same_width "add" a b; make a.width (Int64.add a.v b.v)
-let sub a b = same_width "sub" a b; make a.width (Int64.sub a.v b.v)
-let mul a b = same_width "mul" a b; make a.width (Int64.mul a.v b.v)
+let add a b = same_width "add" a b; { a with v = Bitops.add a.width a.v b.v }
+let sub a b = same_width "sub" a b; { a with v = Bitops.sub a.width a.v b.v }
+let mul a b = same_width "mul" a b; { a with v = Bitops.mul a.width a.v b.v }
 
 let divu a b =
   same_width "divu" a b;
-  if b.v = 0L then ones a.width else make a.width (Int64.unsigned_div a.v b.v)
+  { a with v = Bitops.divu a.width a.v b.v }
 
 let modu a b =
   same_width "modu" a b;
-  if b.v = 0L then a else make a.width (Int64.unsigned_rem a.v b.v)
+  { a with v = Bitops.modu a.v b.v }
 
-let neg a = make a.width (Int64.neg a.v)
-let lognot a = make a.width (Int64.lognot a.v)
-let logand a b = same_width "logand" a b; { a with v = Int64.logand a.v b.v }
-let logor a b = same_width "logor" a b; { a with v = Int64.logor a.v b.v }
-let logxor a b = same_width "logxor" a b; { a with v = Int64.logxor a.v b.v }
-
-let shift_amount b =
-  (* Shift amounts are small in practice; anything >= 64 saturates. *)
-  if Int64.unsigned_compare b.v 64L >= 0 then 64 else Int64.to_int b.v
-
-let shift_left a b =
-  let n = shift_amount b in
-  if n >= a.width then zero a.width else make a.width (Int64.shift_left a.v n)
-
-let shift_right a b =
-  let n = shift_amount b in
-  if n >= a.width then zero a.width
-  else { a with v = Int64.shift_right_logical a.v n }
+let neg a = { a with v = Bitops.neg a.width a.v }
+let lognot a = { a with v = Bitops.lognot a.width a.v }
+let logand a b = same_width "logand" a b; { a with v = Bitops.logand a.v b.v }
+let logor a b = same_width "logor" a b; { a with v = Bitops.logor a.v b.v }
+let logxor a b = same_width "logxor" a b; { a with v = Bitops.logxor a.v b.v }
+let shift_left a b = { a with v = Bitops.shift_left a.width a.v b.v }
+let shift_right a b = { a with v = Bitops.shift_right a.width a.v b.v }
 
 let shift_right_arith a b =
-  let n = shift_amount b in
-  let signed = to_signed a in
-  if n >= 64 then make a.width (Int64.shift_right signed 63)
-  else make a.width (Int64.shift_right signed n)
+  { a with v = Bitops.shift_right_arith a.width a.v b.v }
 
-let eq a b = same_width "eq" a b; of_bool (Int64.equal a.v b.v)
-let neq a b = same_width "neq" a b; of_bool (not (Int64.equal a.v b.v))
-
-let ltu a b =
-  same_width "ltu" a b;
-  of_bool (Int64.unsigned_compare a.v b.v < 0)
-
-let leu a b =
-  same_width "leu" a b;
-  of_bool (Int64.unsigned_compare a.v b.v <= 0)
-
+let bool1 v = { width = 1; v }
+let eq a b = same_width "eq" a b; bool1 (Bitops.eq a.v b.v)
+let neq a b = same_width "neq" a b; bool1 (Bitops.neq a.v b.v)
+let ltu a b = same_width "ltu" a b; bool1 (Bitops.ltu a.v b.v)
+let leu a b = same_width "leu" a b; bool1 (Bitops.leu a.v b.v)
 let gtu a b = ltu b a
 let geu a b = leu b a
-
-let lts a b =
-  same_width "lts" a b;
-  of_bool (Int64.compare (to_signed a) (to_signed b) < 0)
-
-let les a b =
-  same_width "les" a b;
-  of_bool (Int64.compare (to_signed a) (to_signed b) <= 0)
-
+let lts a b = same_width "lts" a b; bool1 (Bitops.lts a.width a.v b.v)
+let les a b = same_width "les" a b; bool1 (Bitops.les a.width a.v b.v)
 let gts a b = lts b a
 let ges a b = les b a
-let reduce_and a = of_bool (Int64.equal a.v (mask a.width))
-let reduce_or a = of_bool (a.v <> 0L)
-
-let reduce_xor a =
-  let rec popcount acc v =
-    if v = 0L then acc
-    else popcount (acc + 1) (Int64.logand v (Int64.sub v 1L))
-  in
-  of_bool (popcount 0 a.v land 1 = 1)
+let reduce_and a = bool1 (Bitops.reduce_and a.width a.v)
+let reduce_or a = bool1 (Bitops.reduce_or a.v)
+let reduce_xor a = bool1 (Bitops.reduce_xor a.v)
 
 let concat hi lo =
   let w = hi.width + lo.width in
   if w > 64 then width_error "Bits.concat: result width %d > 64" w;
-  { width = w; v = Int64.logor (Int64.shift_left hi.v lo.width) lo.v }
+  { width = w; v = Bitops.concat ~lo_width:lo.width hi.v lo.v }
 
 let slice b ~hi ~lo =
   if lo < 0 || hi < lo || hi >= b.width then
     width_error "Bits.slice: [%d:%d] out of range for width %d" hi lo b.width;
-  make (hi - lo + 1) (Int64.shift_right_logical b.v lo)
+  { width = hi - lo + 1; v = Bitops.slice ~hi ~lo b.v }
 
 let zext b w =
   if w < b.width then

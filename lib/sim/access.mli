@@ -3,7 +3,14 @@
     Engines provide readers/writers over their own state representation:
     the good simulator reads plain arrays, the concurrent engine overlays a
     fault's diffs on the good state. Memory addresses are pre-wrapped to
-    [0..size-1] by the evaluators. *)
+    [0..size-1] by the evaluators.
+
+    Two parallel families exist: the boxed {!reader}/{!writer} over
+    {!Rtlir.Bits.t} (compatibility surface, used by the boxed simulator
+    backend and external probes) and the unboxed {!ireader}/{!iwriter} over
+    masked [int64] payloads (see {!Rtlir.Bitops}), used by the flat
+    representation paths where widths are carried statically by the
+    compiled plans. *)
 
 open Rtlir
 
@@ -20,3 +27,22 @@ type writer = {
   write_mem : int -> int -> Bits.t -> unit;
       (** deferred memory write (nonblocking semantics), wrapped address *)
 }
+
+(** Unboxed payload reader: same contract as {!reader}, values are masked
+    [int64] payloads whose widths the caller carries statically. *)
+type ireader = { iget : int -> int64; iget_mem : int -> int -> int64 }
+
+(** Unboxed payload writer: same contract as {!writer}. *)
+type iwriter = {
+  iset_blocking : int -> int64 -> unit;
+  iset_nonblocking : int -> int64 -> unit;
+  iwrite_mem : int -> int -> int64 -> unit;
+}
+
+(** Plain overlay-free reader over flat state. *)
+val reader_of_state : State.t -> ireader
+
+(** Boxed view of an unboxed reader, materialising {!Rtlir.Bits.t} values
+    from the design's width maps (for probes and compatibility layers). *)
+val boxed_reader :
+  width:(int -> int) -> mem_width:(int -> int) -> ireader -> reader

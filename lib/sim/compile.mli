@@ -45,3 +45,39 @@ val exec :
 (** [fault_choice t node_id reader] evaluates the decision's selector under
     a fault reader and returns the chosen target index. *)
 val fault_choice : t -> int -> Access.reader -> int
+
+(* --- payload-compiled family: same artifacts over unboxed int64 payloads,
+   with widths resolved at compile time (see {!Rtlir.Bitops}) --- *)
+
+type compiled_expr_i = Access.ireader -> int64
+
+val expr_i :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  Expr.t ->
+  compiled_expr_i
+
+type ti = {
+  icfg : Cfg.t;
+  ivdg : Vdg.t;
+  isegments : (Access.ireader -> Access.iwriter -> unit) array array;
+  iselectors : compiled_expr_i array;
+  ichoosers : (int64 -> int) array;
+      (** label matching is payload equality: case labels share the
+          scrutinee's width by design validation *)
+  iseg_sites : (int * int * compiled_expr_i) array array;
+  ihas_blocking : bool;
+}
+
+val proc_i :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  Stmt.t ->
+  ti
+
+val exec_i :
+  ti -> ?record:int array -> Access.ireader -> Access.iwriter -> unit
+
+val fault_choice_i : ti -> int -> Access.ireader -> int

@@ -35,6 +35,61 @@ let apply_binop op a b =
   | Expr.Gts -> Bits.gts a b
   | Expr.Ges -> Bits.ges a b
 
+let wrap_address_i v size =
+  Int64.to_int (Int64.unsigned_rem v (Int64.of_int size))
+
+(* Payload-level AST walk. Widths are recomputed from the tree on every
+   visit — the honest cost of an interpreting simulator, which carries no
+   compiled plan to cache them in. *)
+let eval_i ~sig_width ~mem_width ~mem_size (r : Access.ireader) e =
+  let wd e = Expr.width ~sig_width ~mem_width e in
+  let rec go e =
+    match e with
+    | Expr.Const b -> Bits.to_int64 b
+    | Expr.Sig id -> r.iget id
+    | Expr.Unop (op, a) -> (
+        let va = go a in
+        match op with
+        | Expr.Not -> Bitops.lognot (wd a) va
+        | Expr.Neg -> Bitops.neg (wd a) va
+        | Expr.Red_and -> Bitops.reduce_and (wd a) va
+        | Expr.Red_or -> Bitops.reduce_or va
+        | Expr.Red_xor -> Bitops.reduce_xor va)
+    | Expr.Binop (op, a, b) -> (
+        let va = go a in
+        let vb = go b in
+        match op with
+        | Expr.Add -> Bitops.add (wd a) va vb
+        | Expr.Sub -> Bitops.sub (wd a) va vb
+        | Expr.Mul -> Bitops.mul (wd a) va vb
+        | Expr.Divu -> Bitops.divu (wd a) va vb
+        | Expr.Modu -> Bitops.modu va vb
+        | Expr.And -> Bitops.logand va vb
+        | Expr.Or -> Bitops.logor va vb
+        | Expr.Xor -> Bitops.logxor va vb
+        | Expr.Shl -> Bitops.shift_left (wd a) va vb
+        | Expr.Shru -> Bitops.shift_right (wd a) va vb
+        | Expr.Shra -> Bitops.shift_right_arith (wd a) va vb
+        | Expr.Eq -> Bitops.eq va vb
+        | Expr.Neq -> Bitops.neq va vb
+        | Expr.Ltu -> Bitops.ltu va vb
+        | Expr.Leu -> Bitops.leu va vb
+        | Expr.Gtu -> Bitops.gtu va vb
+        | Expr.Geu -> Bitops.geu va vb
+        | Expr.Lts -> Bitops.lts (wd a) va vb
+        | Expr.Les -> Bitops.les (wd a) va vb
+        | Expr.Gts -> Bitops.gts (wd a) va vb
+        | Expr.Ges -> Bitops.ges (wd a) va vb)
+    | Expr.Mux (sel, a, b) -> if Bitops.is_true (go sel) then go a else go b
+    | Expr.Slice (a, hi, lo) -> Bitops.slice ~hi ~lo (go a)
+    | Expr.Concat (a, b) -> Bitops.concat ~lo_width:(wd b) (go a) (go b)
+    | Expr.Zext (a, _) -> go a
+    | Expr.Sext (a, w) -> Bitops.sext ~from:(wd a) w (go a)
+    | Expr.Mem_read (m, addr) ->
+        r.iget_mem m (wrap_address_i (go addr) (mem_size m))
+  in
+  go e
+
 let eval ~mem_size (r : Access.reader) e =
   let rec go = function
     | Expr.Const b -> b

@@ -9,8 +9,21 @@ open Rtlir
     wrapped modulo [mem_size mid]. *)
 val eval : mem_size:(int -> int) -> Access.reader -> Expr.t -> Bits.t
 
+(** Payload-level evaluation over an unboxed reader; widths come from the
+    design's width maps (see {!Rtlir.Bitops} for the payload contract). *)
+val eval_i :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  Access.ireader ->
+  Expr.t ->
+  int64
+
 (** Wrap a raw address vector onto [0 .. size-1]. *)
 val wrap_address : Bits.t -> int -> int
+
+(** Payload variant of {!wrap_address}. *)
+val wrap_address_i : int64 -> int -> int
 
 (** Single-operator application (shared with the bytecode interpreter). *)
 val apply_unop : Expr.unop -> Bits.t -> Bits.t

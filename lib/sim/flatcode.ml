@@ -1,0 +1,502 @@
+open Rtlir
+
+(* 2-state stack machine over flat int64 state. The operand stack is a
+   Bigarray scratch, so every intermediate stays an unboxed int64 inside
+   [run]: nothing allocates on the steady-state path (the documented
+   exceptions are Divu/Modu, whose stdlib unsigned division helpers box).
+   Widths are baked into instructions at compile time. All Int64 arithmetic
+   below uses compiler intrinsics; stdlib Int64 *functions* (unsigned_div,
+   unsigned_compare, ...) are avoided or hand-expanded because calling them
+   would re-box the operands. *)
+
+type i64a = State.i64a
+
+exception Blocking_in_ff of int
+exception Nonblocking_in_comb of int
+exception Mem_write_in_comb of int
+
+let msk w =
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+[@@inline]
+
+(* unsigned a < b via bias, keeping both operands unboxed *)
+let ult a b =
+  Int64.add a Int64.min_int < Int64.add b Int64.min_int
+[@@inline]
+
+let shift_amount b = if ult b 64L then Int64.to_int b else 64 [@@inline]
+
+let sgn w a =
+  if w = 64 then a
+  else if Int64.logand a (Int64.shift_left 1L (w - 1)) <> 0L then
+    Int64.logor a (Int64.lognot (msk w))
+  else a
+[@@inline]
+
+let wrap_addr a size =
+  if a >= 0L then Int64.to_int (Int64.rem a (Int64.of_int size))
+  else Int64.to_int (Int64.unsigned_rem a (Int64.of_int size))
+[@@inline]
+
+type instr =
+  | Push of int64
+  | Load of int
+  | Load_mem of int * int  (* absolute word base, size *)
+  | Badd of int
+  | Bsub of int
+  | Bmul of int
+  | Bdivu of int
+  | Bmodu
+  | Band
+  | Bor
+  | Bxor
+  | Bshl of int
+  | Bshru of int
+  | Bshra of int
+  | Beq
+  | Bneq
+  | Bltu
+  | Bleu
+  | Bgtu
+  | Bgeu
+  | Blts of int
+  | Bles of int
+  | Bgts of int
+  | Bges of int
+  | Unot of int
+  | Uneg of int
+  | Urand of int
+  | Uror
+  | Urxor
+  | Fslice of int * int  (* hi, lo *)
+  | Fsext of int * int  (* from, to *)
+  | Fconcat of int  (* lo width *)
+  | Fmux
+
+type prog = { code : instr array; max_stack : int }
+
+type stmt_prog =
+  | Sblock of stmt_prog array
+  | Sif of prog * stmt_prog * stmt_prog
+  | Scase of prog * int64 array * stmt_prog array * stmt_prog
+  | Sassign of int * prog
+  | Snonblock of int * prog
+  | Smem_write of int * int * int * prog * prog
+      (* mem id, absolute base, size, addr, data *)
+  | Sskip
+
+(* --- compilation --- *)
+
+let rec emit ~wd ~mem_size ~mem_base acc e =
+  let emit = emit ~wd ~mem_size ~mem_base in
+  match e with
+  | Expr.Const b -> Push (Bits.to_int64 b) :: acc
+  | Expr.Sig id -> Load id :: acc
+  | Expr.Unop (op, a) ->
+      let i =
+        match op with
+        | Expr.Not -> Unot (wd a)
+        | Expr.Neg -> Uneg (wd a)
+        | Expr.Red_and -> Urand (wd a)
+        | Expr.Red_or -> Uror
+        | Expr.Red_xor -> Urxor
+      in
+      i :: emit acc a
+  | Expr.Binop (op, a, b) ->
+      let i =
+        match op with
+        | Expr.Add -> Badd (wd a)
+        | Expr.Sub -> Bsub (wd a)
+        | Expr.Mul -> Bmul (wd a)
+        | Expr.Divu -> Bdivu (wd a)
+        | Expr.Modu -> Bmodu
+        | Expr.And -> Band
+        | Expr.Or -> Bor
+        | Expr.Xor -> Bxor
+        | Expr.Shl -> Bshl (wd a)
+        | Expr.Shru -> Bshru (wd a)
+        | Expr.Shra -> Bshra (wd a)
+        | Expr.Eq -> Beq
+        | Expr.Neq -> Bneq
+        | Expr.Ltu -> Bltu
+        | Expr.Leu -> Bleu
+        | Expr.Gtu -> Bgtu
+        | Expr.Geu -> Bgeu
+        | Expr.Lts -> Blts (wd a)
+        | Expr.Les -> Bles (wd a)
+        | Expr.Gts -> Bgts (wd a)
+        | Expr.Ges -> Bges (wd a)
+      in
+      i :: emit (emit acc a) b
+  | Expr.Mux (sel, a, b) -> Fmux :: emit (emit (emit acc sel) a) b
+  | Expr.Slice (a, hi, lo) -> Fslice (hi, lo) :: emit acc a
+  | Expr.Concat (a, b) -> Fconcat (wd b) :: emit (emit acc a) b
+  | Expr.Zext (a, _) -> emit acc a  (* payloads are width-agnostic upward *)
+  | Expr.Sext (a, w) -> Fsext (wd a, w) :: emit acc a
+  | Expr.Mem_read (m, addr) ->
+      Load_mem (mem_base m, mem_size m) :: emit acc addr
+
+let rec depth = function
+  | Expr.Const _ | Expr.Sig _ -> 1
+  | Expr.Unop (_, a) | Expr.Slice (a, _, _) | Expr.Zext (a, _)
+  | Expr.Sext (a, _) ->
+      depth a
+  | Expr.Binop (_, a, b) | Expr.Concat (a, b) ->
+      max (depth a) (1 + depth b)
+  | Expr.Mux (s, a, b) -> max (depth s) (max (1 + depth a) (2 + depth b))
+  | Expr.Mem_read (_, a) -> depth a
+
+let compile ~sig_width ~mem_width ~mem_size ~mem_base e =
+  let wd e = Expr.width ~sig_width ~mem_width e in
+  {
+    code = Array.of_list (List.rev (emit ~wd ~mem_size ~mem_base [] e));
+    max_stack = depth e + 1;
+  }
+
+let rec compile_stmt ~sig_width ~mem_width ~mem_size ~mem_base s =
+  let compile = compile ~sig_width ~mem_width ~mem_size ~mem_base in
+  let compile_stmt = compile_stmt ~sig_width ~mem_width ~mem_size ~mem_base in
+  match s with
+  | Stmt.Block l -> Sblock (Array.of_list (List.map compile_stmt l))
+  | Stmt.If (c, a, b) -> Sif (compile c, compile_stmt a, compile_stmt b)
+  | Stmt.Case (scrut, arms, dflt) ->
+      Scase
+        ( compile scrut,
+          Array.of_list (List.map (fun (l, _) -> Bits.to_int64 l) arms),
+          Array.of_list (List.map (fun (_, arm) -> compile_stmt arm) arms),
+          compile_stmt dflt )
+  | Stmt.Assign (id, e) -> Sassign (id, compile e)
+  | Stmt.Nonblock (id, e) -> Snonblock (id, compile e)
+  | Stmt.Mem_write (m, addr, data) ->
+      Smem_write (m, mem_base m, mem_size m, compile addr, compile data)
+  | Stmt.Skip -> Sskip
+
+(* --- execution context --- *)
+
+type ctx = {
+  sigs : i64a;
+  mems : i64a;
+  mutable stack : i64a;
+  force_sig : int;  (* -1 when unforced *)
+  force_or : int64;
+  force_and : int64;
+  mutable on_change : int -> unit;
+  mutable on_mem_change : int -> unit;
+  mutable nba_n : int;
+  mutable nba_ids : int array;
+  mutable nba_vals : i64a;
+  mutable nbam_n : int;
+  mutable nbam_mem : int array;
+  mutable nbam_idx : int array;
+  mutable nbam_vals : i64a;
+}
+
+let ba n : i64a =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0L;
+  a
+
+let create ?force (st : State.t) =
+  let force_sig, force_or, force_and =
+    match force with
+    | None -> (-1, 0L, -1L)
+    | Some (id, bit, true) -> (id, Int64.shift_left 1L bit, -1L)
+    | Some (id, bit, false) ->
+        (id, 0L, Int64.lognot (Int64.shift_left 1L bit))
+  in
+  {
+    sigs = st.State.sig_v;
+    mems = st.State.mem_v;
+    stack = ba 64;
+    force_sig;
+    force_or;
+    force_and;
+    on_change = ignore;
+    on_mem_change = ignore;
+    nba_n = 0;
+    nba_ids = Array.make 16 0;
+    nba_vals = ba 16;
+    nbam_n = 0;
+    nbam_mem = Array.make 16 0;
+    nbam_idx = Array.make 16 0;
+    nbam_vals = ba 16;
+  }
+
+let set_on_change ctx f = ctx.on_change <- f
+let set_on_mem_change ctx f = ctx.on_mem_change <- f
+
+(* --- evaluation --- *)
+
+let grow_stack ctx n =
+  ctx.stack <- ba (2 * n);
+  ctx.stack
+
+(* Module-level loop with explicit parameters: a local recursive function
+   capturing the stack/state would allocate its closure on every [run]. *)
+let rec go (code : instr array) n (stack : i64a) (mems : i64a) (sigs : i64a)
+    pc sp =
+  if pc = n then ()
+  else
+    match Array.unsafe_get code pc with
+      | Push v ->
+          Bigarray.Array1.unsafe_set stack sp v;
+          go code n stack mems sigs (pc + 1) (sp + 1)
+      | Load id ->
+          Bigarray.Array1.unsafe_set stack sp
+            (Bigarray.Array1.unsafe_get sigs id);
+          go code n stack mems sigs (pc + 1) (sp + 1)
+      | Load_mem (base, size) ->
+          let a = Bigarray.Array1.unsafe_get stack (sp - 1) in
+          Bigarray.Array1.unsafe_set stack (sp - 1)
+            (Bigarray.Array1.unsafe_get mems (base + wrap_addr a size));
+          go code n stack mems sigs (pc + 1) sp
+      | Badd w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (Int64.logand (Int64.add (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bsub w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (Int64.logand (Int64.sub (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bmul w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (Int64.logand (Int64.mul (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bdivu w ->
+          let b = Bigarray.Array1.unsafe_get stack (sp - 1) in
+          let a = Bigarray.Array1.unsafe_get stack (sp - 2) in
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if b = 0L then msk w else Int64.unsigned_div a b);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bmodu ->
+          let b = Bigarray.Array1.unsafe_get stack (sp - 1) in
+          let a = Bigarray.Array1.unsafe_get stack (sp - 2) in
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if b = 0L then a else Int64.unsigned_rem a b);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Band ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (Int64.logand (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1)));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bor ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (Int64.logor (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1)));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bxor ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (Int64.logxor (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1)));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bshl w ->
+          let amt = shift_amount (Bigarray.Array1.unsafe_get stack (sp - 1)) in
+          let a = Bigarray.Array1.unsafe_get stack (sp - 2) in
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if amt >= w then 0L
+             else Int64.logand (Int64.shift_left a amt) (msk w));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bshru w ->
+          let amt = shift_amount (Bigarray.Array1.unsafe_get stack (sp - 1)) in
+          let a = Bigarray.Array1.unsafe_get stack (sp - 2) in
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if amt >= w then 0L else Int64.shift_right_logical a amt);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bshra w ->
+          let amt = shift_amount (Bigarray.Array1.unsafe_get stack (sp - 1)) in
+          let a = sgn w (Bigarray.Array1.unsafe_get stack (sp - 2)) in
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (Int64.logand
+               (Int64.shift_right a (if amt >= 64 then 63 else amt))
+               (msk w));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Beq ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if Bigarray.Array1.unsafe_get stack (sp - 2) = Bigarray.Array1.unsafe_get stack (sp - 1) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bneq ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if Bigarray.Array1.unsafe_get stack (sp - 2) = Bigarray.Array1.unsafe_get stack (sp - 1) then 0L else 1L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bltu ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if ult (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bleu ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if ult (Bigarray.Array1.unsafe_get stack (sp - 1)) (Bigarray.Array1.unsafe_get stack (sp - 2)) then 0L else 1L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bgtu ->
+          Bigarray.Array1.unsafe_set stack (sp - 2) (if ult (Bigarray.Array1.unsafe_get stack (sp - 1)) (Bigarray.Array1.unsafe_get stack (sp - 2)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bgeu ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if ult (Bigarray.Array1.unsafe_get stack (sp - 2)) (Bigarray.Array1.unsafe_get stack (sp - 1)) then 0L else 1L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Blts w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if sgn w (Bigarray.Array1.unsafe_get stack (sp - 2)) < sgn w (Bigarray.Array1.unsafe_get stack (sp - 1)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bles w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if sgn w (Bigarray.Array1.unsafe_get stack (sp - 2)) <= sgn w (Bigarray.Array1.unsafe_get stack (sp - 1)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bgts w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if sgn w (Bigarray.Array1.unsafe_get stack (sp - 1)) < sgn w (Bigarray.Array1.unsafe_get stack (sp - 2)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Bges w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (if sgn w (Bigarray.Array1.unsafe_get stack (sp - 1)) <= sgn w (Bigarray.Array1.unsafe_get stack (sp - 2)) then 1L else 0L);
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Unot w ->
+          Bigarray.Array1.unsafe_set stack (sp - 1) (Int64.logand (Int64.lognot (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) sp
+      | Uneg w ->
+          Bigarray.Array1.unsafe_set stack (sp - 1) (Int64.logand (Int64.neg (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) sp
+      | Urand w ->
+          Bigarray.Array1.unsafe_set stack (sp - 1) (if Bigarray.Array1.unsafe_get stack (sp - 1) = msk w then 1L else 0L);
+          go code n stack mems sigs (pc + 1) sp
+      | Uror ->
+          Bigarray.Array1.unsafe_set stack (sp - 1) (if Bigarray.Array1.unsafe_get stack (sp - 1) <> 0L then 1L else 0L);
+          go code n stack mems sigs (pc + 1) sp
+      | Urxor ->
+          let rec pop acc v =
+            if v = 0L then acc
+            else pop (acc + 1) (Int64.logand v (Int64.sub v 1L))
+          in
+          Bigarray.Array1.unsafe_set stack (sp - 1) (if pop 0 (Bigarray.Array1.unsafe_get stack (sp - 1)) land 1 = 1 then 1L else 0L);
+          go code n stack mems sigs (pc + 1) sp
+      | Fslice (hi, lo) ->
+          Bigarray.Array1.unsafe_set stack (sp - 1)
+            (Int64.logand
+               (Int64.shift_right_logical (Bigarray.Array1.unsafe_get stack (sp - 1)) lo)
+               (msk (hi - lo + 1)));
+          go code n stack mems sigs (pc + 1) sp
+      | Fsext (from, w) ->
+          Bigarray.Array1.unsafe_set stack (sp - 1) (Int64.logand (sgn from (Bigarray.Array1.unsafe_get stack (sp - 1))) (msk w));
+          go code n stack mems sigs (pc + 1) sp
+      | Fconcat lo_w ->
+          Bigarray.Array1.unsafe_set stack (sp - 2)
+            (Int64.logor (Int64.shift_left (Bigarray.Array1.unsafe_get stack (sp - 2)) lo_w) (Bigarray.Array1.unsafe_get stack (sp - 1)));
+          go code n stack mems sigs (pc + 1) (sp - 1)
+      | Fmux ->
+          let e = Bigarray.Array1.unsafe_get stack (sp - 1) in
+          let t = Bigarray.Array1.unsafe_get stack (sp - 2) in
+          Bigarray.Array1.unsafe_set stack (sp - 3) (if Bigarray.Array1.unsafe_get stack (sp - 3) <> 0L then t else e);
+          go code n stack mems sigs (pc + 1) (sp - 2)
+
+(* Leaves the result in stack slot 0; callers read it back with an inlined
+   Bigarray access so no int64 ever crosses a function boundary. *)
+let run ctx p =
+  let stack =
+    if Bigarray.Array1.dim ctx.stack >= p.max_stack then ctx.stack
+    else grow_stack ctx p.max_stack
+  in
+  let code = p.code in
+  go code (Array.length code) stack ctx.mems ctx.sigs 0 0
+
+let result ctx = Bigarray.Array1.unsafe_get ctx.stack 0 [@@inline]
+
+(* --- writes --- *)
+
+let write_sig ctx id v =
+  let v =
+    if id = ctx.force_sig then
+      Int64.logor (Int64.logand v ctx.force_and) ctx.force_or
+    else v
+  in
+  if Bigarray.Array1.unsafe_get ctx.sigs id <> v then begin
+    Bigarray.Array1.unsafe_set ctx.sigs id v;
+    ctx.on_change id
+  end
+[@@inline]
+
+let grow_nba ctx =
+  let n = 2 * Array.length ctx.nba_ids in
+  let ids = Array.make n 0 in
+  Array.blit ctx.nba_ids 0 ids 0 ctx.nba_n;
+  let vals = ba n in
+  Bigarray.Array1.blit ctx.nba_vals (Bigarray.Array1.sub vals 0 ctx.nba_n);
+  ctx.nba_ids <- ids;
+  ctx.nba_vals <- vals
+
+let push_nba ctx id v =
+  if ctx.nba_n = Array.length ctx.nba_ids then grow_nba ctx;
+  Array.unsafe_set ctx.nba_ids ctx.nba_n id;
+  Bigarray.Array1.unsafe_set ctx.nba_vals ctx.nba_n v;
+  ctx.nba_n <- ctx.nba_n + 1
+[@@inline]
+
+let grow_nbam ctx =
+  let n = 2 * Array.length ctx.nbam_mem in
+  let mem = Array.make n 0 and idx = Array.make n 0 in
+  Array.blit ctx.nbam_mem 0 mem 0 ctx.nbam_n;
+  Array.blit ctx.nbam_idx 0 idx 0 ctx.nbam_n;
+  let vals = ba n in
+  Bigarray.Array1.blit ctx.nbam_vals (Bigarray.Array1.sub vals 0 ctx.nbam_n);
+  ctx.nbam_mem <- mem;
+  ctx.nbam_idx <- idx;
+  ctx.nbam_vals <- vals
+
+let push_nba_mem ctx m idx v =
+  if ctx.nbam_n = Array.length ctx.nbam_mem then grow_nbam ctx;
+  Array.unsafe_set ctx.nbam_mem ctx.nbam_n m;
+  Array.unsafe_set ctx.nbam_idx ctx.nbam_n idx;
+  Bigarray.Array1.unsafe_set ctx.nbam_vals ctx.nbam_n v;
+  ctx.nbam_n <- ctx.nbam_n + 1
+[@@inline]
+
+let commit_nba ctx =
+  let n = ctx.nba_n in
+  for i = 0 to n - 1 do
+    write_sig ctx
+      (Array.unsafe_get ctx.nba_ids i)
+      (Bigarray.Array1.unsafe_get ctx.nba_vals i)
+  done;
+  ctx.nba_n <- 0;
+  let m = ctx.nbam_n in
+  for i = 0 to m - 1 do
+    let idx = Array.unsafe_get ctx.nbam_idx i in
+    let v = Bigarray.Array1.unsafe_get ctx.nbam_vals i in
+    if Bigarray.Array1.unsafe_get ctx.mems idx <> v then begin
+      Bigarray.Array1.unsafe_set ctx.mems idx v;
+      ctx.on_mem_change (Array.unsafe_get ctx.nbam_mem i)
+    end
+  done;
+  ctx.nbam_n <- 0
+
+let has_pending_nba ctx = ctx.nba_n > 0 || ctx.nbam_n > 0
+
+(* --- statement execution --- *)
+
+let run_assign ctx id p =
+  run ctx p;
+  write_sig ctx id (Bigarray.Array1.unsafe_get ctx.stack 0)
+
+let rec find_key ctx (keys : int64 array) i n =
+  if i >= n then n
+  else if Array.unsafe_get keys i = Bigarray.Array1.unsafe_get ctx.stack 0
+  then i
+  else find_key ctx keys (i + 1) n
+
+let rec exec ctx ~ff sp =
+  match sp with
+  | Sblock l ->
+      for i = 0 to Array.length l - 1 do
+        exec ctx ~ff (Array.unsafe_get l i)
+      done
+  | Sif (c, a, b) ->
+      run ctx c;
+      if Bigarray.Array1.unsafe_get ctx.stack 0 <> 0L then exec ctx ~ff a
+      else exec ctx ~ff b
+  | Scase (scrut, keys, arms, dflt) ->
+      run ctx scrut;
+      let n = Array.length keys in
+      let i = find_key ctx keys 0 n in
+      if i < n then exec ctx ~ff arms.(i) else exec ctx ~ff dflt
+  | Sassign (id, p) ->
+      if ff then raise (Blocking_in_ff id);
+      run ctx p;
+      write_sig ctx id (Bigarray.Array1.unsafe_get ctx.stack 0)
+  | Snonblock (id, p) ->
+      if not ff then raise (Nonblocking_in_comb id);
+      run ctx p;
+      push_nba ctx id (Bigarray.Array1.unsafe_get ctx.stack 0)
+  | Smem_write (m, base, size, pa, pd) ->
+      if not ff then raise (Mem_write_in_comb m);
+      run ctx pa;
+      let idx = base + wrap_addr (Bigarray.Array1.unsafe_get ctx.stack 0) size in
+      run ctx pd;
+      push_nba_mem ctx m idx (Bigarray.Array1.unsafe_get ctx.stack 0)
+  | Sskip -> ()

@@ -1,0 +1,86 @@
+(** Allocation-free 2-state stack machine over flat engine state.
+
+    The flat simulator backend's evaluation and write path: expressions
+    compile to flat instruction vectors with operand widths baked in;
+    execution runs on a Bigarray operand stack so intermediates never leave
+    unboxed [int64] registers. The context also owns the write-through
+    machinery (stuck-at force masks, change notification, preallocated
+    nonblocking-assignment buffers), so a steady-state settle/step loop
+    performs no minor-heap allocation — with the documented exception of
+    [Divu]/[Modu], whose unsigned-division helpers box.
+
+    Change notification is int-only: [on_change sig_id] / [on_mem_change
+    mem_id] callbacks carry no values, keeping closure boundaries free of
+    int64 crossings. *)
+
+open Rtlir
+
+type prog
+type stmt_prog
+
+(* Scheduling-discipline violations (payload: signal or memory id). The
+   simulator wraps these into [Simulator.Unstable] with named signals. *)
+exception Blocking_in_ff of int
+exception Nonblocking_in_comb of int
+exception Mem_write_in_comb of int
+
+val compile :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  mem_base:(int -> int) ->
+  Expr.t ->
+  prog
+
+val compile_stmt :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  mem_base:(int -> int) ->
+  Stmt.t ->
+  stmt_prog
+
+type ctx
+
+(** [create ?force st] builds an execution context writing through to
+    [st]'s Bigarrays. [force] is a stuck-at site [(signal, bit, value)]
+    applied to every write of that signal. *)
+val create : ?force:int * int * bool -> State.t -> ctx
+
+val set_on_change : ctx -> (int -> unit) -> unit
+val set_on_mem_change : ctx -> (int -> unit) -> unit
+
+(** Evaluate an expression; the result is left in the scratch stack and
+    read back with {!result}. *)
+val run : ctx -> prog -> unit
+
+val result : ctx -> int64
+
+(** Write a signal: apply the force mask, compare against the current
+    value, store and notify on change. *)
+val write_sig : ctx -> int -> int64 -> unit
+
+(** Evaluate and write (continuous assignment body). *)
+val run_assign : ctx -> int -> prog -> unit
+
+(** Execute a behavioral body. [ff] selects the write discipline:
+    edge-triggered bodies may only write nonblocking (buffered), level
+    bodies only blocking (immediate). *)
+val exec : ctx -> ff:bool -> stmt_prog -> unit
+
+(** Append to the nonblocking buffers directly (used by the non-flatcode
+    eval styles sharing this context). *)
+val push_nba : ctx -> int -> int64 -> unit
+
+(** [push_nba_mem ctx m abs_idx v]: absolute word index into the flat
+    memory image. *)
+val push_nba_mem : ctx -> int -> int -> int64 -> unit
+
+(** Commit buffered nonblocking writes: signals in execution order, then
+    memory words in execution order (matching the boxed backend). *)
+val commit_nba : ctx -> unit
+
+val has_pending_nba : ctx -> bool
+
+(** Address wrapping onto [0..size-1] (unsigned modulo). *)
+val wrap_addr : int64 -> int -> int

@@ -21,3 +21,29 @@ let exec ~mem_size (r : Access.reader) (w : Access.writer) body =
     | Stmt.Skip -> ()
   in
   go body
+
+let exec_i ~sig_width ~mem_width ~mem_size (r : Access.ireader)
+    (w : Access.iwriter) body =
+  let eval e = Eval.eval_i ~sig_width ~mem_width ~mem_size r e in
+  let rec go = function
+    | Stmt.Block l -> List.iter go l
+    | Stmt.If (c, t, e) -> if Bitops.is_true (eval c) then go t else go e
+    | Stmt.Case (scrut, arms, dflt) ->
+        (* case labels share the scrutinee's width (design-validated), so
+           payload equality is full equality *)
+        let v = eval scrut in
+        let rec dispatch = function
+          | [] -> go dflt
+          | (label, arm) :: rest ->
+              if Int64.equal (Bits.to_int64 label) v then go arm
+              else dispatch rest
+        in
+        dispatch arms
+    | Stmt.Assign (id, e) -> w.iset_blocking id (eval e)
+    | Stmt.Nonblock (id, e) -> w.iset_nonblocking id (eval e)
+    | Stmt.Mem_write (m, addr, data) ->
+        let a = Eval.wrap_address_i (eval addr) (mem_size m) in
+        w.iwrite_mem m a (eval data)
+    | Stmt.Skip -> ()
+  in
+  go body

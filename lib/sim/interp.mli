@@ -8,3 +8,13 @@ open Rtlir
     [reader.get]; nonblocking and memory writes are deferred to the engine. *)
 val exec :
   mem_size:(int -> int) -> Access.reader -> Access.writer -> Stmt.t -> unit
+
+(** Payload-level variant over the unboxed access records. *)
+val exec_i :
+  sig_width:(int -> int) ->
+  mem_width:(int -> int) ->
+  mem_size:(int -> int) ->
+  Access.ireader ->
+  Access.iwriter ->
+  Stmt.t ->
+  unit

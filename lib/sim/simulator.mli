@@ -11,6 +11,20 @@
     - {e bytecode} ([Bytecode]): vvp-style stack-machine execution — the
       Iverilog-fidelity path used by the IFsim baseline.
 
+    and one of two value representations:
+
+    - {e flat} ([Flat], the default): signal and memory state lives in
+      preallocated int64 Bigarrays ({!State}); evaluation runs on unboxed
+      payloads with widths resolved at compile time, and the steady-state
+      step loop performs no minor-heap allocation under the [Bytecode]
+      style (see {!Flatcode});
+    - {e boxed} ([Boxed]): the historical one-[Bits.t]-per-value
+      representation, kept as the cost-model baseline for IFsim/VFsim and
+      as the reference for the representation benchmark.
+
+    Both representations produce identical traces and verdicts: scheduling
+    orders, nonblocking commit order, and arithmetic semantics are shared.
+
     and one of three scheduling styles:
 
     - {e levelized event-driven} ([Levelized]): only combinational nodes
@@ -34,7 +48,9 @@ type scheduler = Levelized | Fifo | Cycle_based
 
 type eval_style = Closures | Ast | Bytecode
 
-type config = { eval : eval_style; scheduler : scheduler }
+type repr = Boxed | Flat
+
+type config = { eval : eval_style; scheduler : scheduler; repr : repr }
 
 val default_config : config
 

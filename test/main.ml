@@ -6,6 +6,7 @@ let () =
       ("builder", Test_builder.suite);
       ("cfg-vdg", Test_cfg_vdg.suite);
       ("simulator", Test_simulator.suite);
+      ("repr", Test_repr.suite);
       ("fault", Test_fault.suite);
       ("circuits", Test_circuits.suite);
       ("export", Test_export.suite);

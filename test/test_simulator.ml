@@ -106,6 +106,7 @@ let test_force () =
 let test_all_configs_agree () =
   let styles = [ Simulator.Closures; Simulator.Ast; Simulator.Bytecode ] in
   let scheds = [ Simulator.Levelized; Simulator.Fifo; Simulator.Cycle_based ] in
+  let reprs = [ Simulator.Boxed; Simulator.Flat ] in
   for seed = 1 to 25 do
     let s = Harness.Rand_design.generate ~seed:(Int64.of_int (4000 + seed)) () in
     let g = s.Harness.Rand_design.graph in
@@ -118,9 +119,12 @@ let test_all_configs_agree () =
       (fun eval ->
         List.iter
           (fun scheduler ->
-            let t = trace { Simulator.eval; scheduler } in
-            if t <> base then
-              Alcotest.failf "seed %d: config disagrees" seed)
+            List.iter
+              (fun repr ->
+                let t = trace { Simulator.eval; scheduler; repr } in
+                if t <> base then
+                  Alcotest.failf "seed %d: config disagrees" seed)
+              reprs)
           scheds)
       styles
   done
