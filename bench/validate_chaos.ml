@@ -1,0 +1,70 @@
+(* Validate a repro-<fault>.json reproducer (chaos-smoke alias): parse it
+   back through Harness.Jsonl and check the version-1 schema and the
+   invariants the shrinker guarantees — the divergent fault belongs to the
+   minimal set, the verdict pair actually diverges, the minimisation is
+   honest (no larger than the acceptance bound: 10 faults, 50 cycles), and
+   the expected-vs-observed output table is well-formed. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_chaos REPRO.json"
+  in
+  let ic = open_in_bin path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "type" doc <> "repro" then
+    fail "%s: not a repro record" path;
+  if J.get_int "version" doc <> 1 then fail "%s: unknown version" path;
+  if J.get_string "design" doc = "" then fail "%s: empty design" path;
+  if J.get_string "engine" doc = "" then fail "%s: empty engine" path;
+  (match J.member "circuit" doc with
+  | Some (J.Obj _ as c) ->
+      if J.get_string "name" c = "" then fail "%s: empty circuit name" path;
+      if not (Float.is_finite (J.get_float "scale" c)) then
+        fail "%s: non-finite scale" path
+  | Some J.Null -> ()
+  | _ -> fail "%s: malformed circuit" path);
+  let fault =
+    match J.member "fault" doc with
+    | Some (J.Obj _ as f) -> f
+    | _ -> fail "%s: missing fault descriptor" path
+  in
+  let fid = J.get_int "id" fault in
+  if fid < 0 then fail "%s: negative fault id" path;
+  if J.get_int "signal" fault < 0 then fail "%s: negative signal" path;
+  if J.get_int "bit" fault < 0 then fail "%s: negative bit" path;
+  if J.get_string "name" fault = "" then fail "%s: empty fault name" path;
+  if J.get_string "kind" fault = "" then fail "%s: empty fault kind" path;
+  let ids = List.map J.to_int (J.get_list "ids" doc) in
+  if ids = [] then fail "%s: empty fault set" path;
+  if not (List.mem fid ids) then
+    fail "%s: divergent fault %d not in its own fault set" path fid;
+  if List.length ids > 10 then
+    fail "%s: fault set not minimal (%d faults)" path (List.length ids);
+  let cycles = J.get_int "cycles" doc in
+  if cycles < 1 then fail "%s: empty cycle window" path;
+  if cycles > 50 then fail "%s: cycle window not minimal (%d)" path cycles;
+  let ed = J.get_bool "engine_detected" doc
+  and ec = J.get_int "engine_cycle" doc
+  and od = J.get_bool "oracle_detected" doc
+  and oc = J.get_int "oracle_cycle" doc in
+  if not (ed <> od || (ed && ec <> oc)) then
+    fail "%s: recorded verdicts do not diverge" path;
+  if ed && (ec < 0 || ec >= cycles) then
+    fail "%s: engine detection cycle %d outside the window" path ec;
+  if od && (oc < 0 || oc >= cycles) then
+    fail "%s: oracle detection cycle %d outside the window" path oc;
+  if J.get_int "attempts" doc < 1 then fail "%s: no shrink attempts" path;
+  List.iter
+    (fun o ->
+      if J.get_string "port" o = "" then fail "%s: empty output port" path;
+      ignore (J.get_string "expected" o);
+      ignore (J.get_string "observed" o))
+    (J.get_list "outputs" doc);
+  Printf.printf "chaos-smoke: %s ok (%d fault(s), %d cycle(s))\n" path
+    (List.length ids) cycles

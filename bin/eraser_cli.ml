@@ -381,9 +381,30 @@ let campaign_cmd =
              to stderr every $(docv) seconds, and append it to the journal \
              when one is in use.")
   in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Fault-tolerant mode: a crashed batch task is retried on a \
+             fresh engine instance (up to $(b,--max-retries) times), and a \
+             batch that exhausts its watchdog budget even as a single \
+             fault is abandoned (reported undetected) instead of aborting \
+             the campaign.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:
+            "Shrink every quarantined divergence to a minimal reproducer \
+             and write it as $(i,repro-<fault>.json) into $(docv) (replay \
+             with $(b,eraser repro)).")
+  in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json jobs trace metrics progress =
+      inject json jobs trace metrics progress supervise repro_dir =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
@@ -402,6 +423,9 @@ let campaign_cmd =
         quarantine = not no_quarantine;
         inject_divergence = inject;
         progress;
+        supervise;
+        repro_dir;
+        repro_meta = Some (c.name, scale);
       }
     in
     Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
@@ -417,6 +441,16 @@ let campaign_cmd =
       s.H.Resilient.batches_executed;
     if s.H.Resilient.retries > 0 then
       Format.printf "  watchdog   %d batch split(s)@." s.H.Resilient.retries;
+    if s.H.Resilient.restarts > 0 then
+      Format.printf "  supervisor %d task restart(s)@." s.H.Resilient.restarts;
+    if s.H.Resilient.failed_faults <> [] then
+      Format.printf "  abandoned  %d fault(s): %s@."
+        (List.length s.H.Resilient.failed_faults)
+        (String.concat ", "
+           (List.map string_of_int s.H.Resilient.failed_faults));
+    List.iter
+      (fun f -> Format.printf "  repro      %s@." f)
+      s.H.Resilient.repros;
     if s.H.Resilient.oracle_checked > 0 then
       Format.printf "  oracle     %d batch(es) re-checked, %d divergence(s)@."
         s.H.Resilient.oracle_checked
@@ -465,7 +499,328 @@ let campaign_cmd =
       const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
-      $ json_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg)
+      $ json_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg
+      $ supervise_arg $ repro_dir_arg)
+
+(* --- chaos --- *)
+
+(* render the canonical verdicts-only report to a string *)
+let verdicts_report ~design ~engine ~faults r =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.verdicts ppf ~design ~engine:(H.Campaign.engine_name engine)
+    ~faults r;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int64 0xC4A05L
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Chaos seed; the whole failure schedule derives from it.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Per-(kind, batch) injection probability in [0, 1].")
+  in
+  let kinds_arg =
+    let kind_conv =
+      let parse s =
+        match H.Chaos.kind_of_name s with
+        | Some k -> Ok k
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown chaos kind %S (try: %s)" s
+                    (String.concat ", "
+                       (List.map H.Chaos.kind_name H.Chaos.all_kinds))))
+      in
+      Arg.conv (parse, fun ppf k ->
+          Format.pp_print_string ppf (H.Chaos.kind_name k))
+    in
+    Arg.(
+      value
+      & opt (list kind_conv) H.Chaos.all_kinds
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated injection kinds: raise, stall, corrupt, \
+             torn-journal. Default: all four.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N" ~doc:"Faults per batch.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "batch-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-batch watchdog budget; the stall injection sleeps past it \
+             so the watchdog, not the harness, kills the batch.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal path for the chaos run (a temp file by default). The \
+             torn-journal injection kills the campaign mid-write; the \
+             driver resumes it from this journal.")
+  in
+  let run (c : Circuits.Bench_circuit.t) scale seed rate kinds batch timeout
+      journal jobs =
+   guard @@ fun () ->
+    let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+    let engine = H.Campaign.Eraser in
+    let base =
+      {
+        H.Resilient.default_config with
+        H.Resilient.engine;
+        jobs;
+        batch_size = batch;
+        max_batch_seconds = Some timeout;
+        oracle_sample = 1.0;
+        supervise = true;
+        repro_meta = Some (c.name, scale);
+      }
+    in
+    Format.printf
+      "chaos %s on %s: %d cycles, %d faults, seed %Ld, rate %g, kinds %s@."
+      (H.Campaign.engine_name engine)
+      c.name w.Workload.cycles (Array.length faults) seed rate
+      (String.concat "," (List.map H.Chaos.kind_name kinds));
+    (* clean reference run: same campaign, no injection *)
+    let clean = H.Resilient.run ~config:base g w faults in
+    let clean_report =
+      verdicts_report ~design ~engine ~faults clean.H.Resilient.result
+    in
+    let path, temp =
+      match journal with
+      | Some p -> (p, false)
+      | None -> (Filename.temp_file "eraser-chaos" ".jsonl", true)
+    in
+    let plan = { H.Chaos.seed; kinds; rate } in
+    (* The chaos campaign: install the plan and run with a journal. A
+       torn-journal injection kills the run mid-write ([Chaos.Killed]); the
+       driver resumes from the journal exactly as an operator would — the
+       fired-once tables make the retry succeed. *)
+    let summary =
+      Fun.protect
+        ~finally:(fun () ->
+          H.Chaos.uninstall ();
+          if temp then try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          H.Chaos.install plan;
+          let rec attempt n resume =
+            let config =
+              { base with H.Resilient.journal = Some path; resume }
+            in
+            try H.Resilient.run ~config g w faults
+            with H.Chaos.Killed msg when n < 4 ->
+              Format.printf "  killed     %s — resuming from the journal@."
+                msg;
+              attempt (n + 1) true
+          in
+          attempt 0 false)
+    in
+    List.iter
+      (fun (k, n) ->
+        if n > 0 then
+          Format.printf "  injected   %-12s %d@." (H.Chaos.kind_name k) n)
+      (H.Chaos.counts ());
+    Format.printf "  batches    %d total, %d resumed, %d executed@."
+      summary.H.Resilient.batches_total summary.H.Resilient.batches_resumed
+      summary.H.Resilient.batches_executed;
+    Format.printf "  recovery   %d split(s), %d restart(s), %d divergence(s) \
+                   quarantined, %d abandoned@."
+      summary.H.Resilient.retries summary.H.Resilient.restarts
+      (List.length summary.H.Resilient.divergences)
+      (List.length summary.H.Resilient.failed_faults);
+    let chaos_report =
+      verdicts_report ~design ~engine ~faults summary.H.Resilient.result
+    in
+    if String.equal chaos_report clean_report then begin
+      Format.printf "  verdicts   byte-identical to the clean run@.";
+      0
+    end
+    else begin
+      Format.eprintf
+        "eraser: chaos verdicts diverge from the clean run's@.";
+      7
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a supervised campaign under seeded deterministic fault \
+          injection (task crashes, stalls past the watchdog, diff-store \
+          corruption, torn journal writes) and assert that the recovered \
+          campaign's verdicts are byte-identical to a clean run's. Exit \
+          code 7 on mismatch.")
+    Term.(
+      const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ kinds_arg
+      $ batch_arg $ timeout_arg $ journal_arg $ jobs_arg)
+
+(* --- repro --- *)
+
+let repro_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REPRO.json"
+          ~doc:"Reproducer file written by a campaign with --repro-dir.")
+  in
+  let engine_of_name s =
+    List.find_opt
+      (fun e -> H.Campaign.engine_name e = s)
+      [
+        H.Campaign.Ifsim; H.Campaign.Vfsim; H.Campaign.Z01x_proxy;
+        H.Campaign.Eraser_mm; H.Campaign.Eraser_m; H.Campaign.Eraser;
+      ]
+  in
+  let run file =
+   guard @@ fun () ->
+    let ic = open_in_bin file in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let j =
+      try H.Jsonl.parse (String.trim src)
+      with H.Jsonl.Parse_error m ->
+        raise
+          (H.Resilient.Campaign_error
+             (H.Resilient.Bad_workload
+                (Printf.sprintf "unreadable repro file %s: %s" file m)))
+    in
+    let bad msg =
+      raise
+        (H.Resilient.Campaign_error
+           (H.Resilient.Bad_workload
+              (Printf.sprintf "repro file %s: %s" file msg)))
+    in
+    if
+      (match H.Jsonl.member "type" j with
+      | Some (H.Jsonl.String "repro") -> false
+      | _ -> true)
+      || H.Jsonl.get_int "version" j <> 1
+    then bad "not a version-1 repro record";
+    let circuit =
+      match H.Jsonl.member "circuit" j with
+      | Some (H.Jsonl.Obj _ as cj) ->
+          (H.Jsonl.get_string "name" cj, H.Jsonl.get_float "scale" cj)
+      | _ -> bad "no circuit metadata (campaign ran without a bench circuit)"
+    in
+    let cname, scale = circuit in
+    let c =
+      match Circuits.find cname with
+      | c -> c
+      | exception Not_found -> bad (Printf.sprintf "unknown circuit %S" cname)
+    in
+    let engine =
+      match engine_of_name (H.Jsonl.get_string "engine" j) with
+      | Some e -> e
+      | None ->
+          bad (Printf.sprintf "unknown engine %S" (H.Jsonl.get_string "engine" j))
+    in
+    let fault_id = H.Jsonl.get_int "id" (Option.get (H.Jsonl.member "fault" j)) in
+    let ids =
+      Array.of_list (List.map H.Jsonl.to_int (H.Jsonl.get_list "ids" j))
+    in
+    let cycles = H.Jsonl.get_int "cycles" j in
+    let inject =
+      match H.Jsonl.member "inject" j with
+      | Some (H.Jsonl.Int i) -> Some i
+      | _ -> None
+    in
+    let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+    if Array.exists (fun id -> id < 0 || id >= Array.length faults) ids then
+      bad "fault ids out of range for this circuit and scale";
+    let w = { w with Workload.cycles } in
+    let renumber ids =
+      Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
+    in
+    let k =
+      match
+        Array.to_seqi ids
+        |> Seq.find_map (fun (i, id) -> if id = fault_id then Some i else None)
+      with
+      | Some k -> k
+      | None -> bad "divergent fault is not part of the reproducer set"
+    in
+    Format.printf "replaying %s: fault %d (%s) among %d fault(s), %d cycles@."
+      file fault_id
+      (Fault.describe design faults.(fault_id))
+      (Array.length ids) cycles;
+    let er =
+      match engine with
+      | H.Campaign.Ifsim -> Baselines.Serial.ifsim g w (renumber ids)
+      | H.Campaign.Vfsim -> Baselines.Serial.vfsim g w (renumber ids)
+      | e ->
+          let cc =
+            {
+              Engine.Concurrent.default_config with
+              mode = H.Campaign.concurrent_mode e;
+              corrupt_verdict =
+                Option.bind inject (fun f ->
+                    Array.to_seqi ids
+                    |> Seq.find_map (fun (i, id) ->
+                           if id = f then Some i else None));
+            }
+          in
+          Engine.Concurrent.run_batch ~config:cc g w faults ~ids
+    in
+    let oracle = Baselines.Serial.ifsim g w (renumber [| fault_id |]) in
+    let ed = er.Fault.detected.(k)
+    and ec = er.Fault.detection_cycle.(k)
+    and od = oracle.Fault.detected.(0)
+    and oc = oracle.Fault.detection_cycle.(0) in
+    let verdict d cyc =
+      if d then Printf.sprintf "detected@%d" cyc else "live"
+    in
+    Format.printf "  engine     %s (recorded %s)@." (verdict ed ec)
+      (verdict
+         (H.Jsonl.get_bool "engine_detected" j)
+         (H.Jsonl.get_int "engine_cycle" j));
+    Format.printf "  oracle     %s (recorded %s)@." (verdict od oc)
+      (verdict
+         (H.Jsonl.get_bool "oracle_detected" j)
+         (H.Jsonl.get_int "oracle_cycle" j));
+    let matches =
+      ed = H.Jsonl.get_bool "engine_detected" j
+      && ec = H.Jsonl.get_int "engine_cycle" j
+      && od = H.Jsonl.get_bool "oracle_detected" j
+      && oc = H.Jsonl.get_int "oracle_cycle" j
+    in
+    let diverges = ed <> od || (ed && ec <> oc) in
+    if matches && diverges then begin
+      Format.printf "  reproduced the divergence@.";
+      0
+    end
+    else begin
+      Format.eprintf
+        "eraser: reproducer did not replay: %s@."
+        (if not diverges then "engine and oracle now agree"
+         else "verdicts differ from the recorded ones");
+      8
+    end
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Replay a repro-<fault>.json reproducer (written by eraser \
+          campaign --repro-dir): re-run the engine on the minimal fault \
+          set and cycle window and check both verdicts against the \
+          recorded ones. Exit code 8 when the divergence does not \
+          reproduce.")
+    Term.(const run $ file_arg)
 
 (* --- faults --- *)
 
@@ -634,6 +989,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            list_cmd; describe_cmd; run_cmd; campaign_cmd; faults_cmd;
-            export_cmd; run_verilog_cmd; vcd_cmd;
+            list_cmd; describe_cmd; run_cmd; campaign_cmd; chaos_cmd;
+            repro_cmd; faults_cmd; export_cmd; run_verilog_cmd; vcd_cmd;
           ]))

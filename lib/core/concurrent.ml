@@ -27,6 +27,16 @@ let default_config =
     corrupt_verdict = None;
   }
 
+(* Chaos seam, installed by the harness (Harness.Chaos): consulted once per
+   observation point. Returning [Some f] flips the low bit of fault [f]'s
+   view of the first output port — a deterministic stand-in for a corrupted
+   diff-store entry, visible to the detection scan of the same cycle. The
+   engine library cannot depend on the harness, so the hook lives here as a
+   process-global; the disabled path costs a single [Atomic.get]. *)
+let chaos_corrupt_diff :
+    (cycle:int -> nfaults:int -> int option) option Atomic.t =
+  Atomic.make None
+
 (* An instance is the immutable compiled form of one elaborated design:
    every behavioral body and every continuous-assign expression, compiled
    once (in the payload-compiled form: widths resolved at compile time,
@@ -851,6 +861,16 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   in
   (* ---- observation ---- *)
   let observe cycle =
+    (match Atomic.get chaos_corrupt_diff with
+    | None -> ()
+    | Some hook -> (
+        match hook ~cycle ~nfaults with
+        | Some f
+          when f >= 0 && f < nfaults && live.(f) && Array.length g.outputs > 0
+          ->
+            let o = g.outputs.(0) in
+            set_diff o f (Int64.logxor (fault_value f o) 1L)
+        | Some _ | None -> ()));
     (match probe with
     | Some f ->
         f cycle

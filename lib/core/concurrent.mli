@@ -50,6 +50,16 @@ type config = {
 
 val default_config : config
 
+(** Chaos seam, installed (and uninstalled) by [Harness.Chaos]: consulted
+    once per observation point of every run in this process. Returning
+    [Some f] flips the low bit of fault [f]'s view of the first output
+    port before the detection scan — a deterministic stand-in for a
+    corrupted diff-store entry. Out-of-range and already-detected fault
+    ids are ignored. The disabled path is a single [Atomic.get]; leave
+    this at [None] except under chaos testing. *)
+val chaos_corrupt_diff :
+  (cycle:int -> nfaults:int -> int option) option Atomic.t
+
 (** The immutable compiled form of one elaborated design: every behavioral
     body and continuous-assign expression, compiled once. All per-campaign
     mutable state is allocated inside each run, so one instance is reusable

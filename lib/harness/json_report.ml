@@ -84,6 +84,34 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
   Format.fprintf ppf "  ]@.";
   Format.fprintf ppf "}@."
 
+(* The canonical verdicts-only report: nothing but the final per-fault
+   verdicts and the coverage they imply. Execution texture — stats,
+   retries, divergences, quarantine — is deliberately absent, so two
+   campaigns that converged to the same verdicts render byte-identically
+   no matter how differently they got there. This is the report `eraser
+   chaos` diffs against a clean run. *)
+let verdicts ppf ~design ~engine ~faults (r : Fault.result) =
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"design\": \"%s\",@."
+    (escape design.Rtlir.Design.dname);
+  Format.fprintf ppf "  \"engine\": \"%s\",@." (escape engine);
+  Format.fprintf ppf "  \"faults\": %d,@." (Array.length faults);
+  Format.fprintf ppf "  \"detected\": %d,@." (Fault.count_detected r);
+  Format.fprintf ppf "  \"coverage_pct\": %.4f,@." r.Fault.coverage_pct;
+  Format.fprintf ppf "  \"verdicts\": [@.";
+  Array.iteri
+    (fun i (f : Fault.t) ->
+      Format.fprintf ppf
+        "    { \"id\": %d, \"signal\": \"%s\", \"bit\": %d, \"kind\": \
+         \"%s\", \"detected\": %b, \"cycle\": %d }%s@."
+        f.fid
+        (escape (Rtlir.Design.signal_name design f.signal))
+        f.bit (kind_name f) r.Fault.detected.(i) r.Fault.detection_cycle.(i)
+        (if i = Array.length faults - 1 then "" else ","))
+    faults;
+  Format.fprintf ppf "  ]@.";
+  Format.fprintf ppf "}@."
+
 (* The resilient report deliberately contains no timing: it must be
    byte-identical between a cold run and a journal resume of the same
    campaign (the smoke test diffs the two), and every field below is a

@@ -13,6 +13,20 @@ val campaign :
   Faultsim.Fault.result ->
   unit
 
+(** [verdicts ppf ~design ~engine ~faults result] — the canonical
+    verdicts-only report: per-fault detection verdicts and the coverage
+    they imply, nothing else. Two campaigns that converged to the same
+    verdicts render byte-identically regardless of retries, quarantines or
+    divergences along the way — [eraser chaos] diffs this report between a
+    chaos run and a clean run. *)
+val verdicts :
+  Format.formatter ->
+  design:Rtlir.Design.t ->
+  engine:string ->
+  faults:Faultsim.Fault.t array ->
+  Faultsim.Fault.result ->
+  unit
+
 (** [resilient ppf ... summary] — report of a {!Resilient} campaign: the
     campaign fields above plus batch counts, the divergence records and a
     per-fault quarantine flag. Contains {e no} timing, so the report of a

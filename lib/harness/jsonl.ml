@@ -275,6 +275,27 @@ let to_int = function
   | Int i -> i
   | v -> fail "expected integer, found %s" (to_string v)
 
+(* ---- journal files ---- *)
+
+type journal = { complete : string list; torn : string option }
+
+let read_journal path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let n = String.length s in
+  let rec split acc start =
+    match String.index_from_opt s start '\n' with
+    | Some i -> split (String.sub s start (i - start) :: acc) (i + 1)
+    | None ->
+        let torn = if start >= n then None else Some (String.sub s start (n - start)) in
+        { complete = List.rev acc; torn }
+  in
+  split [] 0
+
 let to_bool = function
   | Bool b -> b
   | v -> fail "expected boolean, found %s" (to_string v)

@@ -35,3 +35,15 @@ val get_bool : string -> t -> bool
 val get_list : string -> t -> t list
 val to_int : t -> int
 val to_bool : t -> bool
+
+(** A journal file split into newline-terminated records and, when the final
+    write was torn by a crash, the unterminated tail bytes. A record is only
+    [complete] once its ['\n'] hit the file, so [torn] is the (at most one)
+    partial record a crashed writer left behind. *)
+type journal = { complete : string list; torn : string option }
+
+(** Read a journal file whole and split it on ['\n']. Never raises
+    {!Parse_error}: tearing is reported structurally via [torn] so the caller
+    can resume from the last complete record. Raises [Sys_error] if the file
+    cannot be read. *)
+val read_journal : string -> journal

@@ -5,6 +5,12 @@ type ctx = { worker : int; jobs : int; rng : Rng.t }
 
 exception Shutdown
 
+(* Chaos seam (installed by {!Chaos}): consulted by the claiming worker
+   immediately before a task's body runs, with the task's [?label]. A raise
+   from the hook fails the task's future exactly as if the body had raised —
+   the body itself never starts. The disabled path is one [Atomic.get]. *)
+let chaos_hook : (label:int option -> unit) option Atomic.t = Atomic.make None
+
 type 'a fstate =
   | Pending
   | Done of 'a
@@ -153,22 +159,39 @@ let create ?(seed = 0x51CA5EEDL) ~jobs () =
   t.domains <- Array.init jobs (fun w -> Domain.spawn (fun () -> worker_loop t w));
   t
 
-let submit t f =
+(* The only legal [st] transitions are Pending -> Done / Pending -> Failed,
+   and they happen under the future's lock: [cancel] and a worker finishing
+   the same task both funnel through here, and whichever arrives second
+   finds the future settled and drops its result. Caller holds [fut.fm]. *)
+let complete fut r cond =
+  match fut.st with
+  | Pending ->
+      fut.st <- r;
+      Condition.broadcast cond
+  | Done _ | Failed _ -> ()
+
+let submit ?label t f =
   let fut = { st = Pending; fm = t.m; fc = t.cond } in
   let run ctx =
-    let r =
-      try Done (f ctx)
-      with e -> Failed (e, Printexc.get_raw_backtrace ())
-    in
     Mutex.lock t.m;
-    fut.st <- r;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.m
+    let cancelled = fut.st <> Pending in
+    Mutex.unlock t.m;
+    if not cancelled then begin
+      let r =
+        try
+          (match Atomic.get chaos_hook with
+          | None -> ()
+          | Some hook -> hook ~label);
+          Done (f ctx)
+        with e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.m;
+      complete fut r t.cond;
+      Mutex.unlock t.m
+    end
   in
   let cancel () =
-    match fut.st with
-    | Pending -> fut.st <- Failed (Shutdown, Printexc.get_callstack 0)
-    | Done _ | Failed _ -> ()
+    complete fut (Failed (Shutdown, Printexc.get_callstack 0)) t.cond
   in
   Mutex.lock t.m;
   if t.closed then begin
@@ -189,7 +212,7 @@ let submit t f =
   Mutex.unlock t.m;
   fut
 
-let await fut =
+let await_result fut =
   Mutex.lock fut.fm;
   let rec wait () =
     match fut.st with
@@ -198,12 +221,27 @@ let await fut =
         wait ()
     | Done v ->
         Mutex.unlock fut.fm;
-        v
+        Ok v
     | Failed (e, bt) ->
         Mutex.unlock fut.fm;
-        Printexc.raise_with_backtrace e bt
+        Error (e, bt)
   in
   wait ()
+
+let await fut =
+  match await_result fut with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let cancel fut =
+  Mutex.lock fut.fm;
+  let won = fut.st = Pending in
+  if won then begin
+    fut.st <- Failed (Shutdown, Printexc.get_callstack 0);
+    Condition.broadcast fut.fc
+  end;
+  Mutex.unlock fut.fm;
+  won
 
 let shutdown ?(discard = false) t =
   Mutex.lock t.m;

@@ -61,6 +61,9 @@ type config = {
   quarantine : bool;
   inject_divergence : int option;
   progress : float option;
+  supervise : bool;
+  repro_dir : string option;
+  repro_meta : (string * float) option;
 }
 
 let default_config =
@@ -78,6 +81,9 @@ let default_config =
     quarantine = true;
     inject_divergence = None;
     progress = None;
+    supervise = false;
+    repro_dir = None;
+    repro_meta = None;
   }
 
 type summary = {
@@ -86,9 +92,12 @@ type summary = {
   batches_resumed : int;
   batches_executed : int;
   retries : int;
+  restarts : int;
   oracle_checked : int;
   divergences : divergence list;
   quarantined : int list;
+  failed_faults : int list;
+  repros : string list;
 }
 
 (* ---- journal records ---- *)
@@ -102,6 +111,9 @@ type batch_outcome = {
   b_wall : float;
   b_oracle_checked : bool;
   b_divergences : divergence list;
+  b_failed : int array;
+      (* fault ids abandoned by supervision (reported undetected) *)
+  b_repros : string list;  (* repro files emitted for this batch *)
 }
 
 let header_json ~design_name cfg (w : Workload.t) nfaults =
@@ -163,23 +175,38 @@ let divergence_of_json j =
 
 let batch_to_json b =
   Jsonl.Obj
-    [
-      ("type", Jsonl.String "batch");
-      ("index", Jsonl.Int b.b_index);
-      ( "ids",
-        Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) b.b_ids))
-      );
-      ( "detected",
-        Jsonl.List
-          (Array.to_list (Array.map (fun d -> Jsonl.Bool d) b.b_detected)) );
-      ( "cycles",
-        Jsonl.List
-          (Array.to_list (Array.map (fun c -> Jsonl.Int c) b.b_cycles)) );
-      ("oracle_checked", Jsonl.Bool b.b_oracle_checked);
-      ("divergences", Jsonl.List (List.map divergence_to_json b.b_divergences));
-      ("stats", stats_to_json b.b_stats);
-      ("wall_s", Jsonl.Float b.b_wall);
-    ]
+    ([
+       ("type", Jsonl.String "batch");
+       ("index", Jsonl.Int b.b_index);
+       ( "ids",
+         Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) b.b_ids))
+       );
+       ( "detected",
+         Jsonl.List
+           (Array.to_list (Array.map (fun d -> Jsonl.Bool d) b.b_detected)) );
+       ( "cycles",
+         Jsonl.List
+           (Array.to_list (Array.map (fun c -> Jsonl.Int c) b.b_cycles)) );
+       ("oracle_checked", Jsonl.Bool b.b_oracle_checked);
+       ( "divergences",
+         Jsonl.List (List.map divergence_to_json b.b_divergences) );
+       ("stats", stats_to_json b.b_stats);
+       ("wall_s", Jsonl.Float b.b_wall);
+     ]
+    (* only present when supervision abandoned or shrank something, so
+       unsupervised journals keep their historical byte format *)
+    @ (if Array.length b.b_failed = 0 then []
+       else
+         [
+           ( "failed",
+             Jsonl.List
+               (Array.to_list (Array.map (fun i -> Jsonl.Int i) b.b_failed))
+           );
+         ])
+    @
+    if b.b_repros = [] then []
+    else [ ("repros", Jsonl.List (List.map (fun r -> Jsonl.String r) b.b_repros)) ]
+    )
 
 let batch_of_json j =
   if Jsonl.get_string "type" j <> "batch" then
@@ -199,30 +226,51 @@ let batch_of_json j =
       | Some s -> stats_of_json s
       | None -> raise (Jsonl.Parse_error "missing field \"stats\""));
     b_wall = Jsonl.get_float "wall_s" j;
+    b_failed =
+      (match Jsonl.member "failed" j with
+      | Some (Jsonl.List l) -> Array.of_list (List.map Jsonl.to_int l)
+      | Some _ -> raise (Jsonl.Parse_error "non-array field \"failed\"")
+      | None -> [||]);
+    b_repros =
+      (match Jsonl.member "repros" j with
+      | Some (Jsonl.List l) ->
+          List.map
+            (function
+              | Jsonl.String s -> s
+              | _ -> raise (Jsonl.Parse_error "non-string repro entry"))
+            l
+      | Some _ -> raise (Jsonl.Parse_error "non-array field \"repros\"")
+      | None -> []);
   }
 
 (* ---- journal I/O ---- *)
 
-let read_lines path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      List.rev !lines)
+(* What a resume recovers from a journal: the completed batch outcomes,
+   the retry/restart events recorded for those batches (so a resumed
+   summary counts the whole campaign, not just this invocation), and the
+   byte length of the valid prefix. Everything past [clean_bytes] — a torn
+   tail or an unparseable final record — must be truncated away before
+   appending, or the next record lands mid-garbage and the journal is
+   corrupt on the second resume. *)
+type replay = {
+  rp_outcomes : batch_outcome list;
+  rp_retries : int;
+  rp_restarts : int;
+  rp_clean_bytes : int;
+}
+
+let empty_replay =
+  { rp_outcomes = []; rp_retries = 0; rp_restarts = 0; rp_clean_bytes = 0 }
 
 (* Replay a journal: validate the header against the campaign at hand and
-   collect the completed batch records. A torn final line (the crash the
-   journal exists to survive) is silently dropped; any other malformed line
-   or parameter mismatch is a {!Journal_corrupt} error. *)
+   collect the completed batch records. A torn final line and an
+   unparseable final record (the crash window the journal exists to
+   survive) are dropped; any other malformed line or a parameter mismatch
+   is a {!Journal_corrupt} error. *)
 let load_journal path ~expected_header ~expected_ids =
-  match read_lines path with
-  | [] -> []
+  let { Jsonl.complete; torn = _ } = Jsonl.read_journal path in
+  match complete with
+  | [] -> empty_replay
   | header_line :: records ->
       let header =
         try Jsonl.parse header_line
@@ -241,10 +289,18 @@ let load_journal path ~expected_header ~expected_ids =
       let seen = Hashtbl.create 16 in
       let total = List.length records in
       let outcomes = ref [] in
+      let retry_events = ref [] in
+      (* The valid prefix ends at the last completed batch record: retry
+         events and heartbeats past it belong to a batch whose record never
+         landed — re-execution regenerates them, so resume truncates there
+         rather than double-journal them. *)
+      let offset = ref (String.length header_line + 1) in
+      let clean = ref !offset in
       List.iteri
         (fun i line ->
           let last = i = total - 1 in
           let record_no = i + 1 in
+          offset := !offset + String.length line + 1;
           match Jsonl.parse line with
           | exception Jsonl.Parse_error m ->
               (* mid-line crash can only tear the final record *)
@@ -258,6 +314,19 @@ let load_journal path ~expected_header ~expected_ids =
               | _ -> false) ->
               (* progress heartbeats are informational — replay ignores them *)
               ()
+          | j when
+              (match Jsonl.member "type" j with
+              | Some (Jsonl.String "retry") -> true
+              | _ -> false) -> (
+              match (Jsonl.member "batch" j, Jsonl.member "kind" j) with
+              | Some (Jsonl.Int b), Some (Jsonl.String k) ->
+                  retry_events := (b, k) :: !retry_events
+              | _ ->
+                  if not last then
+                    err
+                      (Journal_corrupt
+                         (Printf.sprintf "record %d: malformed retry record"
+                            record_no)))
           | j ->
           match batch_of_json j with
           | exception Jsonl.Parse_error m ->
@@ -292,14 +361,44 @@ let load_journal path ~expected_header ~expected_ids =
                      (Printf.sprintf "record %d: verdict arrays truncated"
                         record_no));
               Hashtbl.replace seen b.b_index ();
-              outcomes := b :: !outcomes)
+              outcomes := b :: !outcomes;
+              clean := !offset)
         records;
-      List.rev !outcomes
+      (* count only events whose batch record landed: the rest are being
+         truncated away and will be regenerated *)
+      let rp_retries = ref 0 and rp_restarts = ref 0 in
+      List.iter
+        (fun (b, k) ->
+          if Hashtbl.mem seen b then
+            match k with
+            | "split" -> incr rp_retries
+            | "restart" -> incr rp_restarts
+            | _ -> ())
+        !retry_events;
+      {
+        rp_outcomes = List.rev !outcomes;
+        rp_retries = !rp_retries;
+        rp_restarts = !rp_restarts;
+        rp_clean_bytes = !clean;
+      }
 
-let append_record oc json =
-  output_string oc (Jsonl.to_string json);
-  output_char oc '\n';
-  flush oc
+let append_record ?chaos_batch oc json =
+  let line = Jsonl.to_string json in
+  let torn =
+    match chaos_batch with
+    | Some b when Chaos.active () -> Chaos.torn_write ~batch:b line
+    | _ -> None
+  in
+  match torn with
+  | Some k ->
+      (* simulated crash: leave the record torn mid-write and die *)
+      output_string oc (String.sub line 0 k);
+      flush oc;
+      raise (Chaos.Killed "chaos: journal write torn mid-record")
+  | None ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
 
 (* ---- crash-safe file writes ---- *)
 
@@ -357,12 +456,13 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   in
   let design_name = g.Rtlir.Elaborate.design.Rtlir.Design.dname in
   let expected_header = header_json ~design_name config w n in
-  let resumed =
+  let replay =
     match config.journal with
     | Some path when config.resume && Sys.file_exists path ->
         load_journal path ~expected_header ~expected_ids
-    | _ -> []
+    | _ -> empty_replay
   in
+  let resumed = replay.rp_outcomes in
   let outcomes = Array.make nbatches None in
   List.iter (fun b -> outcomes.(b.b_index) <- Some b) resumed;
   let jout =
@@ -375,7 +475,19 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
           append_record oc expected_header;
           Some oc
         end
-        else Some (open_out_gen [ Open_append; Open_wronly ] 0o644 path)
+        else begin
+          (* Drop the crashed suffix (a torn line, an unreadable final
+             record, orphaned retry events) before appending: writing after
+             torn bytes would corrupt the journal for the *next* resume. *)
+          let len = (Unix.stat path).Unix.st_size in
+          if replay.rp_clean_bytes < len then begin
+            let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () -> Unix.ftruncate fd replay.rp_clean_bytes)
+          end;
+          Some (open_out_gen [ Open_append; Open_wronly ] 0o644 path)
+        end
   in
   (* serial per-fault oracle over a fault-id subset *)
   let serial_sub ids =
@@ -396,16 +508,13 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
         instances.(worker) <- Some inst;
         inst
   in
-  let engine_on ~worker ids =
-    let deadline =
-      Option.map (fun s -> Stats.now () +. s) config.max_batch_seconds
-    in
-    let wb =
-      Workload.with_budget ?max_cycles:config.max_batch_cycles ?deadline w
-    in
+  (* run the configured engine over [ids] with an explicit workload (the
+     budget-wrapped one for batch execution, a narrowed window for shrinker
+     replays); [probe] reaches the concurrent engine only *)
+  let engine_with ?probe ~worker wk ids =
     match config.engine with
-    | Campaign.Ifsim -> Baselines.Serial.ifsim g wb (renumber faults ids)
-    | Campaign.Vfsim -> Baselines.Serial.vfsim g wb (renumber faults ids)
+    | Campaign.Ifsim -> Baselines.Serial.ifsim g wk (renumber faults ids)
+    | Campaign.Vfsim -> Baselines.Serial.vfsim g wk (renumber faults ids)
     | e ->
         let corrupt_verdict =
           match config.inject_divergence with
@@ -419,29 +528,128 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
             corrupt_verdict;
           }
         in
-        Engine.Concurrent.run_batch ~config:cc
-          ~instance:(instance_for worker) g wb faults ~ids
+        Engine.Concurrent.run_batch ~config:cc ?probe
+          ~instance:(instance_for worker) g wk faults ~ids
+  in
+  (* budget- and chaos-free engine entry for the shrinker: replays must be
+     pure functions of (ids, cycles) *)
+  let engine_raw ?probe ?cycles ~worker ids =
+    let wk =
+      match cycles with None -> w | Some c -> { w with Workload.cycles = c }
+    in
+    engine_with ?probe ~worker wk ids
+  in
+  let engine_on ~worker ~batch ids =
+    let deadline =
+      Option.map (fun s -> Stats.now () +. s) config.max_batch_seconds
+    in
+    let wb =
+      Workload.with_budget ?max_cycles:config.max_batch_cycles ?deadline w
+    in
+    let wb =
+      (* chaos: stall the first drive call past the deadline, once per
+         batch, so the watchdog (not the chaos harness) kills the batch *)
+      if Chaos.active () && Chaos.stall ~batch then
+        let drive c =
+          if c = 0 then
+            Unix.sleepf
+              (match config.max_batch_seconds with
+              | Some s -> (2.0 *. s) +. 0.01
+              | None -> 0.05);
+          wb.Workload.drive c
+        in
+        { wb with Workload.drive }
+      else wb
+    in
+    engine_with ~worker wb ids
   in
   let retries = Atomic.make 0 in
+  let restarts = Atomic.make 0 in
+  let ids_json ids =
+    Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) ids))
+  in
+  let split_event b ids cycle reason =
+    Jsonl.Obj
+      [
+        ("type", Jsonl.String "retry");
+        ("kind", Jsonl.String "split");
+        ("batch", Jsonl.Int b);
+        ("ids", ids_json ids);
+        ("cycle", Jsonl.Int cycle);
+        ("reason", Jsonl.String reason);
+      ]
+  in
+  let restart_event b attempt error =
+    Jsonl.Obj
+      [
+        ("type", Jsonl.String "retry");
+        ("kind", Jsonl.String "restart");
+        ("batch", Jsonl.Int b);
+        ("attempt", Jsonl.Int attempt);
+        ("error", Jsonl.String error);
+      ]
+  in
+  let quarantine_event b ids =
+    Jsonl.Obj
+      [
+        ("type", Jsonl.String "retry");
+        ("kind", Jsonl.String "quarantine");
+        ("batch", Jsonl.Int b);
+        ("ids", ids_json ids);
+      ]
+  in
+  (* Errors supervision must never swallow: structured campaign failures,
+     the chaos harness's simulated crash, and pool teardown. *)
+  let fatal = function
+    | Campaign_error _ | Chaos.Killed _ | Pool.Shutdown -> true
+    | _ -> false
+  in
+  (* Per-fault quarantine, the supervisor's last resort once halving and
+     restarts are exhausted: each fault runs alone with a fresh budget, and
+     a fault that still fails is abandoned — reported undetected and listed
+     in [b_failed] — instead of looping or aborting the campaign. *)
+  let quarantine_pieces ~worker ~events b_index ids =
+    events := quarantine_event b_index ids :: !events;
+    Array.to_list ids
+    |> List.map (fun id ->
+           match engine_on ~worker ~batch:b_index [| id |] with
+           | r -> ([| id |], Some r)
+           | exception Workload.Budget_exceeded _ -> ([| id |], None)
+           | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
+           | exception e when not (fatal e) ->
+               instances.(worker) <- None;
+               ([| id |], None))
+  in
   (* Run one batch under the watchdog. A budget trip splits the batch in
      half and retries both halves with a fresh budget, down to single-fault
      batches or [max_retries] split generations — whichever comes first —
-     then reports a structured timeout. *)
-  let rec exec_pieces ~worker b_index depth ids =
-    match engine_on ~worker ids with
-    | r -> [ (ids, r) ]
+     then reports a structured timeout (or, supervised, falls back to
+     per-fault quarantine). A crash inside the engine discards the worker's
+     instance so the retry runs on a freshly built one. *)
+  let rec exec_pieces ~worker ~events b_index depth ids =
+    match engine_on ~worker ~batch:b_index ids with
+    | r -> [ (ids, Some r) ]
     | exception Workload.Budget_exceeded { cycle; reason } ->
-        if Array.length ids <= 1 || depth >= config.max_retries then
-          err (Batch_timeout { batch = b_index; ids; cycle; reason })
-        else begin
+        if Array.length ids > 1 && depth < config.max_retries then begin
           Atomic.incr retries;
+          events := split_event b_index ids cycle reason :: !events;
           let half = Array.length ids / 2 in
           let left = Array.sub ids 0 half in
           let right = Array.sub ids half (Array.length ids - half) in
-          exec_pieces ~worker b_index (depth + 1) left
-          @ exec_pieces ~worker b_index (depth + 1) right
+          exec_pieces ~worker ~events b_index (depth + 1) left
+          @ exec_pieces ~worker ~events b_index (depth + 1) right
         end
+        else if config.supervise then
+          quarantine_pieces ~worker ~events b_index ids
+        else err (Batch_timeout { batch = b_index; ids; cycle; reason })
     | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
+    | exception e when config.supervise && not (fatal e) ->
+        instances.(worker) <- None;
+        Atomic.incr restarts;
+        events := restart_event b_index depth (Printexc.to_string e) :: !events;
+        if depth < config.max_retries then
+          exec_pieces ~worker ~events b_index (depth + 1) ids
+        else quarantine_pieces ~worker ~events b_index ids
   in
   let oracle_sampled b_index =
     config.oracle_sample > 0.0
@@ -455,24 +663,155 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
        Rng.int rng 1_000_000
        < int_of_float (config.oracle_sample *. 1_000_000.))
   in
-  let run_one_batch ~worker b_index ids =
+  (* ---- shrinker support ---- *)
+  let nout = Array.length g.Rtlir.Elaborate.outputs in
+  let out_name i =
+    Rtlir.Design.signal_name g.Rtlir.Elaborate.design
+      g.Rtlir.Elaborate.outputs.(i)
+  in
+  (* Expected (oracle-side) output-port values of one faulty network at
+     cycle [at] over window [cycles] — a lone boxed-Bytecode simulator, the
+     same configuration the serial oracle pins. *)
+  let oracle_outputs fault_id ~cycles ~at =
+    let f = faults.(fault_id) in
+    let sconfig =
+      {
+        Sim.Simulator.eval = Sim.Simulator.Bytecode;
+        scheduler = Sim.Simulator.Fifo;
+        repr = Sim.Simulator.Boxed;
+      }
+    in
+    let force =
+      match f.Fault.stuck with
+      | Fault.Stuck_at_0 -> Some (f.Fault.signal, f.Fault.bit, false)
+      | Fault.Stuck_at_1 -> Some (f.Fault.signal, f.Fault.bit, true)
+      | Fault.Flip_at _ -> None
+    in
+    let sim = Sim.Simulator.create ~config:sconfig ?force g in
+    let on_cycle_start cyc =
+      match f.Fault.stuck with
+      | Fault.Flip_at at when at = cyc ->
+          Sim.Simulator.flip_bit sim f.Fault.signal f.Fault.bit
+      | _ -> ()
+    in
+    let wc =
+      Workload.checked
+        ~num_signals:(Rtlir.Design.num_signals g.Rtlir.Elaborate.design)
+        { w with Workload.cycles }
+    in
+    let vals = Array.make nout "" in
+    Workload.run ~on_cycle_start wc
+      ~set_input:(Sim.Simulator.set_input sim)
+      ~step:(fun () -> Sim.Simulator.step sim)
+      ~observe:(fun c ->
+        if c = at then begin
+          Array.iteri
+            (fun i b -> vals.(i) <- Rtlir.Bits.to_string b)
+            (Sim.Simulator.outputs sim);
+          false
+        end
+        else true);
+    vals
+  in
+  (* Observed (engine-side) output-port values for [fault_id] inside the
+     co-batched set [ids] at cycle [at], via the concurrent engine's probe.
+     [None] for serial engines, which have no probe seam. *)
+  let engine_outputs ~worker ids fault_id ~cycles ~at =
+    match config.engine with
+    | Campaign.Ifsim | Campaign.Vfsim -> None
+    | _ ->
+        let k = match index_of ids fault_id with Some k -> k | None -> 0 in
+        let vals = Array.make nout "" in
+        let probe c view _mem =
+          if c = at then
+            for i = 0 to nout - 1 do
+              vals.(i) <-
+                Rtlir.Bits.to_string (view k g.Rtlir.Elaborate.outputs.(i))
+            done
+        in
+        ignore (engine_raw ~probe ~cycles ~worker ids);
+        Some vals
+  in
+  (* Shrink one confirmed divergence to a minimal reproducer and write the
+     [repro-<fault>.json] file. [None] when the divergence does not
+     reproduce from the batch starting point (flake) or no repro dir is
+     configured. *)
+  let shrink_one ~worker ids (d : divergence) =
+    match config.repro_dir with
+    | None -> None
+    | Some dir ->
+        let run_engine ~ids ~cycles = engine_raw ~cycles ~worker ids in
+        let run_oracle ~id ~cycles =
+          let r =
+            try
+              Baselines.Serial.ifsim g
+                { w with Workload.cycles }
+                (renumber faults [| id |])
+            with Workload.Invalid_workload msg -> err (Bad_workload msg)
+          in
+          (r.Fault.detected.(0), r.Fault.detection_cycle.(0))
+        in
+        let observe ~ids ~cycles =
+          let od, oc = run_oracle ~id:d.div_fault ~cycles in
+          let at = if od && oc >= 0 then oc else cycles - 1 in
+          if at < 0 then []
+          else
+            let expected = oracle_outputs d.div_fault ~cycles ~at in
+            match engine_outputs ~worker ids d.div_fault ~cycles ~at with
+            | None -> []
+            | Some observed ->
+                List.init nout (fun i ->
+                    (out_name i, expected.(i), observed.(i)))
+        in
+        (match
+           Shrink.shrink ~run_engine ~run_oracle ~observe ~fault:d.div_fault
+             ~ids ~cycles:w.Workload.cycles ()
+         with
+        | None -> None
+        | Some o ->
+            if not (Sys.file_exists dir) then (
+              try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+            let file = Printf.sprintf "repro-%d.json" o.Shrink.sh_fault in
+            let json =
+              Shrink.repro_to_json ~design:design_name
+                ~engine:(Campaign.engine_name config.engine)
+                ?circuit:config.repro_meta ?inject:config.inject_divergence
+                ~fault:faults.(o.Shrink.sh_fault)
+                ~fault_name:
+                  (Fault.describe g.Rtlir.Elaborate.design
+                     faults.(o.Shrink.sh_fault))
+                o
+            in
+            write_atomic (Filename.concat dir file) (fun oc ->
+                output_string oc (Jsonl.to_string json);
+                output_char oc '\n');
+            Some file)
+  in
+  let run_one_batch ~worker ~events b_index ids =
     let t = Stats.now () in
     let span_t0 = Obs.Trace.span_begin "batch" in
-    let pieces = exec_pieces ~worker b_index 0 ids in
+    let pieces = exec_pieces ~worker ~events b_index 0 ids in
     let nb = Array.length ids in
     let detected = Array.make nb false in
     let cycles = Array.make nb (-1) in
+    let failed = Array.make nb false in
     let stats = ref (Stats.create ()) in
     let pos = ref 0 in
     List.iter
-      (fun (pids, (r : Fault.result)) ->
-        Array.iteri
-          (fun k _ ->
-            detected.(!pos + k) <- r.Fault.detected.(k);
-            cycles.(!pos + k) <- r.Fault.detection_cycle.(k))
-          pids;
-        pos := !pos + Array.length pids;
-        stats := Stats.add !stats r.Fault.stats)
+      (fun (pids, r) ->
+        (match r with
+        | Some (r : Fault.result) ->
+            Array.iteri
+              (fun k _ ->
+                detected.(!pos + k) <- r.Fault.detected.(k);
+                cycles.(!pos + k) <- r.Fault.detection_cycle.(k))
+              pids;
+            stats := Stats.add !stats r.Fault.stats
+        | None ->
+            (* abandoned by quarantine: verdict unknown, reported
+               undetected and listed in [b_failed] *)
+            Array.iteri (fun k _ -> failed.(!pos + k) <- true) pids);
+        pos := !pos + Array.length pids)
       pieces;
     let divergences = ref [] in
     let sampled = oracle_sampled b_index in
@@ -480,9 +819,16 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       let oracle = serial_sub ids in
       Array.iteri
         (fun k id ->
-          if oracle.Fault.detected.(k) <> detected.(k) then begin
+          if
+            (not failed.(k))
+            && (oracle.Fault.detected.(k) <> detected.(k)
+               || (oracle.Fault.detected.(k)
+                  && oracle.Fault.detection_cycle.(k) <> cycles.(k)))
+          then begin
             (* quarantine: the fault is re-simulated alone, serially; that
-               verdict is final and the engine's is reported as divergent *)
+               verdict is final and the engine's is reported as divergent.
+               A detection-cycle mismatch between two detections counts —
+               it is the same engine bug caught one observation later. *)
             let lone = serial_sub [| id |] in
             let d =
               {
@@ -502,7 +848,18 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       if !divergences <> [] && not config.quarantine then
         err (Engine_divergence (List.rev !divergences))
     end;
+    let divergences = List.rev !divergences in
+    let repros =
+      if config.repro_dir = None then []
+      else
+        List.filter_map (fun d -> shrink_one ~worker ids d) divergences
+    in
     Obs.Trace.span_end "batch" span_t0;
+    let b_failed =
+      let l = ref [] in
+      Array.iteri (fun k id -> if failed.(k) then l := id :: !l) ids;
+      Array.of_list (List.rev !l)
+    in
     {
       b_index;
       b_ids = ids;
@@ -511,7 +868,26 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       b_stats = !stats;
       b_wall = Stats.now () -. t;
       b_oracle_checked = sampled;
-      b_divergences = List.rev !divergences;
+      b_divergences = divergences;
+      b_failed;
+      b_repros = repros;
+    }
+  in
+  (* A batch whose task crashed [max_retries + 1] times even under
+     supervision: every fault abandoned, nothing executed. *)
+  let abandoned_outcome ~events i ids =
+    events := quarantine_event i ids :: !events;
+    {
+      b_index = i;
+      b_ids = ids;
+      b_detected = Array.make (Array.length ids) false;
+      b_cycles = Array.make (Array.length ids) (-1);
+      b_stats = Stats.create ();
+      b_wall = 0.0;
+      b_oracle_checked = false;
+      b_divergences = [];
+      b_failed = Array.copy ids;
+      b_repros = [];
     }
   in
   let executed = ref 0 in
@@ -535,12 +911,17 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
      always holds an index-ordered prefix (plus resumed records), and the
      final merge below is independent of which worker ran which batch — the
      report is byte-identical for any [jobs]. *)
-  let record i b =
+  let record i (b, events) =
     outcomes.(i) <- Some b;
     incr executed;
     count_batch b;
     (match jout with
-    | Some oc -> append_record oc (batch_to_json b)
+    | Some oc ->
+        (* retry/restart/quarantine events land just before their batch
+           record, so the journal's clean prefix always ends at a batch
+           record and resume counts exactly the events it keeps *)
+        List.iter (fun e -> append_record ~chaos_batch:i oc e) events;
+        append_record ~chaos_batch:i oc (batch_to_json b)
     | None -> ());
     match hb with
     | None -> ()
@@ -566,31 +947,89 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
         for i = 0 to nbatches - 1 do
           match outcomes.(i) with
           | Some _ -> ()
-          | None -> record i (run_one_batch ~worker:0 i expected_ids.(i))
+          | None ->
+              let events = ref [] in
+              (* Supervised: a task-level crash (chaos injection, or a bug
+                 outside exec_pieces's own recovery) discards the worker's
+                 engine and re-runs the whole batch, up to [max_retries]
+                 attempts, then abandons it. *)
+              let rec go attempt =
+                match
+                  Chaos.batch_start ~batch:i;
+                  run_one_batch ~worker:0 ~events i expected_ids.(i)
+                with
+                | b -> b
+                | exception e when config.supervise && not (fatal e) ->
+                    instances.(0) <- None;
+                    Atomic.incr restarts;
+                    events :=
+                      restart_event i attempt (Printexc.to_string e)
+                      :: !events;
+                    if attempt < config.max_retries then go (attempt + 1)
+                    else abandoned_outcome ~events i expected_ids.(i)
+              in
+              let b = go 0 in
+              record i (b, List.rev !events)
         done
       else
         Pool.with_pool ~jobs:config.jobs (fun pool ->
+            let submit events i =
+              (* the label routes the batch index to the pool's chaos seam *)
+              Pool.submit ~label:i pool (fun (ctx : Pool.ctx) ->
+                  run_one_batch ~worker:ctx.Pool.worker ~events i
+                    expected_ids.(i))
+            in
             let futures =
               Array.init nbatches (fun i ->
                   match outcomes.(i) with
                   | Some _ -> None
                   | None ->
-                      Some
-                        (Pool.submit pool (fun (ctx : Pool.ctx) ->
-                             run_one_batch ~worker:ctx.Pool.worker i
-                               expected_ids.(i))))
+                      let events = ref [] in
+                      Some (events, submit events i))
             in
             Array.iteri
-              (fun i fut ->
-                match fut with
+              (fun i slot ->
+                match slot with
                 | None -> ()
-                | Some fut -> record i (Pool.await fut))
+                | Some (events, fut) ->
+                    (* The coordinator, not the worker, supervises task
+                       failures for jobs > 1: a failed future is
+                       re-dispatched as a fresh task (any worker may pick
+                       it up — the crashed worker already discarded its own
+                       engine where it could; the pool chaos seam fails
+                       before any engine is touched). Re-dispatch happens
+                       in batch-index order, so recovery is deterministic
+                       given the failure schedule. *)
+                    let rec obtain fut attempt =
+                      match Pool.await_result fut with
+                      | Ok b -> record i (b, List.rev !events)
+                      | Error (e, bt) ->
+                          if (not config.supervise) || fatal e then
+                            Printexc.raise_with_backtrace e bt
+                          else begin
+                            Atomic.incr restarts;
+                            events :=
+                              restart_event i attempt (Printexc.to_string e)
+                              :: !events;
+                            if attempt < config.max_retries then
+                              obtain (submit events i) (attempt + 1)
+                            else begin
+                              let b =
+                                abandoned_outcome ~events i expected_ids.(i)
+                              in
+                              record i (b, List.rev !events)
+                            end
+                          end
+                    in
+                    obtain fut 0)
               futures));
   let detected = Array.make n false in
   let detection_cycle = Array.make n (-1) in
   let stats = ref (Stats.create ()) in
   let divergences = ref [] in
   let oracle_checked = ref 0 in
+  let failed_faults = ref [] in
+  let repro_files = ref [] in
   Array.iter
     (function
       | None -> assert false (* every index was filled above *)
@@ -602,7 +1041,10 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
             b.b_ids;
           stats := Stats.add !stats b.b_stats;
           if b.b_oracle_checked then incr oracle_checked;
-          divergences := !divergences @ b.b_divergences)
+          divergences := !divergences @ b.b_divergences;
+          Array.iter (fun id -> failed_faults := id :: !failed_faults)
+            b.b_failed;
+          repro_files := !repro_files @ b.b_repros)
     outcomes;
   let wall = Stats.now () -. t0 in
   !stats.Stats.total_seconds <- wall;
@@ -615,8 +1057,11 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     batches_total = nbatches;
     batches_resumed = List.length resumed;
     batches_executed = !executed;
-    retries = Atomic.get retries;
+    retries = replay.rp_retries + Atomic.get retries;
+    restarts = replay.rp_restarts + Atomic.get restarts;
     oracle_checked = !oracle_checked;
     divergences = !divergences;
     quarantined = List.map (fun d -> d.div_fault) !divergences;
+    failed_faults = List.rev !failed_faults;
+    repros = !repro_files;
   }

@@ -28,8 +28,27 @@
       ({!Baselines.Serial.ifsim}). A fault whose verdict disagrees is
       quarantined: re-simulated alone serially, the serial verdict becomes
       final, and a {!divergence} record is reported instead of poisoning
-      the campaign. [quarantine = false] turns a divergence into the fatal
-      [Engine_divergence] error instead. *)
+      the campaign. A detection-cycle mismatch between two detections
+      counts as a divergence too. [quarantine = false] turns a divergence
+      into the fatal [Engine_divergence] error instead.
+    - {b Supervision} ([supervise = true]): a batch task that raises a
+      non-fatal exception marks only that batch as failed — the worker's
+      engine instance is discarded and rebuilt, and the batch is
+      re-dispatched up to [max_retries] times. A batch that still trips its
+      budget after halving bottoms out in {e per-fault quarantine}: each
+      fault runs alone with a fresh budget, and a fault that still fails is
+      abandoned (reported undetected and listed in [failed_faults]) rather
+      than aborting the campaign. Every retry, restart and quarantine is
+      journaled as a typed [{"type":"retry",...}] record just before its
+      batch record, so a resumed summary counts the whole campaign.
+      Recovery happens in batch-index order on the coordinator, so the
+      final report is deterministic given the failure schedule — and
+      byte-identical to a [jobs = 1] run when nothing fails.
+    - {b Divergence shrinking} ([repro_dir = Some dir]): each quarantined
+      divergence is delta-debugged ({!Shrink}) to a minimal co-batched
+      fault set and cycle window, and a standalone [repro-<fault>.json]
+      file is written (atomically) into [dir] for [eraser repro] to
+      replay. *)
 
 open Faultsim
 
@@ -96,6 +115,18 @@ type config = {
           and appends a [{"type":"heartbeat",...}] record to the journal
           (heartbeats are skipped on resume — they never affect replay).
           [None] disables the heartbeat. *)
+  supervise : bool;
+      (** fault-tolerant mode: crashed batch tasks are retried on a fresh
+          engine instance and budget-exhausted single-fault batches are
+          abandoned instead of fatal (see the overview above). Off by
+          default: an unexpected exception then propagates, and a bottomed
+          -out budget raises [Batch_timeout]. *)
+  repro_dir : string option;
+      (** write a shrunk [repro-<fault>.json] for every quarantined
+          divergence into this directory (created if missing) *)
+  repro_meta : (string * float) option;
+      (** bench-circuit (name, scale) recorded inside repro files so
+          [eraser repro] can re-instantiate the design *)
 }
 
 (** Eraser engine, batches of 64, no watchdog, no journal, no sampling. *)
@@ -106,10 +137,20 @@ type summary = {
   batches_total : int;
   batches_resumed : int;  (** replayed from the journal *)
   batches_executed : int;  (** simulated by this invocation *)
-  retries : int;  (** batch splits forced by the watchdog *)
+  retries : int;
+      (** batch splits forced by the watchdog (includes journal-replayed
+          splits on resume) *)
+  restarts : int;
+      (** supervised task re-dispatches after a crash (includes
+          journal-replayed restarts on resume) *)
   oracle_checked : int;  (** batches re-checked against the serial oracle *)
   divergences : divergence list;
   quarantined : int list;  (** fault ids re-simulated serially *)
+  failed_faults : int list;
+      (** fault ids abandoned by supervision; their verdicts read
+          undetected in [result] and must not be trusted *)
+  repros : string list;
+      (** repro file names written into [repro_dir], in batch order *)
 }
 
 (** Run (or resume) a campaign. Raises {!Campaign_error} only — engine-level

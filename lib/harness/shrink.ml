@@ -1,0 +1,178 @@
+open Faultsim
+
+type outcome = {
+  sh_fault : int;
+  sh_ids : int array;
+  sh_cycles : int;
+  sh_attempts : int;
+  sh_engine_detected : bool;
+  sh_engine_cycle : int;
+  sh_oracle_detected : bool;
+  sh_oracle_cycle : int;
+  sh_outputs : (string * string * string) list;
+}
+
+(* Hard cap on engine replays: ddmin is O(n^2) in the worst case and the
+   shrinker runs inside a live campaign — a pathological divergence must
+   not stall the batch that found it. *)
+let max_attempts = 256
+
+let shrink ~run_engine ~run_oracle ?observe ~fault ~ids ~cycles () =
+  let attempts = ref 0 in
+  (* the oracle is per-fault and per-window only — cache by window *)
+  let oracle_cache = Hashtbl.create 8 in
+  let oracle c =
+    match Hashtbl.find_opt oracle_cache c with
+    | Some v -> v
+    | None ->
+        let v = run_oracle ~id:fault ~cycles:c in
+        Hashtbl.add oracle_cache c v;
+        v
+  in
+  let index_of set =
+    let found = ref (-1) in
+    Array.iteri (fun i id -> if id = fault then found := i) set;
+    !found
+  in
+  (* A (set, window) probe diverges when the batched engine's verdict for
+     [fault] differs from the lone oracle's over the same window — either
+     in detection or, when both detect, in detection cycle. *)
+  let diverges set c =
+    incr attempts;
+    let r = run_engine ~ids:set ~cycles:c in
+    let k = index_of set in
+    let ed = r.Fault.detected.(k) and ec = r.Fault.detection_cycle.(k) in
+    let od, oc = oracle c in
+    if ed <> od || (ed && ec <> oc) then Some (ed, ec, od, oc) else None
+  in
+  let mk companions =
+    let a = Array.append [| fault |] companions in
+    Array.sort compare a;
+    a
+  in
+  match diverges ids cycles with
+  | None -> None
+  | Some _ ->
+      let comp =
+        ref
+          (Array.of_seq
+             (Seq.filter (fun id -> id <> fault) (Array.to_seq ids)))
+      in
+      (* ddmin over the companions; the divergent fault itself always
+         stays. Fast path first: most divergences reproduce solo. *)
+      if Array.length !comp > 0 && diverges (mk [||]) cycles <> None then
+        comp := [||]
+      else begin
+        let n = ref 2 in
+        let continue = ref (Array.length !comp > 1) in
+        while !continue && !attempts < max_attempts do
+          let len = Array.length !comp in
+          let chunk = max 1 (len / !n) in
+          let rec try_remove i =
+            if i * chunk >= len then None
+            else
+              let hi = min len ((i + 1) * chunk) in
+              let keep =
+                Array.append
+                  (Array.sub !comp 0 (i * chunk))
+                  (Array.sub !comp hi (len - hi))
+              in
+              if diverges (mk keep) cycles <> None then Some keep
+              else try_remove (i + 1)
+          in
+          match try_remove 0 with
+          | Some keep ->
+              comp := keep;
+              n := max 2 (!n - 1);
+              if Array.length keep <= 1 then continue := false
+          | None -> if chunk >= len then continue := false else n := min len (!n * 2)
+        done
+      end;
+      let set = mk !comp in
+      (* minimal window by binary search; divergence is monotone in the
+         window for deterministic engines (a longer run extends a shorter
+         one), and the final verification below catches it if not *)
+      let rec bisect lo hi =
+        if lo >= hi || !attempts >= max_attempts then hi
+        else
+          let mid = lo + ((hi - lo) / 2) in
+          if diverges set mid <> None then bisect lo mid else bisect (mid + 1) hi
+      in
+      let c = bisect 1 cycles in
+      (match diverges set c with
+      | None -> None (* non-monotone flake: no reproducer is better than a wrong one *)
+      | Some (ed, ec, od, oc) ->
+          let outputs =
+            match observe with None -> [] | Some f -> f ~ids:set ~cycles:c
+          in
+          if Obs.Metrics.on () then begin
+            Obs.Metrics.add "shrink.runs" 1;
+            Obs.Metrics.add "shrink.attempts" !attempts;
+            Obs.Metrics.observe "shrink.final_faults"
+              (float_of_int (Array.length set));
+            Obs.Metrics.observe "shrink.final_cycles" (float_of_int c)
+          end;
+          Some
+            {
+              sh_fault = fault;
+              sh_ids = set;
+              sh_cycles = c;
+              sh_attempts = !attempts;
+              sh_engine_detected = ed;
+              sh_engine_cycle = ec;
+              sh_oracle_detected = od;
+              sh_oracle_cycle = oc;
+              sh_outputs = outputs;
+            })
+
+let kind_name (f : Fault.t) =
+  match f.Fault.stuck with
+  | Fault.Stuck_at_0 -> "stuck-at-0"
+  | Fault.Stuck_at_1 -> "stuck-at-1"
+  | Fault.Flip_at c -> Printf.sprintf "flip@%d" c
+
+let repro_to_json ~design ~engine ?circuit ?inject ~(fault : Fault.t)
+    ~fault_name (o : outcome) =
+  Jsonl.Obj
+    [
+      ("type", Jsonl.String "repro");
+      ("version", Jsonl.Int 1);
+      ("design", Jsonl.String design);
+      ("engine", Jsonl.String engine);
+      ( "circuit",
+        match circuit with
+        | Some (name, scale) ->
+            Jsonl.Obj
+              [ ("name", Jsonl.String name); ("scale", Jsonl.Float scale) ]
+        | None -> Jsonl.Null );
+      ( "fault",
+        Jsonl.Obj
+          [
+            ("id", Jsonl.Int o.sh_fault);
+            ("signal", Jsonl.Int fault.Fault.signal);
+            ("name", Jsonl.String fault_name);
+            ("bit", Jsonl.Int fault.Fault.bit);
+            ("kind", Jsonl.String (kind_name fault));
+          ] );
+      ( "ids",
+        Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) o.sh_ids))
+      );
+      ("cycles", Jsonl.Int o.sh_cycles);
+      ("inject", match inject with Some i -> Jsonl.Int i | None -> Jsonl.Null);
+      ("engine_detected", Jsonl.Bool o.sh_engine_detected);
+      ("engine_cycle", Jsonl.Int o.sh_engine_cycle);
+      ("oracle_detected", Jsonl.Bool o.sh_oracle_detected);
+      ("oracle_cycle", Jsonl.Int o.sh_oracle_cycle);
+      ("attempts", Jsonl.Int o.sh_attempts);
+      ( "outputs",
+        Jsonl.List
+          (List.map
+             (fun (port, expected, observed) ->
+               Jsonl.Obj
+                 [
+                   ("port", Jsonl.String port);
+                   ("expected", Jsonl.String expected);
+                   ("observed", Jsonl.String observed);
+                 ])
+             o.sh_outputs) );
+    ]

@@ -1,0 +1,74 @@
+(** Divergence shrinker: delta-debug a confirmed engine/oracle divergence
+    down to a minimal reproducer.
+
+    When the resilient runner's quarantine confirms that a fault's verdict
+    under the batched concurrent engine differs from the lone serial
+    oracle, the interesting question is {e which co-batched faults and how
+    many cycles} are needed to trigger the disagreement. {!shrink} answers
+    it with the classic ddmin loop over the companion fault set (the
+    divergent fault itself always stays) followed by a binary search on the
+    cycle window, re-running the engine closure at every probe. Both
+    dimensions only ever shrink, so the result is a (locally) minimal
+    [(fault set, cycle window)] pair that still reproduces the divergence.
+
+    The caller supplies the execution closures, so the shrinker is
+    independent of engine configuration, budgets and chaos seams; the
+    closures must be deterministic for the minimisation to converge (the
+    resilient runner guarantees this by re-applying its corruption knobs on
+    every subset). Shrink statistics land in {!Obs.Metrics} under
+    [shrink.runs], [shrink.attempts], [shrink.final_faults] and
+    [shrink.final_cycles]. *)
+
+open Faultsim
+
+type outcome = {
+  sh_fault : int;  (** campaign-global id of the divergent fault *)
+  sh_ids : int array;
+      (** minimal co-batched fault set (sorted, includes [sh_fault]) *)
+  sh_cycles : int;  (** minimal cycle window that still diverges *)
+  sh_attempts : int;  (** engine replays spent minimising *)
+  sh_engine_detected : bool;
+  sh_engine_cycle : int;
+  sh_oracle_detected : bool;
+  sh_oracle_cycle : int;
+  sh_outputs : (string * string * string) list;
+      (** per output port: (name, expected = oracle view, observed =
+          engine view) at the divergence cycle; empty when the engine
+          cannot be probed *)
+}
+
+(** [shrink ~run_engine ~run_oracle ~fault ~ids ~cycles ()] minimises the
+    starting point [(ids, cycles)] — which must contain [fault] — and
+    returns [None] when the divergence does not reproduce there (a flaky
+    quarantine: better no reproducer than a wrong one). [run_engine] runs
+    the campaign engine over a fault-id subset and window; [run_oracle]
+    runs the lone serial oracle for one fault. [?observe] captures the
+    expected-vs-observed output values of the final minimal reproducer.
+    Work is bounded: at most ~256 engine replays. *)
+val shrink :
+  run_engine:(ids:int array -> cycles:int -> Fault.result) ->
+  run_oracle:(id:int -> cycles:int -> bool * int) ->
+  ?observe:(ids:int array -> cycles:int -> (string * string * string) list) ->
+  fault:int ->
+  ids:int array ->
+  cycles:int ->
+  unit ->
+  outcome option
+
+(** [repro_to_json] renders a standalone reproducer record (the
+    [repro-<fault>.json] schema, [version 1]) that [eraser repro] can
+    replay: design and circuit identity, the fault descriptor, the minimal
+    fault set and cycle window, both verdicts, and the expected-vs-observed
+    port values. [circuit] is the bench-circuit name and scale when the
+    campaign knows them (replay needs them to re-instantiate); [inject] is
+    the campaign's [inject_divergence] knob, re-armed on replay so a forced
+    divergence reproduces. *)
+val repro_to_json :
+  design:string ->
+  engine:string ->
+  ?circuit:string * float ->
+  ?inject:int ->
+  fault:Fault.t ->
+  fault_name:string ->
+  outcome ->
+  Jsonl.t

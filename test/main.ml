@@ -19,6 +19,7 @@ let () =
       ("resilient", Test_resilient.suite);
       ("ivec", Test_ivec.suite);
       ("pool", Test_pool.suite);
+      ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
     ]

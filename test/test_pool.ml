@@ -71,6 +71,53 @@ let test_discard_on_shutdown () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "submit after shutdown accepted"
 
+let test_cancel_completion_race () =
+  (* Stress the cancel/worker-completion race: many short tasks, with the
+     coordinator racing [cancel] against the workers finishing them. The
+     future's state transition is atomic under its lock, so exactly one
+     side wins: [cancel] returning true guarantees [await] raises
+     [Shutdown], and returning false guarantees the task's own outcome is
+     preserved. Nothing may hang either way. *)
+  let rounds = 20 and per_round = 64 in
+  for round = 0 to rounds - 1 do
+    Pool.with_pool ~jobs:4 (fun pool ->
+        let ran = Array.make per_round false in
+        let futures =
+          Array.init per_round (fun i ->
+              Pool.submit pool (fun _ ->
+                  if i land 3 = 0 then Domain.cpu_relax ();
+                  ran.(i) <- true;
+                  i))
+        in
+        let cancelled =
+          (* vary the contention window across rounds *)
+          Array.mapi
+            (fun i fut ->
+              if (i + round) land 1 = 0 then Pool.cancel fut else false)
+            futures
+        in
+        Array.iteri
+          (fun i fut ->
+            match Pool.await_result fut with
+            | Ok v ->
+                check int_t "completed task kept its result" i v;
+                if cancelled.(i) then
+                  Alcotest.failf "task %d: cancel won but await returned Ok" i
+            | Error (Pool.Shutdown, _) ->
+                if not cancelled.(i) then
+                  Alcotest.failf
+                    "task %d: cancel lost but await raised Shutdown" i
+            | Error (e, _) -> raise e)
+          futures;
+        (* a task whose cancel won before a worker claimed it never runs;
+           one that lost must have run to completion *)
+        Array.iteri
+          (fun i c ->
+            if (not c) && not ran.(i) then
+              Alcotest.failf "task %d: not cancelled yet never ran" i)
+          cancelled)
+  done
+
 (* --- Rng.split --- *)
 
 let test_split_deterministic () =
@@ -226,6 +273,8 @@ let suite =
     Alcotest.test_case "futures keep submission order" `Quick test_ordering;
     Alcotest.test_case "exceptions propagate" `Quick test_exception_propagation;
     Alcotest.test_case "discard on shutdown" `Quick test_discard_on_shutdown;
+    Alcotest.test_case "cancel vs completion race" `Quick
+      test_cancel_completion_race;
     Alcotest.test_case "Rng.split is deterministic" `Quick
       test_split_deterministic;
     Alcotest.test_case "Rng.split streams look independent" `Quick

@@ -186,6 +186,49 @@ let test_journal_overwritten_without_resume () =
   Sys.remove journal;
   check int_t "no batches resumed" 0 again.R.batches_resumed
 
+let test_torn_tail_double_resume () =
+  (* Regression: resuming over a torn final line used to append the next
+     record right after the torn bytes, corrupting the journal for the
+     *second* resume. The clean-prefix truncation must make any number of
+     crash/resume rounds parse. *)
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let cfg =
+    { R.default_config with R.batch_size = 7; journal = Some journal }
+  in
+  let cold = R.run ~config:cfg g w faults in
+  (* tear the final record mid-write, without a trailing newline *)
+  let lines = journal_lines journal in
+  let all = String.concat "\n" lines ^ "\n" in
+  write_file journal (String.sub all 0 (String.length all - 12));
+  let once = R.run ~config:{ cfg with R.resume = true } g w faults in
+  check int_t "one batch re-executed" 1 once.R.batches_executed;
+  (* the journal is whole again: a second resume replays everything *)
+  let twice = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Sys.remove journal;
+  check int_t "second resume re-executes nothing" 0 twice.R.batches_executed;
+  check bool_t "verdicts stable across resumes" true
+    (same_result cold.R.result twice.R.result)
+
+let test_read_journal_torn_tail () =
+  let path = temp_journal () in
+  write_file path "{\"a\":1}\n{\"b\":2}\n{\"c\":";
+  let j = H.Jsonl.read_journal path in
+  check
+    (Alcotest.list Alcotest.string)
+    "complete lines" [ "{\"a\":1}"; "{\"b\":2}" ] j.H.Jsonl.complete;
+  check (Alcotest.option Alcotest.string) "torn tail" (Some "{\"c\":")
+    j.H.Jsonl.torn;
+  write_file path "{\"a\":1}\n";
+  let j = H.Jsonl.read_journal path in
+  check (Alcotest.option Alcotest.string) "no tear after newline" None
+    j.H.Jsonl.torn;
+  write_file path "";
+  let j = H.Jsonl.read_journal path in
+  Sys.remove path;
+  check (Alcotest.list Alcotest.string) "empty file" [] j.H.Jsonl.complete;
+  check (Alcotest.option Alcotest.string) "empty file tail" None j.H.Jsonl.torn
+
 (* ---- divergence quarantine ---- *)
 
 let test_divergence_quarantined () =
@@ -284,6 +327,61 @@ let test_generous_budget_no_trip () =
   in
   check int_t "no splits" 0 s.R.retries;
   check bool_t "verdicts unchanged" true (same_result mono s.R.result)
+
+(* ---- supervision ---- *)
+
+let test_supervised_quarantine_bottom () =
+  (* An always-expired deadline trips every attempt, at every batch size,
+     down to single faults. Unsupervised that is a fatal Batch_timeout
+     (pinned above); supervised, the runner must bottom out in per-fault
+     quarantine — each fault tried once more alone, then abandoned — and
+     complete the campaign instead of looping or aborting. *)
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let cfg =
+    {
+      R.default_config with
+      R.batch_size = 8;
+      max_batch_seconds = Some 0.0;
+      max_retries = 99;
+      supervise = true;
+      journal = Some journal;
+    }
+  in
+  let s = R.run ~config:cfg g w faults in
+  check int_t "every fault abandoned" (Array.length faults)
+    (List.length s.R.failed_faults);
+  check
+    (Alcotest.list int_t)
+    "abandoned in fault order"
+    (List.init (Array.length faults) Fun.id)
+    s.R.failed_faults;
+  check bool_t "abandoned faults read undetected" true
+    (Array.for_all not s.R.result.Fault.detected);
+  check bool_t "watchdog splits recorded" true (s.R.retries > 0);
+  (* the journal carries the failed ids and the retry events: a resume
+     reconstructs the same summary without re-executing anything *)
+  let resumed = R.run ~config:{ cfg with R.resume = true } g w faults in
+  Sys.remove journal;
+  check int_t "resume re-executes nothing" 0 resumed.R.batches_executed;
+  check
+    (Alcotest.list int_t)
+    "failed faults replayed from the journal" s.R.failed_faults
+    resumed.R.failed_faults;
+  check int_t "retry events replayed from the journal" s.R.retries
+    resumed.R.retries
+
+let test_supervise_defaults_off () =
+  (* the supervised paths must not change unsupervised behaviour: the
+     default config still reports Batch_timeout (pinned by the watchdog
+     tests above) and carries no supervision artefacts on a clean run *)
+  let _, g, w, faults = campaign "apb" in
+  let s =
+    R.run ~config:{ R.default_config with R.batch_size = 9 } g w faults
+  in
+  check int_t "no restarts" 0 s.R.restarts;
+  check (Alcotest.list int_t) "no failed faults" [] s.R.failed_faults;
+  check (Alcotest.list Alcotest.string) "no repros" [] s.R.repros
 
 (* ---- workload validation ---- *)
 
@@ -384,6 +482,10 @@ let suite =
       test_parameter_mismatch;
     Alcotest.test_case "stale journal overwritten without resume" `Quick
       test_journal_overwritten_without_resume;
+    Alcotest.test_case "torn tail survives double resume" `Quick
+      test_torn_tail_double_resume;
+    Alcotest.test_case "read_journal torn-tail unit" `Quick
+      test_read_journal_torn_tail;
     Alcotest.test_case "injected divergence quarantined" `Quick
       test_divergence_quarantined;
     Alcotest.test_case "divergence fatal without quarantine" `Quick
@@ -394,6 +496,10 @@ let suite =
       test_wallclock_splits_to_single_fault;
     Alcotest.test_case "generous budget never trips" `Quick
       test_generous_budget_no_trip;
+    Alcotest.test_case "supervised quarantine bottoms out" `Quick
+      test_supervised_quarantine_bottom;
+    Alcotest.test_case "supervision defaults off" `Quick
+      test_supervise_defaults_off;
     Alcotest.test_case "with_budget unit" `Quick test_budget_exceeded_unit;
     Alcotest.test_case "negative cycle count rejected" `Quick
       test_negative_cycles_rejected;
