@@ -68,6 +68,19 @@ let scaling ~scale ~jobs ~out =
       output_char oc '\n');
   Format.fprintf ppf "  json       %s@." out
 
+let warmstart ~scale ~jobs ~out =
+  Format.fprintf ppf "@.";
+  let jobs = match jobs with j :: _ -> j | [] -> 4 in
+  let rows = H.Experiments.warmstart ~jobs ~scale () in
+  H.Report.warmstart ppf rows;
+  let json = H.Experiments.warmstart_json ~scale rows in
+  let text = H.Jsonl.to_string json in
+  ignore (H.Jsonl.parse text);
+  H.Resilient.write_atomic out (fun oc ->
+      output_string oc text;
+      output_char oc '\n');
+  Format.fprintf ppf "  json       %s@." out
+
 (* --- representation experiment: boxed vs flat value representation --- *)
 
 (* End-to-end serial fault-simulation throughput (compile + golden trace +
@@ -288,6 +301,7 @@ let () =
   let jobs = ref [ 1; 2; 4; 8 ] in
   let scaling_out = ref "BENCH_scaling.json" in
   let repr_out = ref "BENCH_repr.json" in
+  let warmstart_out = ref "BENCH_warmstart.json" in
   let cmds = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then
@@ -310,6 +324,9 @@ let () =
       | "--repr-out" ->
           repr_out := Sys.argv.(i + 1);
           parse (i + 2)
+      | "--warmstart-out" ->
+          warmstart_out := Sys.argv.(i + 1);
+          parse (i + 2)
       | cmd ->
           cmds := cmd :: !cmds;
           parse (i + 1)
@@ -317,8 +334,9 @@ let () =
   (try parse 1
    with _ ->
      prerr_endline
-       "usage: main [tableN|figN|scaling|repr|micro] [--scale S] [--jobs \
-        1,2,4] [--scaling-out FILE] [--repr-out FILE]");
+       "usage: main [tableN|figN|scaling|repr|warmstart|micro] [--scale S] \
+        [--jobs 1,2,4] [--scaling-out FILE] [--repr-out FILE] \
+        [--warmstart-out FILE]");
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
   let scale = !scale in
   Format.fprintf ppf "ERASER reproduction harness (scale %.2f)@.@." scale;
@@ -335,6 +353,7 @@ let () =
       | "resilience" -> resilience ~scale
       | "scaling" -> scaling ~scale ~jobs:!jobs ~out:!scaling_out
       | "repr" -> repr_bench ~scale ~out:!repr_out
+      | "warmstart" -> warmstart ~scale ~jobs:!jobs ~out:!warmstart_out
       | "micro" -> micro ()
       | "all" ->
           table1 ();
@@ -347,6 +366,7 @@ let () =
           resilience ~scale;
           scaling ~scale ~jobs:!jobs ~out:!scaling_out;
           repr_bench ~scale ~out:!repr_out;
+          warmstart ~scale ~jobs:!jobs ~out:!warmstart_out;
           micro ()
       | other -> Format.fprintf ppf "unknown experiment %S@." other)
     cmds

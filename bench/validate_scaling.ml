@@ -37,6 +37,12 @@ let () =
             "bn_good"; "bn_fault_exec"; "bn_skipped_explicit";
             "bn_skipped_implicit"; "rtl_good_eval"; "rtl_fault_eval";
           ]
+        (* warm-start counters: optional, so documents emitted before the
+           good-trace work still validate *)
+        @ List.map
+            (fun f ->
+              match J.member f s with Some (J.Int v) -> v | _ -> 0)
+            [ "good_cycles_skipped"; "goodtrace_captures" ]
       in
       let first_stats = ref None in
       List.iteri

@@ -1,0 +1,58 @@
+(* Validate a BENCH_warmstart.json document (bench-smoke alias): parse it
+   back through Harness.Jsonl and check the schema plus the invariants the
+   warm-start design guarantees — warm verdicts equal to cold on every
+   circuit, zero good behavioral executions under replay, exactly one
+   capture per campaign, and finite timing fields. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_warmstart FILE"
+  in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "warmstart" then
+    fail "%s: not a warmstart document" path;
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  ignore (finite "scale" (J.get_float "scale" doc));
+  let circuits = J.get_list "circuits" doc in
+  if circuits = [] then fail "%s: no circuits" path;
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      if J.get_int "faults" c < 1 then fail "%s: no faults" name;
+      if J.get_int "cycles" c < 1 then fail "%s: no cycles" name;
+      if J.get_int "batches" c < 1 then fail "%s: no batches" name;
+      if finite "cold_wall_s" (J.get_float "cold_wall_s" c) < 0.0 then
+        fail "%s: negative cold wall" name;
+      if finite "warm_wall_s" (J.get_float "warm_wall_s" c) < 0.0 then
+        fail "%s: negative warm wall" name;
+      if finite "speedup" (J.get_float "speedup" c) <= 0.0 then
+        fail "%s: non-positive speedup" name;
+      if J.get_int "cold_bn_good" c < 1 then
+        fail "%s: cold run executed no good behavioral nodes" name;
+      (* the whole point: every warm batch replays the trace instead of
+         re-simulating the good network *)
+      if J.get_int "warm_bn_good" c <> 0 then
+        fail "%s: warm bn_good is %d, expected 0" name
+          (J.get_int "warm_bn_good" c);
+      if J.get_int "good_cycles_skipped" c < 0 then
+        fail "%s: negative cycles skipped" name;
+      if J.get_int "goodtrace_captures" c <> 1 then
+        fail "%s: expected exactly one capture, got %d" name
+          (J.get_int "goodtrace_captures" c);
+      if J.get_int "capture_bytes" c < 1 then
+        fail "%s: capture has no footprint" name;
+      if not (J.get_bool "verdicts_equal" c) then
+        fail "%s: warm verdicts differ from cold" name)
+    circuits;
+  Printf.printf "bench-smoke: %s ok (%d circuits)\n" path
+    (List.length circuits)

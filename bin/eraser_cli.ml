@@ -213,8 +213,19 @@ let run_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the full campaign result as JSON.")
   in
+  let warmstart_arg =
+    Arg.(
+      value & flag
+      & info [ "warmstart" ]
+          ~doc:
+            "Capture the good network's trace once and warm-start every \
+             batch from snapshots at each fault's activation window instead \
+             of re-simulating the good network. Verdicts are identical to \
+             the cold path. Concurrent engines only; ignored for ifsim and \
+             vfsim.")
+  in
   let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json
-      jobs trace metrics =
+      jobs warmstart trace metrics =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     if jobs < 1 then
@@ -226,7 +237,7 @@ let run_cmd =
     Format.printf "%s on %s: %d cycles, %d faults@."
       (H.Campaign.engine_name engine) c.name w.Workload.cycles
       (Array.length faults);
-    let r = H.Campaign.run ~instrument ~jobs engine g w faults in
+    let r = H.Campaign.run ~instrument ~jobs ~warmstart engine g w faults in
     Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
       (Fault.count_detected r) (Array.length faults);
     Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
@@ -287,9 +298,19 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a fault-simulation campaign on one circuit.")
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
-      $ verify_arg $ json_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ verify_arg $ json_arg $ jobs_arg $ warmstart_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- campaign (resilient runner) --- *)
+
+(* render the canonical verdicts-only report to a string *)
+let verdicts_report ~design ~engine ~faults r =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.verdicts ppf ~design ~engine:(H.Campaign.engine_name engine)
+    ~faults r;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
 
 let campaign_cmd =
   let engine_arg =
@@ -404,7 +425,8 @@ let campaign_cmd =
   in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json jobs trace metrics progress supervise repro_dir =
+      inject json jobs warmstart verdicts_out trace metrics progress supervise
+      repro_dir =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
@@ -426,6 +448,7 @@ let campaign_cmd =
         supervise;
         repro_dir;
         repro_meta = Some (c.name, scale);
+        warmstart;
       }
     in
     Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
@@ -466,6 +489,9 @@ let campaign_cmd =
           (if d.H.Resilient.oracle_detected then "detected" else "live"))
       s.H.Resilient.divergences;
     Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
+    if warmstart then
+      Format.printf "  warm-start %d good cycle(s) skipped, capture %d B@."
+        r.Fault.stats.Stats.good_cycles_skipped s.H.Resilient.capture_bytes;
     (match json with
     | Some path ->
         let verdicts = Classify.classify g faults in
@@ -476,6 +502,12 @@ let campaign_cmd =
               ~faults ~verdicts s;
             Format.pp_print_flush ppf ());
         Format.printf "  json       %s@." path
+    | None -> ());
+    (match verdicts_out with
+    | Some path ->
+        let text = verdicts_report ~design ~engine ~faults r in
+        H.Resilient.write_atomic path (fun oc -> output_string oc text);
+        Format.printf "  verdicts   %s@." path
     | None -> ());
     0
   in
@@ -488,6 +520,29 @@ let campaign_cmd =
             "Write the campaign report as JSON (atomically: temp file + \
              rename).")
   in
+  let warmstart_arg =
+    Arg.(
+      value & flag
+      & info [ "warmstart" ]
+          ~doc:
+            "Capture the good network's trace once, then warm-start every \
+             batch from the snapshot at its earliest fault activation and \
+             replay the recorded good deltas instead of re-simulating the \
+             good network. Batches are regrouped by activation window; \
+             verdicts are identical to the cold path. Concurrent engines \
+             only; ignored for ifsim and vfsim. A warm journal cannot be \
+             resumed by a cold campaign (and vice versa).")
+  in
+  let verdicts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verdicts" ] ~docv:"FILE"
+          ~doc:
+            "Write the stats-free verdicts-only JSON report (atomically). \
+             Byte-identical across engines, $(b,--jobs) values and \
+             $(b,--warmstart), so it can be diffed directly.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -499,19 +554,10 @@ let campaign_cmd =
       const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
-      $ json_arg $ jobs_arg $ trace_arg $ metrics_arg $ progress_arg
-      $ supervise_arg $ repro_dir_arg)
+      $ json_arg $ jobs_arg $ warmstart_arg $ verdicts_arg $ trace_arg
+      $ metrics_arg $ progress_arg $ supervise_arg $ repro_dir_arg)
 
 (* --- chaos --- *)
-
-(* render the canonical verdicts-only report to a string *)
-let verdicts_report ~design ~engine ~faults r =
-  let buf = Buffer.create 4096 in
-  let ppf = Format.formatter_of_buffer buf in
-  H.Json_report.verdicts ppf ~design ~engine:(H.Campaign.engine_name engine)
-    ~faults r;
-  Format.pp_print_flush ppf ();
-  Buffer.contents buf
 
 let chaos_cmd =
   let seed_arg =

@@ -2,7 +2,10 @@ open Rtlir
 open Sim
 open Faultsim
 
-let golden_trace ~config g (w : Workload.t) =
+(* One golden (fault-free) simulation: the per-cycle output trace plus the
+   behavioral-execution count — the single implementation behind both
+   [golden_trace] and the campaign runner below. *)
+let golden_run ~config g (w : Workload.t) =
   let sim = Simulator.create ~config g in
   let trace = Array.make w.cycles [||] in
   Workload.run w
@@ -11,7 +14,9 @@ let golden_trace ~config g (w : Workload.t) =
     ~observe:(fun c ->
       trace.(c) <- Simulator.outputs sim;
       true);
-  trace
+  (trace, Simulator.proc_executions sim)
+
+let golden_trace ~config g w = fst (golden_run ~config g w)
 
 let same_outputs a b =
   let n = Array.length a in
@@ -24,15 +29,8 @@ let run ~config g (w : Workload.t) faults =
     Workload.checked ~num_signals:(Design.num_signals g.Elaborate.design) w
   in
   let stats = Stats.create () in
-  let golden = Simulator.create ~config g in
-  let trace = Array.make w.cycles [||] in
-  Workload.run w
-    ~set_input:(Simulator.set_input golden)
-    ~step:(fun () -> Simulator.step golden)
-    ~observe:(fun c ->
-      trace.(c) <- Simulator.outputs golden;
-      true);
-  stats.Stats.bn_good <- Simulator.proc_executions golden;
+  let trace, golden_execs = golden_run ~config g w in
+  stats.Stats.bn_good <- golden_execs;
   let detected = Array.make (Array.length faults) false in
   let detection_cycle = Array.make (Array.length faults) (-1) in
   Array.iter

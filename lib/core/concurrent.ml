@@ -94,8 +94,16 @@ let edge_fired edge ~old_b ~new_b =
   | Design.Negedge ->
       Int64.logand old_b 1L = 1L && Int64.logand new_b 1L = 0L
 
-let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
-    faults =
+(* How this run treats the good network: simulate it (Gcold), simulate it
+   while recording every good event into a trace builder (Gcap), or skip
+   simulation entirely and replay a previously captured trace (Grep). *)
+type gexec =
+  | Gcold
+  | Gcap of Goodtrace.builder
+  | Grep of Goodtrace.cursor
+
+let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
+    (inst : instance) (w : Workload.t) faults =
   let g = inst.inst_graph in
   let t_start = Stats.now () in
   let d = g.design in
@@ -105,6 +113,28 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   let nproc = Array.length d.procs in
   let nfaults = Array.length faults in
   let stats = Stats.create () in
+  let gx, warm_start =
+    match (capture_into, goodtrace) with
+    | Some b, _ -> (Gcap b, 0)
+    | None, Some { Goodtrace.trace; start } ->
+        if trace.Goodtrace.cycles <> w.Workload.cycles then
+          raise
+            (Goodtrace.Trace_mismatch
+               (Printf.sprintf "trace captured for %d cycles, workload has %d"
+                  trace.Goodtrace.cycles w.Workload.cycles));
+        if trace.Goodtrace.clock <> w.Workload.clock then
+          raise
+            (Goodtrace.Trace_mismatch
+               (Printf.sprintf "trace clock %d, workload clock %d"
+                  trace.Goodtrace.clock w.Workload.clock));
+        if trace.Goodtrace.nout <> Array.length g.outputs then
+          raise
+            (Goodtrace.Trace_mismatch
+               (Printf.sprintf "trace has %d outputs, design has %d"
+                  trace.Goodtrace.nout (Array.length g.outputs)));
+        (Grep (Goodtrace.cursor trace ~start), start)
+    | None, None -> (Gcold, 0)
+  in
   (* Observability is enabled (or not) before the run starts, so the flags
      can be hoisted into locals: the disabled hot path pays one branch on an
      already-loaded bool instead of an atomic load per event. *)
@@ -297,6 +327,19 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
       iwrite_mem = (fun _ -> bad_write "memory write in comb process" 0);
     }
   in
+  (* Capture twin of [comb_good_writer]: same effect, plus it collects the
+     write sequence so the whole execution can be recorded as one event. *)
+  let cap_ws = ref [] in
+  let comb_capture_writer =
+    {
+      Access.iset_blocking =
+        (fun id v ->
+          cap_ws := (id, v) :: !cap_ws;
+          write_good id v);
+      iset_nonblocking = bad_write "nonblocking write in comb process";
+      iwrite_mem = (fun _ -> bad_write "memory write in comb process" 0);
+    }
+  in
   let comb_fault_writer =
     {
       Access.iset_blocking =
@@ -340,6 +383,31 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     if Array.length record.(pid) = 0 then
       record.(pid) <- Array.make (Array.length (get_cp pid).Compile.icfg.nodes) 0;
     record.(pid)
+  in
+  (* Canonical decision-node order of a process: both capture and replay
+     derive it independently from the compiled CFG, so a trace only needs
+     to store the taken-branch choices, not whole record arrays. *)
+  let decision_ids = Array.make nproc [||] in
+  let decision_ids_set = Array.make nproc false in
+  let decision_ids_of pid =
+    if not decision_ids_set.(pid) then begin
+      let acc = ref [] in
+      Array.iteri
+        (fun i n -> match n with Cfg.Decision _ -> acc := i :: !acc | _ -> ())
+        (get_cp pid).Compile.icfg.nodes;
+      decision_ids.(pid) <- Array.of_list (List.rev !acc);
+      decision_ids_set.(pid) <- true
+    end;
+    decision_ids.(pid)
+  in
+  let choices_of pid =
+    let r = record.(pid) in
+    Array.map (fun i -> r.(i)) (decision_ids_of pid)
+  in
+  let restore_choices pid =
+    let r = record.(pid) in
+    let ids = decision_ids_of pid in
+    fun k c -> r.(ids.(k)) <- c
   in
   let comb_kinds =
     Array.mapi
@@ -495,8 +563,16 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     match comb_kinds.(pos) with
     | Kassign a ->
         if gd then begin
-          stats.Stats.rtl_good_eval <- stats.Stats.rtl_good_eval + 1;
-          write_good a.target (a.eval good_reader)
+          match gx with
+          | Grep cur -> write_good a.target (Goodtrace.take_assign cur ~pos)
+          | Gcap b ->
+              stats.Stats.rtl_good_eval <- stats.Stats.rtl_good_eval + 1;
+              let v = a.eval good_reader in
+              Goodtrace.rec_assign b ~pos ~target:a.target v;
+              write_good a.target v
+          | Gcold ->
+              stats.Stats.rtl_good_eval <- stats.Stats.rtl_good_eval + 1;
+              write_good a.target (a.eval good_reader)
         end;
         if gd || fd then begin
           begin_set ();
@@ -513,11 +589,29 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     | Kproc p ->
         bn_begin ();
         if gd then begin
-          stats.Stats.bn_good <- stats.Stats.bn_good + 1;
-          let gs_t0 = if tracing then Obs.Trace.span_begin "good_sim" else 0 in
-          Compile.exec_i p.cp ~record:record.(p.pid) good_reader
-            comb_good_writer;
-          if tracing then Obs.Trace.span_end "good_sim" gs_t0
+          match gx with
+          | Grep cur ->
+              Goodtrace.take_comb_proc cur ~pos ~pid:p.pid
+                ~set_choice:(restore_choices p.pid) ~write:write_good
+          | Gcap b ->
+              stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+              let gs_t0 =
+                if tracing then Obs.Trace.span_begin "good_sim" else 0
+              in
+              cap_ws := [];
+              Compile.exec_i p.cp ~record:record.(p.pid) good_reader
+                comb_capture_writer;
+              if tracing then Obs.Trace.span_end "good_sim" gs_t0;
+              Goodtrace.rec_comb_proc b ~pos ~pid:p.pid
+                ~writes:(List.rev !cap_ws) ~choices:(choices_of p.pid)
+          | Gcold ->
+              stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+              let gs_t0 =
+                if tracing then Obs.Trace.span_begin "good_sim" else 0
+              in
+              Compile.exec_i p.cp ~record:record.(p.pid) good_reader
+                comb_good_writer;
+              if tracing then Obs.Trace.span_end "good_sim" gs_t0
         end;
         if gd || fd then begin
           let live_at = !n_live in
@@ -685,17 +779,33 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
           (fun pid ->
             let cp = get_cp pid in
             cur_pid := pid;
-            cur_good_writes := [];
-            cur_good_mem_writes := [];
-            stats.Stats.bn_good <- stats.Stats.bn_good + 1;
-            let gs_t0 =
-              if tracing then Obs.Trace.span_begin "good_sim" else 0
-            in
-            Compile.exec_i cp ~record:record.(pid) good_reader ff_good_writer;
-            if tracing then Obs.Trace.span_end "good_sim" gs_t0;
-            Hashtbl.replace good_writes_of pid (List.rev !cur_good_writes);
-            Hashtbl.replace good_mem_writes_of pid
-              (List.rev !cur_good_mem_writes);
+            (match gx with
+            | Grep cur ->
+                let ws, mws =
+                  Goodtrace.take_ff_proc cur ~pid
+                    ~set_choice:(restore_choices pid)
+                in
+                Hashtbl.replace good_writes_of pid ws;
+                Hashtbl.replace good_mem_writes_of pid mws
+            | Gcap _ | Gcold ->
+                cur_good_writes := [];
+                cur_good_mem_writes := [];
+                stats.Stats.bn_good <- stats.Stats.bn_good + 1;
+                let gs_t0 =
+                  if tracing then Obs.Trace.span_begin "good_sim" else 0
+                in
+                Compile.exec_i cp ~record:record.(pid) good_reader
+                  ff_good_writer;
+                if tracing then Obs.Trace.span_end "good_sim" gs_t0;
+                let ws = List.rev !cur_good_writes in
+                let mws = List.rev !cur_good_mem_writes in
+                (match gx with
+                | Gcap b ->
+                    Goodtrace.rec_ff_proc b ~pid ~writes:ws ~mem_writes:mws
+                      ~choices:(choices_of pid)
+                | _ -> ());
+                Hashtbl.replace good_writes_of pid ws;
+                Hashtbl.replace good_mem_writes_of pid mws);
             let reads = g.proc_reads.(pid) in
             let read_mems = g.proc_read_mems.(pid) in
             let suppressed_here =
@@ -898,17 +1008,57 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
     !n_live > 0
   in
   (* ---- initialisation ---- *)
-  Array.iter
-    (fun (f : Fault.t) ->
-      set_diff f.signal f.fid (Fault.force_i64 f (State.get st f.signal)))
-    faults;
-  for pos = 0 to ncomb - 1 do
-    good_dirty.(pos) <- true;
-    fault_dirty.(pos) <- true
-  done;
-  dirty_lo := 0;
-  dirty_hi := ncomb - 1;
-  settle ();
+  (if warm_start > 0 then begin
+     (* Warm start: restore the good state from the snapshot and inject.
+        Every fault in this batch activates at or after [warm_start], so
+        the injections are provably no-ops — the forced values equal the
+        restored good values. The comb network is settled by construction
+        (the snapshot was taken at a cycle boundary), so the dirty flags
+        stay clean and no settle runs. Both guards below are internal
+        invariants of the activation computation; tripping one means the
+        caller batched a fault before its activation window. *)
+     (match goodtrace with
+     | Some { Goodtrace.trace; start } ->
+         State.blit ~src:(Goodtrace.snapshot_at trace start) ~dst:st
+     | None -> assert false);
+     Array.iter
+       (fun (f : Fault.t) ->
+         match f.stuck with
+         | Fault.Flip_at c when c < warm_start ->
+             raise
+               (Goodtrace.Trace_mismatch
+                  (Printf.sprintf
+                     "transient fault %d fires at cycle %d, before warm \
+                      start %d"
+                     f.fid c warm_start))
+         | _ ->
+             set_diff f.signal f.fid
+               (Fault.force_i64 f (State.get st f.signal)))
+       faults;
+     Array.iteri
+       (fun id tbl ->
+         if not (Diffstore.is_empty tbl) then
+           raise
+             (Goodtrace.Trace_mismatch
+                (Printf.sprintf
+                   "fault on signal %d active before warm-start cycle %d" id
+                   warm_start)))
+       diffs
+   end
+   else begin
+     Array.iter
+       (fun (f : Fault.t) ->
+         set_diff f.signal f.fid (Fault.force_i64 f (State.get st f.signal)))
+       faults;
+     for pos = 0 to ncomb - 1 do
+       good_dirty.(pos) <- true;
+       fault_dirty.(pos) <- true
+     done;
+     dirty_lo := 0;
+     dirty_hi := ncomb - 1;
+     settle ();
+     match gx with Gcap b -> Goodtrace.rec_init_done b | _ -> ()
+   end);
   for ci = 0 to nclk - 1 do
     let c = g.clocks.(ci) in
     prev_clock_good.(ci) <- State.get st c;
@@ -930,9 +1080,55 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
             end)
           l
   in
-  Workload.run ~on_cycle_start:inject_transients w
-    ~set_input:(fun id v -> write_good id (Bits.to_int64 v))
-    ~step ~observe;
+  (match gx with
+  | Gcold ->
+      Workload.run ~on_cycle_start:inject_transients w
+        ~set_input:(fun id v -> write_good id (Bits.to_int64 v))
+        ~step ~observe
+  | Gcap b ->
+      (* A capture run has no faults, so [observe] would stop after the
+         first cycle (nothing is live); force the full workload and record
+         the output vector and snapshot boundary each cycle. *)
+      Workload.run ~on_cycle_start:inject_transients w
+        ~set_input:(fun id v ->
+          let v64 = Bits.to_int64 v in
+          Goodtrace.rec_input b id v64;
+          write_good id v64)
+        ~step:(fun () ->
+          Goodtrace.rec_step b;
+          step ())
+        ~observe:(fun cycle ->
+          let (_ : bool) = observe cycle in
+          Goodtrace.rec_cycle_done b
+            ~outputs:(Array.map (fun o -> State.get st o) g.outputs)
+            ~state:st;
+          true)
+  | Grep cur ->
+      (* Same per-cycle protocol as {!Workload.run}, but inputs and clock
+         toggles come from the recorded stream. [drive] is still called
+         for its side effects — budget watchdogs and drive validation
+         piggyback on it — and its (identical) entries are discarded. *)
+      stats.Stats.good_cycles_skipped <- warm_start;
+      let continue_ = ref true in
+      let cycle = ref warm_start in
+      while !continue_ && !cycle < w.Workload.cycles do
+        inject_transients !cycle;
+        ignore (w.Workload.drive !cycle);
+        for _phase = 1 to 2 do
+          let rec replay_inputs () =
+            match Goodtrace.take_input cur with
+            | Some (id, v) ->
+                write_good id v;
+                replay_inputs ()
+            | None -> ()
+          in
+          replay_inputs ();
+          Goodtrace.take_step cur;
+          step ()
+        done;
+        continue_ := observe !cycle;
+        incr cycle
+      done);
   stats.Stats.per_proc <-
     Array.mapi
       (fun pid (p : Design.proc) ->
@@ -968,6 +1164,14 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   if tracing then Obs.Trace.span_end "fault_sim_run" run_t0;
   if metrics_on then begin
     Obs.Metrics.add "engine.runs" 1;
+    (match gx with
+    | Grep _ ->
+        Obs.Metrics.add "goodtrace.replays" 1;
+        if warm_start > 0 then begin
+          Obs.Metrics.add "goodtrace.snapshot_restores" 1;
+          Obs.Metrics.add "goodtrace.cycles_skipped" warm_start
+        end
+    | Gcap _ | Gcold -> ());
     Obs.Metrics.add "engine.bn_good" stats.Stats.bn_good;
     Obs.Metrics.add "engine.bn_fault_exec" stats.Stats.bn_fault_exec;
     Obs.Metrics.add "engine.bn_skip_explicit" stats.Stats.bn_skipped_explicit;
@@ -994,13 +1198,65 @@ let run_i ?(config = default_config) ?probe (inst : instance) (w : Workload.t)
   end;
   Fault.make_result ~detected ~detection_cycle ~stats ~wall_time:wall ()
 
-let run ?config ?probe g w faults = run_i ?config ?probe (instance g) w faults
+let run_i ?config ?probe ?goodtrace inst w faults =
+  run_gmode ?config ?probe ?goodtrace ~capture_into:None inst w faults
 
-let run_batch ?config ?probe ?instance:existing g w faults ~ids =
+let run ?config ?probe ?goodtrace g w faults =
+  run_i ?config ?probe ?goodtrace (instance g) w faults
+
+let run_batch ?config ?probe ?goodtrace ?instance:existing g w faults ~ids =
   let sub =
     Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
   in
   let inst =
     match existing with Some inst -> inst | None -> instance g
   in
-  run_i ?config ?probe inst w sub
+  run_i ?config ?probe ?goodtrace inst w sub
+
+let capture ?config ?snapshot_every ?instance:existing (g : Elaborate.t)
+    (w : Workload.t) =
+  let inst = match existing with Some i -> i | None -> instance g in
+  let k =
+    match snapshot_every with
+    | Some k -> max 1 k
+    | None -> max 8 (w.Workload.cycles / 16)
+  in
+  let b =
+    Goodtrace.builder ~cycles:w.Workload.cycles ~clock:w.Workload.clock
+      ~nout:(Array.length g.Elaborate.outputs) ~snapshot_every:k
+  in
+  let (_ : Fault.result) =
+    run_gmode ?config ~capture_into:(Some b) inst w [||]
+  in
+  let t = Goodtrace.finish b in
+  Obs.Metrics.add "goodtrace.captures" 1;
+  Obs.Metrics.add "goodtrace.capture_bytes" t.Goodtrace.capture_bytes;
+  t
+
+(* Signals driven by the comb network (continuous assigns and comb-process
+   blocking writes): their pristine zero values are swept during the init
+   settle before any topo-later reader can observe them, which is what
+   makes the activation rule in {!Goodtrace.activations} sound. *)
+let comb_driven (g : Elaborate.t) =
+  let driven = Array.make (Design.num_signals g.Elaborate.design) false in
+  Array.iter
+    (fun ws -> Array.iter (fun id -> driven.(id) <- true) ws)
+    g.Elaborate.comb_writes;
+  driven
+
+let activations trace (g : Elaborate.t) faults =
+  let sites =
+    Array.map
+      (fun (f : Fault.t) ->
+        {
+          Goodtrace.s_signal = f.signal;
+          s_bit = f.bit;
+          s_kind =
+            (match f.stuck with
+            | Fault.Stuck_at_0 -> Goodtrace.Stuck0
+            | Fault.Stuck_at_1 -> Goodtrace.Stuck1
+            | Fault.Flip_at c -> Goodtrace.Transient c);
+        })
+      faults
+  in
+  Goodtrace.activations trace ~comb_driven:(comb_driven g) sites

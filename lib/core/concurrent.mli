@@ -74,10 +74,21 @@ val instance : Elaborate.t -> instance
 (** Run a fault-simulation campaign. The result's detected set matches the
     serial per-fault oracle for any mode. Setting the environment variable
     [ERASER_PROC_STATS] prints per-process executed/implicit counters to
-    stderr at the end of the run (a profiling aid). *)
+    stderr at the end of the run (a profiling aid).
+
+    [?goodtrace] warm-starts the run from a captured good trace (see
+    {!capture}): the good network is not re-simulated — its recorded
+    writes are replayed through the engine's good-write seams, so
+    [bn_good] and [rtl_good_eval] stay at zero — and when
+    [goodtrace.start > 0] the run begins at that snapshot cycle, skipping
+    the dead prefix. Every fault in the batch must activate at or after
+    [goodtrace.start] (see {!activations}); the engine raises
+    {!Sim.Goodtrace.Trace_mismatch} if one provably does not. Verdicts and
+    detection cycles are identical to a cold run's. *)
 val run :
   ?config:config ->
   ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  ?goodtrace:Sim.Goodtrace.warm ->
   Elaborate.t ->
   Workload.t ->
   Fault.t array ->
@@ -93,6 +104,7 @@ val run :
 val run_i :
   ?config:config ->
   ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  ?goodtrace:Sim.Goodtrace.warm ->
   instance ->
   Workload.t ->
   Fault.t array ->
@@ -108,9 +120,33 @@ val run_i :
 val run_batch :
   ?config:config ->
   ?probe:(int -> (int -> int -> Bits.t) -> (int -> int -> int -> Bits.t) -> unit) ->
+  ?goodtrace:Sim.Goodtrace.warm ->
   ?instance:instance ->
   Elaborate.t ->
   Workload.t ->
   Fault.t array ->
   ids:int array ->
   Fault.result
+
+(** [capture g w] runs the good network once — no faults — and records
+    every good event (inputs, assign results, behavioral writes and branch
+    choices), the per-cycle output vectors, and full {!Sim.State} snapshots
+    every [?snapshot_every] cycles (default [max 8 (cycles / 16)]) plus one
+    at the end of the workload. The returned trace is immutable and safe to
+    share read-only across worker domains; one capture serves every
+    subsequent warm-started batch of the same (design, workload). *)
+val capture :
+  ?config:config ->
+  ?snapshot_every:int ->
+  ?instance:instance ->
+  Elaborate.t ->
+  Workload.t ->
+  Sim.Goodtrace.t
+
+(** [activations trace g faults] is each fault's activation window start:
+    the first cycle its injection can make the faulty network diverge from
+    the good one (see {!Sim.Goodtrace.activations}). A batch whose faults
+    all activate at or after cycle [a] can warm-start from
+    [Sim.Goodtrace.start_for trace ~activation:a] with verdicts provably
+    unchanged. *)
+val activations : Sim.Goodtrace.t -> Elaborate.t -> Fault.t array -> int array

@@ -12,6 +12,8 @@ type t = {
   mutable bn_skipped_implicit : int;
   mutable rtl_good_eval : int;
   mutable rtl_fault_eval : int;
+  mutable good_cycles_skipped : int;
+  mutable goodtrace_captures : int;
   mutable bn_seconds : float;
   mutable cpu_seconds : float;
   mutable total_seconds : float;
@@ -43,6 +45,8 @@ let create () =
     bn_skipped_implicit = 0;
     rtl_good_eval = 0;
     rtl_fault_eval = 0;
+    good_cycles_skipped = 0;
+    goodtrace_captures = 0;
     bn_seconds = 0.0;
     cpu_seconds = 0.0;
     total_seconds = 0.0;
@@ -118,6 +122,8 @@ let add a b =
     bn_skipped_implicit = a.bn_skipped_implicit + b.bn_skipped_implicit;
     rtl_good_eval = a.rtl_good_eval + b.rtl_good_eval;
     rtl_fault_eval = a.rtl_fault_eval + b.rtl_fault_eval;
+    good_cycles_skipped = a.good_cycles_skipped + b.good_cycles_skipped;
+    goodtrace_captures = a.goodtrace_captures + b.goodtrace_captures;
     bn_seconds = a.bn_seconds +. b.bn_seconds;
     cpu_seconds = a.cpu_seconds +. b.cpu_seconds;
     total_seconds = Float.max a.total_seconds b.total_seconds;

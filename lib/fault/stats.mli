@@ -25,6 +25,12 @@ type t = {
   mutable bn_skipped_implicit : int;
   mutable rtl_good_eval : int;  (** good RTL-node evaluations *)
   mutable rtl_fault_eval : int;  (** faulty RTL-node evaluations *)
+  mutable good_cycles_skipped : int;
+      (** cycles never simulated because a warm-started run began at a
+          good-trace snapshot past them; summed across batches by {!add} *)
+  mutable goodtrace_captures : int;
+      (** good-trace capture runs behind this result (0 on the cold path;
+          campaigns set 1 — the capture is shared by every batch) *)
   mutable bn_seconds : float;
       (** CPU time inside behavioral execution, summed across workers
           (only when instrumented) *)

@@ -19,58 +19,23 @@ let concurrent_mode = function
   | Eraser -> Engine.Concurrent.Full
   | Ifsim | Vfsim -> invalid_arg "concurrent_mode"
 
+let config_of ~instrument engine =
+  { Engine.Concurrent.default_config with mode = concurrent_mode engine; instrument }
+
 let run_mono ~instrument engine (g : Rtlir.Elaborate.t) w faults =
   match engine with
   | Ifsim -> Baselines.Serial.ifsim g w faults
   | Vfsim -> Baselines.Serial.vfsim g w faults
   | Z01x_proxy | Eraser_mm | Eraser_m | Eraser ->
-      let config =
-        {
-          Engine.Concurrent.default_config with
-          mode = concurrent_mode engine;
-          instrument;
-        }
-      in
-      Engine.Concurrent.run ~config g w faults
+      Engine.Concurrent.run ~config:(config_of ~instrument engine) g w faults
 
 (* Fault-partition parallel run: the fault list is cut into [jobs]
    contiguous chunks, one per worker domain. Faulty networks never
    interact, so each chunk's verdicts equal the monolithic run's; the merge
    walks chunks in index order, so verdicts and merged stats are
    deterministic whatever order the workers finish in. *)
-let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+let merge_chunks ~t0 ~n chunks results =
   let open Faultsim in
-  let t0 = Stats.now () in
-  let n = Array.length faults in
-  let k = min jobs n in
-  let chunks =
-    Array.init k (fun i ->
-        let lo = i * n / k and hi = (i + 1) * n / k in
-        Array.init (hi - lo) (fun j -> lo + j))
-  in
-  let renumber ids = Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids in
-  let results =
-    Pool.with_pool ~jobs:k (fun pool ->
-        let futures =
-          Array.map
-            (fun ids ->
-              Pool.submit pool (fun (_ : Pool.ctx) ->
-                  match engine with
-                  | Ifsim -> Baselines.Serial.ifsim g w (renumber ids)
-                  | Vfsim -> Baselines.Serial.vfsim g w (renumber ids)
-                  | e ->
-                      let config =
-                        {
-                          Engine.Concurrent.default_config with
-                          mode = concurrent_mode e;
-                          instrument;
-                        }
-                      in
-                      Engine.Concurrent.run_batch ~config g w faults ~ids))
-            chunks
-        in
-        Array.map Pool.await futures)
-  in
   let detected = Array.make n false in
   let detection_cycle = Array.make n (-1) in
   let stats = ref (Stats.create ()) in
@@ -87,13 +52,101 @@ let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
   !stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats:!stats ~wall_time:wall ()
 
-let run ?(instrument = false) ?(jobs = 1) engine (g : Rtlir.Elaborate.t) w
-    faults =
-  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
-  if jobs = 1 || Array.length faults = 0 then run_mono ~instrument engine g w faults
-  else run_partitioned ~instrument ~jobs engine g w faults
+let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+  let open Faultsim in
+  let t0 = Stats.now () in
+  let n = Array.length faults in
+  let k = min jobs n in
+  if k <= 1 then run_mono ~instrument engine g w faults
+  else begin
+    let chunks =
+      Array.init k (fun i ->
+          let lo = i * n / k and hi = (i + 1) * n / k in
+          Array.init (hi - lo) (fun j -> lo + j))
+    in
+    let renumber ids =
+      Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
+    in
+    let results =
+      Pool.with_pool ~jobs:k (fun pool ->
+          let futures =
+            Array.map
+              (fun ids ->
+                Pool.submit pool (fun (_ : Pool.ctx) ->
+                    match engine with
+                    | Ifsim -> Baselines.Serial.ifsim g w (renumber ids)
+                    | Vfsim -> Baselines.Serial.vfsim g w (renumber ids)
+                    | e ->
+                        let config = config_of ~instrument e in
+                        Engine.Concurrent.run_batch ~config g w faults ~ids))
+              chunks
+          in
+          Array.map Pool.await futures)
+    in
+    merge_chunks ~t0 ~n chunks results
+  end
 
-let run_circuit ?instrument ?jobs engine (c : Circuits.Bench_circuit.t) ~scale
-    =
+(* Warm-started campaign: capture the good trace once, sort fault ids by
+   activation window so each chunk's faults share a dead prefix, and start
+   every chunk from the latest snapshot at or before its earliest
+   activation. Verdicts are identical to the cold run's — before its
+   activation cycle a fault's network is bit-identical to the good network
+   (see DESIGN.md section 13) — only the redundancy counters change
+   (bn_good and rtl_good_eval drop to zero for every batch). *)
+let run_warm ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+  let open Faultsim in
+  let t0 = Stats.now () in
+  let n = Array.length faults in
+  let config = config_of ~instrument engine in
+  let trace = Engine.Concurrent.capture ~config g w in
+  let acts = Engine.Concurrent.activations trace g faults in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
+    order;
+  let k = min jobs n in
+  let chunks =
+    Array.init k (fun i ->
+        let lo = i * n / k and hi = (i + 1) * n / k in
+        Array.init (hi - lo) (fun j -> order.(lo + j)))
+  in
+  let warm_of ids =
+    let a = Array.fold_left (fun m id -> min m acts.(id)) max_int ids in
+    { Sim.Goodtrace.trace; start = Sim.Goodtrace.start_for trace ~activation:a }
+  in
+  let run_chunk ids =
+    Engine.Concurrent.run_batch ~config ~goodtrace:(warm_of ids) g w faults
+      ~ids
+  in
+  let results =
+    if k <= 1 then Array.map run_chunk chunks
+    else
+      Pool.with_pool ~jobs:k (fun pool ->
+          let futures =
+            Array.map
+              (fun ids -> Pool.submit pool (fun (_ : Pool.ctx) -> run_chunk ids))
+              chunks
+          in
+          Array.map Pool.await futures)
+  in
+  let r = merge_chunks ~t0 ~n chunks results in
+  r.Fault.stats.Stats.goodtrace_captures <- 1;
+  r
+
+let run ?(instrument = false) ?(jobs = 1) ?(warmstart = false) engine
+    (g : Rtlir.Elaborate.t) w faults =
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  match engine with
+  | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
+    when warmstart && Array.length faults > 0 ->
+      run_warm ~instrument ~jobs engine g w faults
+  | _ ->
+      if jobs = 1 || Array.length faults = 0 then
+        run_mono ~instrument engine g w faults
+      else run_partitioned ~instrument ~jobs engine g w faults
+
+let run_circuit ?instrument ?jobs ?warmstart engine
+    (c : Circuits.Bench_circuit.t) ~scale =
   let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
-  run ?instrument ?jobs engine g w faults
+  run ?instrument ?jobs ?warmstart engine g w faults

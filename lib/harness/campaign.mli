@@ -32,10 +32,21 @@ val concurrent_mode : engine -> Engine.Concurrent.mode
     the good network ([bn_good], [rtl_good_eval] scale with the partition
     count) and faulty RTL-evaluation sharing is per-partition. For
     byte-identical reports at any [jobs], use {!Resilient.run}, whose
-    batch decomposition is independent of the worker count. *)
+    batch decomposition is independent of the worker count.
+
+    [?warmstart] (default [false], concurrent engines only — the serial
+    baselines ignore it) captures the good trace once
+    ({!Engine.Concurrent.capture}), sorts the fault list by activation
+    window ({!Engine.Concurrent.activations}) and warm-starts every chunk
+    from the latest good-state snapshot at or before its earliest
+    activation. Verdicts and detection cycles are identical to the cold
+    run for any [jobs]; [bn_good] and [rtl_good_eval] drop to zero for
+    every batch (the one capture run is counted in
+    [stats.goodtrace_captures]). *)
 val run :
   ?instrument:bool ->
   ?jobs:int ->
+  ?warmstart:bool ->
   engine ->
   Rtlir.Elaborate.t ->
   Faultsim.Workload.t ->
@@ -46,6 +57,7 @@ val run :
 val run_circuit :
   ?instrument:bool ->
   ?jobs:int ->
+  ?warmstart:bool ->
   engine ->
   Circuits.Bench_circuit.t ->
   scale:float ->

@@ -268,6 +268,8 @@ let scaling_json ~scale rows =
         ("bn_skipped_implicit", Jsonl.Int s.Stats.bn_skipped_implicit);
         ("rtl_good_eval", Jsonl.Int s.Stats.rtl_good_eval);
         ("rtl_fault_eval", Jsonl.Int s.Stats.rtl_fault_eval);
+        ("good_cycles_skipped", Jsonl.Int s.Stats.good_cycles_skipped);
+        ("goodtrace_captures", Jsonl.Int s.Stats.goodtrace_captures);
       ]
   in
   let point_json p =
@@ -292,6 +294,94 @@ let scaling_json ~scale rows =
   Jsonl.Obj
     [
       ("experiment", Jsonl.String "scaling");
+      ("scale", Jsonl.Float scale);
+      ("circuits", Jsonl.List (List.map row_json rows));
+    ]
+
+type warmstart_row = {
+  ws_name : string;
+  ws_faults : int;
+  ws_cycles : int;
+  ws_batches : int;
+  ws_cold_wall : float;
+  ws_warm_wall : float;
+  ws_speedup : float;
+  ws_cold_bn_good : int;
+  ws_warm_bn_good : int;
+  ws_cycles_skipped : int;
+  ws_captures : int;
+  ws_capture_bytes : int;
+  ws_verdicts_equal : bool;
+}
+
+let warmstart_names = [ "alu"; "sha256_hv" ]
+
+(* Good-network checkpointing benchmark: the same resilient campaign cold
+   (every batch re-simulates the good network) and warm (one capture,
+   every batch replays it from its activation-window snapshot). The warm
+   wall time includes the capture run, so the speedup is end-to-end; the
+   verdict check is the experiment's correctness gate. *)
+let warmstart ?(jobs = 4) ~scale () =
+  List.map
+    (fun name ->
+      let c = Circuits.find name in
+      let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+      let n = Array.length faults in
+      let base =
+        {
+          Resilient.default_config with
+          Resilient.jobs;
+          batch_size = max 1 (n / 8);
+        }
+      in
+      let cold = Resilient.run ~config:base g w faults in
+      let warm =
+        Resilient.run ~config:{ base with Resilient.warmstart = true } g w
+          faults
+      in
+      let cr = cold.Resilient.result and wr = warm.Resilient.result in
+      let cw = cr.Fault.wall_time and ww = wr.Fault.wall_time in
+      {
+        ws_name = c.paper_name;
+        ws_faults = n;
+        ws_cycles = w.Workload.cycles;
+        ws_batches = cold.Resilient.batches_total;
+        ws_cold_wall = cw;
+        ws_warm_wall = ww;
+        ws_speedup = (if ww > 0.0 then cw /. ww else 1.0);
+        ws_cold_bn_good = cr.Fault.stats.Stats.bn_good;
+        ws_warm_bn_good = wr.Fault.stats.Stats.bn_good;
+        ws_cycles_skipped = wr.Fault.stats.Stats.good_cycles_skipped;
+        ws_captures = wr.Fault.stats.Stats.goodtrace_captures;
+        ws_capture_bytes = warm.Resilient.capture_bytes;
+        ws_verdicts_equal =
+          cr.Fault.detected = wr.Fault.detected
+          && cr.Fault.detection_cycle = wr.Fault.detection_cycle;
+      })
+    warmstart_names
+
+let warmstart_json ~scale rows =
+  let row_json r =
+    Jsonl.Obj
+      [
+        ("name", Jsonl.String r.ws_name);
+        ("faults", Jsonl.Int r.ws_faults);
+        ("cycles", Jsonl.Int r.ws_cycles);
+        ("batches", Jsonl.Int r.ws_batches);
+        ("cold_wall_s", Jsonl.Float r.ws_cold_wall);
+        ("warm_wall_s", Jsonl.Float r.ws_warm_wall);
+        ("speedup", Jsonl.Float r.ws_speedup);
+        ("cold_bn_good", Jsonl.Int r.ws_cold_bn_good);
+        ("warm_bn_good", Jsonl.Int r.ws_warm_bn_good);
+        ("good_cycles_skipped", Jsonl.Int r.ws_cycles_skipped);
+        ("goodtrace_captures", Jsonl.Int r.ws_captures);
+        ("capture_bytes", Jsonl.Int r.ws_capture_bytes);
+        ("verdicts_equal", Jsonl.Bool r.ws_verdicts_equal);
+      ]
+  in
+  Jsonl.Obj
+    [
+      ("experiment", Jsonl.String "warmstart");
       ("scale", Jsonl.Float scale);
       ("circuits", Jsonl.List (List.map row_json rows));
     ]

@@ -106,3 +106,32 @@ val scaling : ?jobs:int list -> scale:float -> unit -> scaling_row list
     {!Jsonl.parse}): [{experiment, scale, circuits: [{name, faults, cycles,
     points: [{jobs, wall_s, faults_per_sec, speedup, stats}]}]}]. *)
 val scaling_json : scale:float -> scaling_row list -> Jsonl.t
+
+type warmstart_row = {
+  ws_name : string;
+  ws_faults : int;
+  ws_cycles : int;
+  ws_batches : int;
+  ws_cold_wall : float;  (** cold resilient campaign *)
+  ws_warm_wall : float;  (** warm campaign, capture run included *)
+  ws_speedup : float;  (** cold / warm *)
+  ws_cold_bn_good : int;  (** good executions summed over cold batches *)
+  ws_warm_bn_good : int;  (** must be 0: every batch replays the trace *)
+  ws_cycles_skipped : int;  (** dead-prefix cycles skipped, all batches *)
+  ws_captures : int;  (** good-trace capture runs (always 1) *)
+  ws_capture_bytes : int;  (** heap footprint of the capture *)
+  ws_verdicts_equal : bool;
+      (** warm detected sets and detection cycles match cold exactly *)
+}
+
+(** Good-network checkpointing benchmark (DESIGN.md §13): the same
+    resilient campaign cold and warm-started, on the circuits where the
+    good network dominates. *)
+val warmstart : ?jobs:int -> scale:float -> unit -> warmstart_row list
+
+(** One-line JSON document for [BENCH_warmstart.json]: [{experiment,
+    scale, circuits: [{name, faults, cycles, batches, cold_wall_s,
+    warm_wall_s, speedup, cold_bn_good, warm_bn_good,
+    good_cycles_skipped, goodtrace_captures, capture_bytes,
+    verdicts_equal}]}]. *)
+val warmstart_json : scale:float -> warmstart_row list -> Jsonl.t

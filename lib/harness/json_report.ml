@@ -51,11 +51,13 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
     "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
      \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
      \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d, \"eliminated\": %d, \
-     \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \"bn_seconds\": %.6f, \
-     \"cpu_seconds\": %.6f },@."
+     \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \
+     \"good_cycles_skipped\": %d, \"goodtrace_captures\": %d, \
+     \"bn_seconds\": %.6f, \"cpu_seconds\": %.6f },@."
     s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
     s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval
     (Stats.eliminated s) (Stats.explicit_pct s) (Stats.implicit_pct s)
+    s.Stats.good_cycles_skipped s.Stats.goodtrace_captures
     s.Stats.bn_seconds s.Stats.cpu_seconds;
   Format.fprintf ppf "  \"per_proc\": [@.";
   Array.iteri

@@ -148,6 +148,22 @@ let scaling ppf rows =
       Format.fprintf ppf "@.")
     rows
 
+let warmstart ppf rows =
+  Format.fprintf ppf
+    "Warm start: good-trace capture + activation-window snapshots vs cold@.";
+  Format.fprintf ppf "  %-12s %7s %7s %8s %9s %9s %8s %9s %8s %10s %8s@."
+    "Benchmark" "#Faults" "#Cycles" "#Batches" "cold(s)" "warm(s)" "speedup"
+    "bn_good" "skipped" "capture(B)" "verdicts";
+  List.iter
+    (fun (r : Experiments.warmstart_row) ->
+      Format.fprintf ppf
+        "  %-12s %7d %7d %8d %9.3f %9.3f %7.2fx %4d/%-4d %8d %10d %8s@."
+        r.ws_name r.ws_faults r.ws_cycles r.ws_batches r.ws_cold_wall
+        r.ws_warm_wall r.ws_speedup r.ws_warm_bn_good r.ws_cold_bn_good
+        r.ws_cycles_skipped r.ws_capture_bytes
+        (if r.ws_verdicts_equal then "equal" else "DIFFER"))
+    rows
+
 let resilience ppf rows =
   Format.fprintf ppf
     "Resilient runner: batched / resumed coverage parity and divergence \

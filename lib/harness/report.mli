@@ -18,3 +18,6 @@ val resilience : Format.formatter -> Experiments.resilience_row list -> unit
 
 (** Text table for the multicore scaling sweep. *)
 val scaling : Format.formatter -> Experiments.scaling_row list -> unit
+
+(** Text table for the good-trace warm-start benchmark. *)
+val warmstart : Format.formatter -> Experiments.warmstart_row list -> unit

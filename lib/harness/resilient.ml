@@ -64,6 +64,8 @@ type config = {
   supervise : bool;
   repro_dir : string option;
   repro_meta : (string * float) option;
+  warmstart : bool;
+  snapshot_every : int option;
 }
 
 let default_config =
@@ -84,6 +86,8 @@ let default_config =
     supervise = false;
     repro_dir = None;
     repro_meta = None;
+    warmstart = false;
+    snapshot_every = None;
   }
 
 type summary = {
@@ -98,6 +102,7 @@ type summary = {
   quarantined : int list;
   failed_faults : int list;
   repros : string list;
+  capture_bytes : int;
 }
 
 (* ---- journal records ---- *)
@@ -118,29 +123,40 @@ type batch_outcome = {
 
 let header_json ~design_name cfg (w : Workload.t) nfaults =
   Jsonl.Obj
-    [
-      ("type", Jsonl.String "header");
-      ("version", Jsonl.Int 1);
-      ("design", Jsonl.String design_name);
-      ("engine", Jsonl.String (Campaign.engine_name cfg.engine));
-      ("cycles", Jsonl.Int w.Workload.cycles);
-      ("clock", Jsonl.Int w.Workload.clock);
-      ("faults", Jsonl.Int nfaults);
-      ("batch_size", Jsonl.Int cfg.batch_size);
-      ("oracle_sample", Jsonl.Float cfg.oracle_sample);
-      ("sample_seed", Jsonl.String (Int64.to_string cfg.sample_seed));
-    ]
+    ([
+       ("type", Jsonl.String "header");
+       ("version", Jsonl.Int 1);
+       ("design", Jsonl.String design_name);
+       ("engine", Jsonl.String (Campaign.engine_name cfg.engine));
+       ("cycles", Jsonl.Int w.Workload.cycles);
+       ("clock", Jsonl.Int w.Workload.clock);
+       ("faults", Jsonl.Int nfaults);
+       ("batch_size", Jsonl.Int cfg.batch_size);
+       ("oracle_sample", Jsonl.Float cfg.oracle_sample);
+       ("sample_seed", Jsonl.String (Int64.to_string cfg.sample_seed));
+     ]
+    (* only present on warm campaigns: the batch decomposition is
+       activation-sorted there, so a warm journal must never be resumed by
+       a cold campaign (or vice versa) — the header mismatch catches it.
+       Cold journals keep their historical byte format. *)
+    @
+    if cfg.warmstart then [ ("warmstart", Jsonl.Bool true) ] else [])
 
 let stats_to_json (s : Stats.t) =
   Jsonl.Obj
-    [
-      ("bn_good", Jsonl.Int s.Stats.bn_good);
-      ("bn_fault_exec", Jsonl.Int s.Stats.bn_fault_exec);
-      ("bn_skipped_explicit", Jsonl.Int s.Stats.bn_skipped_explicit);
-      ("bn_skipped_implicit", Jsonl.Int s.Stats.bn_skipped_implicit);
-      ("rtl_good_eval", Jsonl.Int s.Stats.rtl_good_eval);
-      ("rtl_fault_eval", Jsonl.Int s.Stats.rtl_fault_eval);
-    ]
+    ([
+       ("bn_good", Jsonl.Int s.Stats.bn_good);
+       ("bn_fault_exec", Jsonl.Int s.Stats.bn_fault_exec);
+       ("bn_skipped_explicit", Jsonl.Int s.Stats.bn_skipped_explicit);
+       ("bn_skipped_implicit", Jsonl.Int s.Stats.bn_skipped_implicit);
+       ("rtl_good_eval", Jsonl.Int s.Stats.rtl_good_eval);
+       ("rtl_fault_eval", Jsonl.Int s.Stats.rtl_fault_eval);
+     ]
+    (* warm-started batches only, so cold journals keep their historical
+       byte format *)
+    @
+    if s.Stats.good_cycles_skipped = 0 then []
+    else [ ("good_cycles_skipped", Jsonl.Int s.Stats.good_cycles_skipped) ])
 
 let stats_of_json j =
   let s = Stats.create () in
@@ -150,6 +166,9 @@ let stats_of_json j =
   s.Stats.bn_skipped_implicit <- Jsonl.get_int "bn_skipped_implicit" j;
   s.Stats.rtl_good_eval <- Jsonl.get_int "rtl_good_eval" j;
   s.Stats.rtl_fault_eval <- Jsonl.get_int "rtl_fault_eval" j;
+  (match Jsonl.member "good_cycles_skipped" j with
+  | Some (Jsonl.Int k) -> s.Stats.good_cycles_skipped <- k
+  | _ -> ());
   s
 
 let divergence_to_json d =
@@ -448,11 +467,79 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   let nbatches =
     if n = 0 then 0 else (n + config.batch_size - 1) / config.batch_size
   in
+  (* Per-worker engine instance: the compiled design is immutable once
+     built, but each worker gets its own so instances are never shared
+     across domains, and reuse across a worker's batches amortises
+     compilation. Each slot is touched only by its owning worker (slot 0 by
+     the jobs = 1 serial loop; the coordinator borrows it sequentially for
+     the good-trace capture, before the pool exists). *)
+  let instances = Array.make config.jobs None in
+  let instance_for worker =
+    match instances.(worker) with
+    | Some inst -> inst
+    | None ->
+        let inst = Engine.Concurrent.instance g in
+        instances.(worker) <- Some inst;
+        inst
+  in
+  (* Good-trace warm start: the coordinator captures the good network once
+     (before any worker starts — the finished trace is immutable and shared
+     read-only), computes each fault's activation window, and sorts the
+     fault list by (activation, id) so batches group faults with similar
+     dead prefixes. Serial engines have no replay seam and ignore the
+     flag. *)
+  let warm =
+    match config.engine with
+    | Campaign.Ifsim | Campaign.Vfsim -> None
+    | e when config.warmstart && n > 0 ->
+        let cc =
+          {
+            Engine.Concurrent.default_config with
+            mode = Campaign.concurrent_mode e;
+          }
+        in
+        let trace =
+          try
+            Engine.Concurrent.capture ~config:cc
+              ?snapshot_every:config.snapshot_every
+              ~instance:(instance_for 0) g w
+          with Workload.Invalid_workload msg -> err (Bad_workload msg)
+        in
+        Some (trace, Engine.Concurrent.activations trace g faults)
+    | _ -> None
+  in
   let expected_ids =
-    Array.init nbatches (fun i ->
-        let lo = i * config.batch_size in
-        let hi = min n (lo + config.batch_size) in
-        Array.init (hi - lo) (fun k -> lo + k))
+    match warm with
+    | None ->
+        Array.init nbatches (fun i ->
+            let lo = i * config.batch_size in
+            let hi = min n (lo + config.batch_size) in
+            Array.init (hi - lo) (fun k -> lo + k))
+    | Some (_, acts) ->
+        let order = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
+          order;
+        Array.init nbatches (fun i ->
+            let lo = i * config.batch_size in
+            let hi = min n (lo + config.batch_size) in
+            Array.sub order lo (hi - lo))
+  in
+  (* Latest snapshot at or before a fault set's earliest activation — the
+     warm-start cycle for any engine run over that set. Splits and
+     per-fault quarantine recompute it on their subset, whose minimum can
+     only be later. *)
+  let warm_for ids =
+    match warm with
+    | None -> None
+    | Some (trace, acts) ->
+        let a = Array.fold_left (fun m id -> min m acts.(id)) max_int ids in
+        Some
+          {
+            Sim.Goodtrace.trace;
+            start = Sim.Goodtrace.start_for trace ~activation:a;
+          }
   in
   let design_name = g.Rtlir.Elaborate.design.Rtlir.Design.dname in
   let expected_header = header_json ~design_name config w n in
@@ -494,23 +581,11 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     try Baselines.Serial.ifsim g w (renumber faults ids)
     with Workload.Invalid_workload msg -> err (Bad_workload msg)
   in
-  (* Per-worker engine instance: the compiled design is immutable once
-     built, but each worker gets its own so instances are never shared
-     across domains, and reuse across a worker's batches amortises
-     compilation. Each slot is touched only by its owning worker (slot 0 by
-     the jobs = 1 serial loop). *)
-  let instances = Array.make config.jobs None in
-  let instance_for worker =
-    match instances.(worker) with
-    | Some inst -> inst
-    | None ->
-        let inst = Engine.Concurrent.instance g in
-        instances.(worker) <- Some inst;
-        inst
-  in
   (* run the configured engine over [ids] with an explicit workload (the
      budget-wrapped one for batch execution, a narrowed window for shrinker
-     replays); [probe] reaches the concurrent engine only *)
+     replays); [probe] reaches the concurrent engine only. Warm starts
+     apply only at the captured workload length — the shrinker's narrowed
+     windows run cold. *)
   let engine_with ?probe ~worker wk ids =
     match config.engine with
     | Campaign.Ifsim -> Baselines.Serial.ifsim g wk (renumber faults ids)
@@ -528,7 +603,11 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
             corrupt_verdict;
           }
         in
-        Engine.Concurrent.run_batch ~config:cc ?probe
+        let goodtrace =
+          if wk.Workload.cycles = w.Workload.cycles then warm_for ids
+          else None
+        in
+        Engine.Concurrent.run_batch ~config:cc ?probe ?goodtrace
           ~instance:(instance_for worker) g wk faults ~ids
   in
   (* budget- and chaos-free engine entry for the shrinker: replays must be
@@ -1048,6 +1127,9 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     outcomes;
   let wall = Stats.now () -. t0 in
   !stats.Stats.total_seconds <- wall;
+  (match warm with
+  | Some _ -> !stats.Stats.goodtrace_captures <- 1
+  | None -> ());
   let result =
     Fault.make_result ~detected ~detection_cycle ~stats:!stats
       ~wall_time:wall ()
@@ -1064,4 +1146,8 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     quarantined = List.map (fun d -> d.div_fault) !divergences;
     failed_faults = List.rev !failed_faults;
     repros = !repro_files;
+    capture_bytes =
+      (match warm with
+      | Some (t, _) -> t.Sim.Goodtrace.capture_bytes
+      | None -> 0);
   }

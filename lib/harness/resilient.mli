@@ -127,6 +127,24 @@ type config = {
   repro_meta : (string * float) option;
       (** bench-circuit (name, scale) recorded inside repro files so
           [eraser repro] can re-instantiate the design *)
+  warmstart : bool;
+      (** capture the good trace once ({!Engine.Concurrent.capture}) and
+          warm-start every batch: batches are composed of
+          activation-sorted fault ids and each starts from the latest
+          good-state snapshot at or before its earliest fault activation,
+          replaying recorded good writes instead of re-simulating the good
+          network. Verdicts, detection cycles and the final report are
+          byte-identical to a cold run at any [jobs]; only the redundancy
+          counters change ([bn_good] drops to zero per batch,
+          [good_cycles_skipped] counts the skipped prefixes). Concurrent
+          engines only — [Ifsim]/[Vfsim] ignore the flag. A warm journal
+          records a ["warmstart"] header field, so it can never be resumed
+          by a cold campaign (the decompositions differ). Off by
+          default. *)
+  snapshot_every : int option;
+      (** snapshot interval for the warm-start capture, in cycles
+          ([None]: [max 8 (cycles / 16)]). Smaller intervals skip dead
+          prefixes more precisely at a linear memory cost. *)
 }
 
 (** Eraser engine, batches of 64, no watchdog, no journal, no sampling. *)
@@ -151,6 +169,8 @@ type summary = {
           undetected in [result] and must not be trusted *)
   repros : string list;
       (** repro file names written into [repro_dir], in batch order *)
+  capture_bytes : int;
+      (** heap footprint of the good-trace capture (0 on a cold run) *)
 }
 
 (** Run (or resume) a campaign. Raises {!Campaign_error} only — engine-level

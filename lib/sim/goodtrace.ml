@@ -1,0 +1,419 @@
+type i64a = State.i64a
+
+(* Event stream encoding (opcodes in [code], payloads in [vals], the two
+   consumed in lockstep):
+
+     0  input       [0; id]                                   vals: v
+     1  assign      [1; pos; target]                          vals: v
+     2  comb proc   [2; pos; pid; nw; nrec;
+                     w_id * nw; choice * nrec]                vals: w_v * nw
+     3  ff proc     [3; pid; nw; nmw; nrec;
+                     w_id * nw; (mem, addr) * nmw;
+                     choice * nrec]                           vals: w_v * nw;
+                                                                    mw_v * nmw
+     4  step        [4]
+
+   Branch choices are stored only for decision nodes, in ascending CFG
+   node id order — the canonical order both capture and replay derive
+   independently from the compiled process. *)
+
+type t = {
+  cycles : int;
+  clock : int;
+  nout : int;
+  code : int array;
+  vals : i64a;
+  cycle_code : int array;
+  cycle_vals : int array;
+  outputs : i64a;
+  snapshots : (int * State.t) array;
+  snapshot_every : int;
+  capture_bytes : int;
+}
+
+exception Trace_mismatch of string
+
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Trace_mismatch s)) fmt
+
+let ba n : i64a =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+  Bigarray.Array1.fill a 0L;
+  a
+
+(* ---- capture ---- *)
+
+type builder = {
+  b_cycles : int;
+  b_clock : int;
+  b_nout : int;
+  b_k : int;
+  mutable b_code : int array;
+  mutable b_clen : int;
+  mutable b_vals : int64 array;
+  mutable b_vlen : int;
+  b_cycle_code : int array;
+  b_cycle_vals : int array;
+  b_outputs : i64a;
+  mutable b_snaps : (int * State.t) list;  (* descending; reversed at finish *)
+  mutable b_cycle : int;
+  mutable b_init_done : bool;
+}
+
+let builder ~cycles ~clock ~nout ~snapshot_every =
+  if cycles < 0 then mismatch "negative cycle count %d" cycles;
+  if snapshot_every < 1 then
+    mismatch "snapshot interval must be positive, got %d" snapshot_every;
+  {
+    b_cycles = cycles;
+    b_clock = clock;
+    b_nout = nout;
+    b_k = snapshot_every;
+    b_code = Array.make 1024 0;
+    b_clen = 0;
+    b_vals = Array.make 256 0L;
+    b_vlen = 0;
+    b_cycle_code = Array.make (cycles + 1) 0;
+    b_cycle_vals = Array.make (cycles + 1) 0;
+    b_outputs = ba (cycles * nout);
+    b_snaps = [];
+    b_cycle = 0;
+    b_init_done = false;
+  }
+
+let push_code b x =
+  if b.b_clen = Array.length b.b_code then begin
+    let a = Array.make (2 * b.b_clen) 0 in
+    Array.blit b.b_code 0 a 0 b.b_clen;
+    b.b_code <- a
+  end;
+  b.b_code.(b.b_clen) <- x;
+  b.b_clen <- b.b_clen + 1
+
+let push_val b x =
+  if b.b_vlen = Array.length b.b_vals then begin
+    let a = Array.make (2 * b.b_vlen) 0L in
+    Array.blit b.b_vals 0 a 0 b.b_vlen;
+    b.b_vals <- a
+  end;
+  b.b_vals.(b.b_vlen) <- x;
+  b.b_vlen <- b.b_vlen + 1
+
+let rec_input b id v =
+  push_code b 0;
+  push_code b id;
+  push_val b v
+
+let rec_step b = push_code b 4
+
+let rec_assign b ~pos ~target v =
+  push_code b 1;
+  push_code b pos;
+  push_code b target;
+  push_val b v
+
+let rec_comb_proc b ~pos ~pid ~writes ~choices =
+  push_code b 2;
+  push_code b pos;
+  push_code b pid;
+  push_code b (List.length writes);
+  push_code b (Array.length choices);
+  List.iter (fun (id, _) -> push_code b id) writes;
+  Array.iter (fun c -> push_code b c) choices;
+  List.iter (fun (_, v) -> push_val b v) writes
+
+let rec_ff_proc b ~pid ~writes ~mem_writes ~choices =
+  push_code b 3;
+  push_code b pid;
+  push_code b (List.length writes);
+  push_code b (List.length mem_writes);
+  push_code b (Array.length choices);
+  List.iter (fun (id, _) -> push_code b id) writes;
+  List.iter
+    (fun (m, a, _) ->
+      push_code b m;
+      push_code b a)
+    mem_writes;
+  Array.iter (fun c -> push_code b c) choices;
+  List.iter (fun (_, v) -> push_val b v) writes;
+  List.iter (fun (_, _, v) -> push_val b v) mem_writes
+
+let rec_init_done b =
+  if b.b_init_done then mismatch "init recorded twice";
+  b.b_cycle_code.(0) <- b.b_clen;
+  b.b_cycle_vals.(0) <- b.b_vlen;
+  b.b_init_done <- true
+
+let rec_cycle_done b ~outputs ~state =
+  if not b.b_init_done then mismatch "cycle recorded before init";
+  let c = b.b_cycle in
+  if c >= b.b_cycles then
+    mismatch "capture ran past the declared %d cycles" b.b_cycles;
+  if Array.length outputs <> b.b_nout then
+    mismatch "output vector has %d ports, trace declares %d"
+      (Array.length outputs) b.b_nout;
+  for i = 0 to b.b_nout - 1 do
+    Bigarray.Array1.set b.b_outputs ((c * b.b_nout) + i) outputs.(i)
+  done;
+  let c1 = c + 1 in
+  b.b_cycle_code.(c1) <- b.b_clen;
+  b.b_cycle_vals.(c1) <- b.b_vlen;
+  if c1 = b.b_cycles || c1 mod b.b_k = 0 then
+    b.b_snaps <- (c1, State.copy state) :: b.b_snaps;
+  b.b_cycle <- c1
+
+let state_bytes (s : State.t) = 8 * (s.State.nsig + State.mem_words s)
+
+let finish b =
+  if not b.b_init_done then mismatch "capture never finished initialising";
+  if b.b_cycle <> b.b_cycles then
+    mismatch "capture stopped after %d of %d cycles" b.b_cycle b.b_cycles;
+  let code = Array.sub b.b_code 0 b.b_clen in
+  let vals = ba b.b_vlen in
+  for i = 0 to b.b_vlen - 1 do
+    Bigarray.Array1.set vals i b.b_vals.(i)
+  done;
+  let snapshots = Array.of_list (List.rev b.b_snaps) in
+  let capture_bytes =
+    (8 * (b.b_clen + b.b_vlen + (b.b_cycles * b.b_nout)))
+    + (16 * (b.b_cycles + 1))
+    + Array.fold_left (fun acc (_, s) -> acc + state_bytes s) 0 snapshots
+  in
+  {
+    cycles = b.b_cycles;
+    clock = b.b_clock;
+    nout = b.b_nout;
+    code;
+    vals;
+    cycle_code = b.b_cycle_code;
+    cycle_vals = b.b_cycle_vals;
+    outputs = b.b_outputs;
+    snapshots;
+    snapshot_every = b.b_k;
+    capture_bytes;
+  }
+
+(* ---- replay ---- *)
+
+type cursor = { c_t : t; mutable c_code : int; mutable c_vals : int }
+
+let cursor t ~start =
+  if start < 0 || start > t.cycles then
+    mismatch "warm start cycle %d outside [0, %d]" start t.cycles;
+  if start = 0 then { c_t = t; c_code = 0; c_vals = 0 }
+  else
+    {
+      c_t = t;
+      c_code = t.cycle_code.(start);
+      c_vals = t.cycle_vals.(start);
+    }
+
+let expect cu kind what =
+  if cu.c_code >= Array.length cu.c_t.code then
+    mismatch "trace exhausted while expecting %s" what;
+  if cu.c_t.code.(cu.c_code) <> kind then
+    mismatch "expected %s, found event kind %d at offset %d" what
+      cu.c_t.code.(cu.c_code) cu.c_code
+
+let take_input cu =
+  let t = cu.c_t in
+  if cu.c_code < Array.length t.code && t.code.(cu.c_code) = 0 then begin
+    let id = t.code.(cu.c_code + 1) in
+    let v = Bigarray.Array1.get t.vals cu.c_vals in
+    cu.c_code <- cu.c_code + 2;
+    cu.c_vals <- cu.c_vals + 1;
+    Some (id, v)
+  end
+  else None
+
+let take_step cu =
+  expect cu 4 "a step marker";
+  cu.c_code <- cu.c_code + 1
+
+let take_assign cu ~pos =
+  expect cu 1 "a continuous-assign event";
+  let t = cu.c_t in
+  if t.code.(cu.c_code + 1) <> pos then
+    mismatch "assign event at comb position %d, replay is at %d"
+      t.code.(cu.c_code + 1) pos;
+  let v = Bigarray.Array1.get t.vals cu.c_vals in
+  cu.c_code <- cu.c_code + 3;
+  cu.c_vals <- cu.c_vals + 1;
+  v
+
+let take_comb_proc cu ~pos ~pid ~set_choice ~write =
+  expect cu 2 "a comb-process event";
+  let t = cu.c_t in
+  let i = cu.c_code in
+  if t.code.(i + 1) <> pos || t.code.(i + 2) <> pid then
+    mismatch "comb-process event (pos %d, pid %d), replay is at (%d, %d)"
+      t.code.(i + 1)
+      t.code.(i + 2)
+      pos pid;
+  let nw = t.code.(i + 3) and nrec = t.code.(i + 4) in
+  let wbase = i + 5 in
+  let rbase = wbase + nw in
+  for k = 0 to nrec - 1 do
+    set_choice k t.code.(rbase + k)
+  done;
+  let vb = cu.c_vals in
+  for j = 0 to nw - 1 do
+    write t.code.(wbase + j) (Bigarray.Array1.get t.vals (vb + j))
+  done;
+  cu.c_code <- rbase + nrec;
+  cu.c_vals <- vb + nw
+
+let take_ff_proc cu ~pid ~set_choice =
+  expect cu 3 "an ff-process event";
+  let t = cu.c_t in
+  let i = cu.c_code in
+  if t.code.(i + 1) <> pid then
+    mismatch "ff-process event for pid %d, replay fired pid %d"
+      t.code.(i + 1) pid;
+  let nw = t.code.(i + 2) and nmw = t.code.(i + 3) and nrec = t.code.(i + 4) in
+  let wbase = i + 5 in
+  let mbase = wbase + nw in
+  let rbase = mbase + (2 * nmw) in
+  for k = 0 to nrec - 1 do
+    set_choice k t.code.(rbase + k)
+  done;
+  let vb = cu.c_vals in
+  let writes = ref [] in
+  for j = nw - 1 downto 0 do
+    writes :=
+      (t.code.(wbase + j), Bigarray.Array1.get t.vals (vb + j)) :: !writes
+  done;
+  let mem_writes = ref [] in
+  for j = nmw - 1 downto 0 do
+    mem_writes :=
+      ( t.code.(mbase + (2 * j)),
+        t.code.(mbase + (2 * j) + 1),
+        Bigarray.Array1.get t.vals (vb + nw + j) )
+      :: !mem_writes
+  done;
+  cu.c_code <- rbase + nrec;
+  cu.c_vals <- vb + nw + nmw;
+  (!writes, !mem_writes)
+
+(* ---- snapshots ---- *)
+
+let snapshot_at t c =
+  let rec find i =
+    if i >= Array.length t.snapshots then
+      mismatch "no snapshot at cycle %d" c
+    else
+      let sc, s = t.snapshots.(i) in
+      if sc = c then s else find (i + 1)
+  in
+  find 0
+
+let start_for t ~activation =
+  let best = ref 0 in
+  Array.iter
+    (fun (c, _) -> if c <= activation && c > !best then best := c)
+    t.snapshots;
+  !best
+
+type warm = { trace : t; start : int }
+
+(* ---- activation windows ---- *)
+
+type site_kind = Stuck0 | Stuck1 | Transient of int
+type site = { s_signal : int; s_bit : int; s_kind : site_kind }
+
+(* One linear pass over the event stream, calling [f cycle id v] for every
+   recorded good signal write (memory writes carry no fault sites). The
+   init-settle prefix is attributed to cycle 0. *)
+let scan_writes t f =
+  let code = t.code and vals = t.vals in
+  let n = Array.length code in
+  let i = ref 0 and vi = ref 0 in
+  let k = ref 0 in
+  let cycle_of idx =
+    while !k < t.cycles && t.cycle_code.(!k + 1) <= idx do
+      incr k
+    done;
+    !k
+  in
+  while !i < n do
+    let cyc = cycle_of !i in
+    match code.(!i) with
+    | 0 ->
+        f cyc code.(!i + 1) (Bigarray.Array1.get vals !vi);
+        i := !i + 2;
+        incr vi
+    | 1 ->
+        f cyc code.(!i + 2) (Bigarray.Array1.get vals !vi);
+        i := !i + 3;
+        incr vi
+    | 2 ->
+        let nw = code.(!i + 3) and nrec = code.(!i + 4) in
+        for j = 0 to nw - 1 do
+          f cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
+        done;
+        i := !i + 5 + nw + nrec;
+        vi := !vi + nw
+    | 3 ->
+        let nw = code.(!i + 2)
+        and nmw = code.(!i + 3)
+        and nrec = code.(!i + 4) in
+        for j = 0 to nw - 1 do
+          f cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
+        done;
+        i := !i + 5 + nw + (2 * nmw) + nrec;
+        vi := !vi + nw + nmw
+    | 4 -> incr i
+    | other -> mismatch "corrupt trace: opcode %d at offset %d" other !i
+  done
+
+let activations t ~comb_driven sites =
+  let n = Array.length sites in
+  let act = Array.make n t.cycles in
+  let by_sig : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let unresolved = ref 0 in
+  Array.iteri
+    (fun i s ->
+      match s.s_kind with
+      | Transient c -> act.(i) <- (if c < 0 then 0 else min c t.cycles)
+      | Stuck1 when not comb_driven.(s.s_signal) ->
+          (* the forced 1 differs from the pristine zero state and is
+             readable from the very first settle *)
+          act.(i) <- 0
+      | Stuck0 | Stuck1 -> (
+          incr unresolved;
+          match Hashtbl.find_opt by_sig s.s_signal with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add by_sig s.s_signal (ref [ i ])))
+    sites;
+  if !unresolved > 0 then (
+    try
+      scan_writes t (fun cyc id v ->
+          match Hashtbl.find_opt by_sig id with
+          | None -> ()
+          | Some l ->
+              l :=
+                List.filter
+                  (fun i ->
+                    let s = sites.(i) in
+                    let bit =
+                      Int64.to_int
+                        (Int64.logand
+                           (Int64.shift_right_logical v s.s_bit)
+                           1L)
+                    in
+                    let stuck =
+                      match s.s_kind with Stuck1 -> 1 | _ -> 0
+                    in
+                    if bit <> stuck then begin
+                      act.(i) <- cyc;
+                      decr unresolved;
+                      false
+                    end
+                    else true)
+                  !l;
+              if !unresolved = 0 then raise Exit)
+    with Exit -> ());
+  act
+
+let output_row t c =
+  if c < 0 || c >= t.cycles then mismatch "output row %d out of range" c;
+  Array.init t.nout (fun i -> Bigarray.Array1.get t.outputs ((c * t.nout) + i))

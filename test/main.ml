@@ -22,4 +22,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
+      ("warmstart", Test_warmstart.suite);
     ]

@@ -98,6 +98,110 @@ let test_verdict_equivalence () =
         Alcotest.failf "verdicts differ between representations")
     styles
 
+(* ---- State.copy / State.blit ---- *)
+
+let state_equal (a : State.t) (b : State.t) =
+  let ok = ref (a.State.nsig = b.State.nsig) in
+  for i = 0 to a.State.nsig - 1 do
+    if State.get a i <> State.get b i then ok := false
+  done;
+  let words = State.mem_words a in
+  if words <> State.mem_words b then ok := false
+  else
+    for i = 0 to words - 1 do
+      if
+        Bigarray.Array1.get a.State.mem_v i
+        <> Bigarray.Array1.get b.State.mem_v i
+      then ok := false
+    done;
+  !ok
+
+let test_state_copy_blit () =
+  let c = Circuits.find "alu" in
+  let d, _, _, _ = Circuits.Bench_circuit.instantiate c ~scale:0.05 in
+  let st = State.create d in
+  for i = 0 to st.State.nsig - 1 do
+    State.set st i (Int64.of_int (i * 7))
+  done;
+  let snap = State.copy st in
+  check bool_t "copy equals source" true (state_equal st snap);
+  (* mutating the source must not leak into the copy *)
+  for i = 0 to st.State.nsig - 1 do
+    State.set st i 0xDEADL
+  done;
+  check bool_t "copy isolated from source" false (state_equal st snap);
+  check int_t "copy kept its value" 7 (Int64.to_int (State.get snap 1));
+  (* blit restores the source exactly *)
+  State.blit ~src:snap ~dst:st;
+  check bool_t "blit round-trips" true (state_equal st snap)
+
+(* Snapshot determinism at the engine level: capture the good trace, then
+   warm-restore at a mid snapshot and run to the end — verdicts and
+   detection cycles must equal the straight (cold) run, and both must
+   match the serial oracle under the flat AND boxed representations. *)
+let snapshot_determinism name =
+  let c = Circuits.find name in
+  let _, g, w, _ = Circuits.Bench_circuit.instantiate c ~scale:0.05 in
+  let w = { w with Faultsim.Workload.cycles = min w.cycles 60 } in
+  let config =
+    { Engine.Concurrent.default_config with mode = Engine.Concurrent.Full }
+  in
+  let trace = Engine.Concurrent.capture ~config g w in
+  let d = g.Rtlir.Elaborate.design in
+  let base =
+    Faultsim.Fault.generate_transients ~seed:0xCAFEL ~count:6
+      ~max_cycle:(w.Faultsim.Workload.cycles - 1) d
+  in
+  let late = w.Faultsim.Workload.cycles / 2 in
+  let faults =
+    Array.mapi
+      (fun i f ->
+        {
+          f with
+          Faultsim.Fault.stuck =
+            Faultsim.Fault.Flip_at
+              (late + (i mod (w.Faultsim.Workload.cycles - late)));
+        })
+      base
+  in
+  let acts = Engine.Concurrent.activations trace g faults in
+  let earliest = Array.fold_left min max_int acts in
+  let start = Sim.Goodtrace.start_for trace ~activation:earliest in
+  if start <= 0 then
+    Alcotest.failf "%s: expected a mid snapshot for activation %d" name
+      earliest;
+  let ids = Array.init (Array.length faults) (fun i -> i) in
+  let cold = Engine.Concurrent.run_batch ~config g w faults ~ids in
+  let warm =
+    Engine.Concurrent.run_batch ~config
+      ~goodtrace:{ Sim.Goodtrace.trace; start }
+      g w faults ~ids
+  in
+  let verdicts (r : Faultsim.Fault.result) =
+    (r.Faultsim.Fault.detected, r.Faultsim.Fault.detection_cycle)
+  in
+  if verdicts warm <> verdicts cold then
+    Alcotest.failf "%s: warm restore at cycle %d diverges from straight run"
+      name start;
+  List.iter
+    (fun repr ->
+      let oracle =
+        Baselines.Serial.run
+          ~config:
+            { Simulator.eval = Simulator.Closures;
+              scheduler = Simulator.Levelized;
+              repr }
+          g w faults
+      in
+      if verdicts oracle <> verdicts warm then
+        Alcotest.failf "%s: warm verdicts disagree with the %s serial oracle"
+          name
+          (match repr with Simulator.Flat -> "flat" | Simulator.Boxed -> "boxed"))
+    [ Simulator.Flat; Simulator.Boxed ]
+
+let test_snapshot_determinism_alu () = snapshot_determinism "alu"
+let test_snapshot_determinism_sha () = snapshot_determinism "sha256_hv"
+
 (* ---- diff store vs Hashtbl reference model ---- *)
 
 let test_diffstore_model () =
@@ -186,6 +290,12 @@ let suite =
       `Quick test_trace_equivalence;
     Alcotest.test_case "boxed and flat fault verdicts identical" `Quick
       test_verdict_equivalence;
+    Alcotest.test_case "State.copy and blit isolate and round-trip" `Quick
+      test_state_copy_blit;
+    Alcotest.test_case "snapshot restore equals straight run (alu)" `Quick
+      test_snapshot_determinism_alu;
+    Alcotest.test_case "snapshot restore equals straight run (sha256_hv)"
+      `Quick test_snapshot_determinism_sha;
     Alcotest.test_case "diffstore matches Hashtbl model" `Quick
       test_diffstore_model;
     Alcotest.test_case "counts store matches refcount model" `Quick
