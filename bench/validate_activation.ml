@@ -1,0 +1,64 @@
+(* Validate a BENCH_activation.json document (bench-smoke alias): parse it
+   back through Harness.Jsonl and check the schema plus the invariants the
+   cone-refined activation rule guarantees — refined windows sum at least
+   as high as the legacy rule's, the measured skipped prefix never drops
+   below the legacy replay's, at least one comb-heavy circuit strictly
+   improves on it, and warm verdicts equal cold everywhere. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_activation FILE"
+  in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "activation" then
+    fail "%s: not an activation document" path;
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  ignore (finite "scale" (J.get_float "scale" doc));
+  let circuits = J.get_list "circuits" doc in
+  if circuits = [] then fail "%s: no circuits" path;
+  let strict_gain = ref false in
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      if J.get_int "faults" c < 1 then fail "%s: no faults" name;
+      if J.get_int "cycles" c < 1 then fail "%s: no cycles" name;
+      if J.get_int "batches" c < 1 then fail "%s: no batches" name;
+      if J.get_int "statically_pruned" c < 0 then
+        fail "%s: negative pruned count" name;
+      let leg_win = J.get_int "legacy_window_sum" c in
+      let cone_win = J.get_int "cone_window_sum" c in
+      if leg_win < 0 then fail "%s: negative legacy window sum" name;
+      (* soundness: the refined rule only ever moves windows later *)
+      if cone_win < leg_win then
+        fail "%s: cone windows sum %d below legacy %d" name cone_win leg_win;
+      let leg_skip = J.get_int "legacy_cycles_skipped" c in
+      let cone_skip = J.get_int "good_cycles_skipped" c in
+      if leg_skip < 0 then fail "%s: negative legacy skip" name;
+      if cone_skip < leg_skip then
+        fail "%s: cone skipped %d cycles, legacy replay skipped %d" name
+          cone_skip leg_skip;
+      if cone_skip > leg_skip then strict_gain := true;
+      if finite "cold_wall_s" (J.get_float "cold_wall_s" c) < 0.0 then
+        fail "%s: negative cold wall" name;
+      if finite "cone_wall_s" (J.get_float "cone_wall_s" c) < 0.0 then
+        fail "%s: negative cone wall" name;
+      if not (J.get_bool "verdicts_equal" c) then
+        fail "%s: warm verdicts differ from cold" name)
+    circuits;
+  (* the headline claim: on at least one comb-heavy circuit the cone rule
+     skips strictly more good-network prefix than the legacy rule could *)
+  if not !strict_gain then
+    fail "%s: no circuit skipped strictly more cycles than the legacy rule"
+      path;
+  Printf.printf "bench-smoke: %s ok (%d circuits)\n" path
+    (List.length circuits)

@@ -220,12 +220,23 @@ let run_cmd =
           ~doc:
             "Capture the good network's trace once and warm-start every \
              batch from snapshots at each fault's activation window instead \
-             of re-simulating the good network. Verdicts are identical to \
-             the cold path. Concurrent engines only; ignored for ifsim and \
-             vfsim.")
+             of re-simulating the good network; faults the cone-of-influence \
+             analysis proves statically undetectable are reported without \
+             being simulated. Verdicts are identical to the cold path. \
+             Concurrent engines only; ignored for ifsim and vfsim.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot interval (cycles) for the $(b,--warmstart) capture; \
+             smaller intervals skip dead prefixes more precisely at a \
+             linear memory cost. Default: max(8, cycles/16).")
   in
   let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json
-      jobs warmstart trace metrics =
+      jobs warmstart snapshot_every trace metrics =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     if jobs < 1 then
@@ -237,7 +248,10 @@ let run_cmd =
     Format.printf "%s on %s: %d cycles, %d faults@."
       (H.Campaign.engine_name engine) c.name w.Workload.cycles
       (Array.length faults);
-    let r = H.Campaign.run ~instrument ~jobs ~warmstart engine g w faults in
+    let r =
+      H.Campaign.run ~instrument ~jobs ~warmstart ?snapshot_every engine g w
+        faults
+    in
     Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
       (Fault.count_detected r) (Array.length faults);
     Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
@@ -246,6 +260,9 @@ let run_cmd =
                    skip_implicit=%d@."
       s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
       s.Stats.bn_skipped_implicit;
+    if s.Stats.cone_pruned > 0 then
+      Format.printf "  cone       %d fault(s) statically pruned@."
+        s.Stats.cone_pruned;
     if instrument then
       Format.printf "  behavioral-node time %.0f%%@." (Stats.bn_time_pct s);
     let verdicts = Classify.classify g faults in
@@ -298,8 +315,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a fault-simulation campaign on one circuit.")
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
-      $ verify_arg $ json_arg $ jobs_arg $ warmstart_arg $ trace_arg
-      $ metrics_arg)
+      $ verify_arg $ json_arg $ jobs_arg $ warmstart_arg $ snapshot_every_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- campaign (resilient runner) --- *)
 
@@ -423,10 +440,20 @@ let campaign_cmd =
              and write it as $(i,repro-<fault>.json) into $(docv) (replay \
              with $(b,eraser repro)).")
   in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot interval (cycles) for the $(b,--warmstart) capture; \
+             smaller intervals skip dead prefixes more precisely at a \
+             linear memory cost. Default: max(8, cycles/16).")
+  in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json jobs warmstart verdicts_out trace metrics progress supervise
-      repro_dir =
+      inject json jobs warmstart snapshot_every verdicts_out trace metrics
+      progress supervise repro_dir =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
@@ -449,6 +476,7 @@ let campaign_cmd =
         repro_dir;
         repro_meta = Some (c.name, scale);
         warmstart;
+        snapshot_every;
       }
     in
     Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
@@ -471,6 +499,9 @@ let campaign_cmd =
         (List.length s.H.Resilient.failed_faults)
         (String.concat ", "
            (List.map string_of_int s.H.Resilient.failed_faults));
+    if s.H.Resilient.pruned_faults <> [] then
+      Format.printf "  cone       %d fault(s) statically pruned@."
+        (List.length s.H.Resilient.pruned_faults);
     List.iter
       (fun f -> Format.printf "  repro      %s@." f)
       s.H.Resilient.repros;
@@ -489,7 +520,9 @@ let campaign_cmd =
           (if d.H.Resilient.oracle_detected then "detected" else "live"))
       s.H.Resilient.divergences;
     Format.printf "  wall time  %.3f s@." r.Fault.wall_time;
-    if warmstart then
+    (* keyed off the summary, not the flag: --resume adopts the journal's
+       warm/cold regime, which may differ from this invocation's flags *)
+    if r.Fault.stats.Stats.goodtrace_captures > 0 then
       Format.printf "  warm-start %d good cycle(s) skipped, capture %d B@."
         r.Fault.stats.Stats.good_cycles_skipped s.H.Resilient.capture_bytes;
     (match json with
@@ -528,10 +561,12 @@ let campaign_cmd =
             "Capture the good network's trace once, then warm-start every \
              batch from the snapshot at its earliest fault activation and \
              replay the recorded good deltas instead of re-simulating the \
-             good network. Batches are regrouped by activation window; \
-             verdicts are identical to the cold path. Concurrent engines \
-             only; ignored for ifsim and vfsim. A warm journal cannot be \
-             resumed by a cold campaign (and vice versa).")
+             good network. Batches are regrouped by activation window and \
+             faults the cone-of-influence analysis proves statically \
+             undetectable are reported without being simulated; verdicts \
+             are identical to the cold path. Concurrent engines only; \
+             ignored for ifsim and vfsim. $(b,--resume) adopts the \
+             journal's own warm/cold regime regardless of this flag.")
   in
   let verdicts_arg =
     Arg.(
@@ -554,8 +589,9 @@ let campaign_cmd =
       const run $ circuit_arg $ engine_arg $ scale_arg $ batch_arg
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
-      $ json_arg $ jobs_arg $ warmstart_arg $ verdicts_arg $ trace_arg
-      $ metrics_arg $ progress_arg $ supervise_arg $ repro_dir_arg)
+      $ json_arg $ jobs_arg $ warmstart_arg $ snapshot_every_arg
+      $ verdicts_arg $ trace_arg $ metrics_arg $ progress_arg $ supervise_arg
+      $ repro_dir_arg)
 
 (* --- chaos --- *)
 

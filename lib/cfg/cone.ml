@@ -1,0 +1,211 @@
+open Rtlir
+
+type t = {
+  nsig : int;
+  stages : int array;
+  mem_stages : int array;
+  state_sig : bool array;
+  comb_sig : bool array;
+  self_read : bool array;
+  out_comb : bool array;
+  clock_comb : bool array;
+  nff : int;
+  ff_slot : int array;
+  ff_words : int;
+  ff_reach : int array;
+}
+
+let bits_per_word = 63
+
+let build (g : Elaborate.t) =
+  let d = g.Elaborate.design in
+  let nsig = Design.num_signals d in
+  let nmem = Array.length d.Design.mems in
+  let ncomb = Array.length g.comb_nodes in
+  let nff = Array.length g.ff_procs in
+  let nproc = Array.length d.Design.procs in
+  (* ---- direct per-signal classification ---- *)
+  let state_sig = Array.make nsig false in
+  Array.iter
+    (fun pid ->
+      Array.iter (fun s -> state_sig.(s) <- true) g.proc_nb_writes.(pid))
+    g.ff_procs;
+  let comb_sig = Array.make nsig false in
+  Array.iter
+    (fun ws -> Array.iter (fun s -> comb_sig.(s) <- true) ws)
+    g.comb_writes;
+  (* A comb process may read a wire it also writes (defaults-first
+     discipline, see {!Elaborate.build}): forcing such a signal at an
+     intermediate blocking write can steer the rest of the body even when
+     the final written value carries the stuck bit, so these sites are
+     excluded from the sampled activation rule. *)
+  let self_read = Array.make nsig false in
+  Array.iteri
+    (fun pos _ ->
+      Array.iter
+        (fun w ->
+          if Array.exists (fun r -> r = w) g.comb_reads.(pos) then
+            self_read.(w) <- true)
+        g.comb_writes.(pos))
+    g.comb_nodes;
+  (* ---- backward combinational closures ----
+     Combinational nodes are in topological order (readers after writers),
+     so one reverse sweep propagates a flag from writes to reads until
+     fixpoint. Memories never carry these closures: validation forbids
+     combinational memory writes, so a comb path cannot pass through one. *)
+  let backward seed =
+    let flag = Array.make nsig false in
+    Array.iter (fun s -> flag.(s) <- true) seed;
+    for pos = ncomb - 1 downto 0 do
+      if Array.exists (fun w -> flag.(w)) g.comb_writes.(pos) then
+        Array.iter (fun r -> flag.(r) <- true) g.comb_reads.(pos)
+    done;
+    flag
+  in
+  let out_comb = backward g.outputs in
+  let clock_comb = backward g.clocks in
+  (* ---- per-ff combinational reachability (bitset rows) ---- *)
+  let ff_slot = Array.make nproc (-1) in
+  Array.iteri (fun k pid -> ff_slot.(pid) <- k) g.ff_procs;
+  let ff_words =
+    if nff = 0 then 1 else (nff + bits_per_word - 1) / bits_per_word
+  in
+  let ff_reach = Array.make (nsig * ff_words) 0 in
+  let set_bit s k =
+    let i = (s * ff_words) + (k / bits_per_word) in
+    ff_reach.(i) <- ff_reach.(i) lor (1 lsl (k mod bits_per_word))
+  in
+  Array.iteri
+    (fun k pid ->
+      Array.iter (fun r -> set_bit r k) g.proc_reads.(pid);
+      match d.Design.procs.(pid).Design.trigger with
+      | Design.Edges es -> List.iter (fun (_, c) -> set_bit c k) es
+      | Design.Comb -> ())
+    g.ff_procs;
+  let scratch = Array.make ff_words 0 in
+  for pos = ncomb - 1 downto 0 do
+    Array.fill scratch 0 ff_words 0;
+    let any = ref false in
+    Array.iter
+      (fun w ->
+        let b = w * ff_words in
+        for i = 0 to ff_words - 1 do
+          let v = ff_reach.(b + i) in
+          if v <> 0 then begin
+            any := true;
+            scratch.(i) <- scratch.(i) lor v
+          end
+        done)
+      g.comb_writes.(pos);
+    if !any then
+      Array.iter
+        (fun r ->
+          let b = r * ff_words in
+          for i = 0 to ff_words - 1 do
+            ff_reach.(b + i) <- ff_reach.(b + i) lor scratch.(i)
+          done)
+        g.comb_reads.(pos)
+  done;
+  (* ---- minimum register stages to the nearest output ----
+     0-1 BFS backward from the outputs over a node space of signals,
+     memories, combinational positions and edge-triggered processes.
+     Combinational edges cost 0; crossing a register (an edge-triggered
+     process to its nonblocking / memory-write targets) costs 1. Clock
+     signals feed their processes at cost 0 so clock-gating paths count
+     the same stage as the data they gate. *)
+  let snode s = s in
+  let mnode m = nsig + m in
+  let pnode pos = nsig + nmem + pos in
+  let fnode k = nsig + nmem + ncomb + k in
+  let nnode = nsig + nmem + ncomb + nff in
+  (* [radj.(x)] lists [(y, w)] for every forward edge [y -> x] of weight
+     [w], i.e. the predecessors consulted when relaxing backward from x. *)
+  let radj = Array.make nnode [] in
+  let add_pred x y w = radj.(x) <- (y, w) :: radj.(x) in
+  Array.iteri
+    (fun pos _ ->
+      Array.iter (fun r -> add_pred (pnode pos) (snode r) 0) g.comb_reads.(pos);
+      Array.iter
+        (fun m -> add_pred (pnode pos) (mnode m) 0)
+        g.comb_read_mems.(pos);
+      Array.iter (fun w -> add_pred (snode w) (pnode pos) 0) g.comb_writes.(pos))
+    g.comb_nodes;
+  Array.iteri
+    (fun k pid ->
+      Array.iter (fun r -> add_pred (fnode k) (snode r) 0) g.proc_reads.(pid);
+      Array.iter
+        (fun m -> add_pred (fnode k) (mnode m) 0)
+        g.proc_read_mems.(pid);
+      (match d.Design.procs.(pid).Design.trigger with
+      | Design.Edges es -> List.iter (fun (_, c) -> add_pred (fnode k) (snode c) 0) es
+      | Design.Comb -> ());
+      Array.iter
+        (fun w -> add_pred (snode w) (fnode k) 1)
+        g.proc_nb_writes.(pid);
+      Array.iter
+        (fun m -> add_pred (mnode m) (fnode k) 1)
+        g.proc_write_mems.(pid))
+    g.ff_procs;
+  let dist = Array.make nnode max_int in
+  let next = ref [] in
+  Array.iter
+    (fun o ->
+      if dist.(snode o) = max_int then begin
+        dist.(snode o) <- 0;
+        next := snode o :: !next
+      end)
+    g.outputs;
+  let level = ref 0 in
+  while !next <> [] do
+    let stack = ref !next in
+    next := [];
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: tl ->
+          stack := tl;
+          (* stale deque entries: the node was reached cheaper via a
+             0-weight edge at an earlier level *)
+          if dist.(x) = !level then
+            List.iter
+              (fun (y, w) ->
+                let nd = !level + w in
+                if nd < dist.(y) then begin
+                  dist.(y) <- nd;
+                  if w = 0 then stack := y :: !stack else next := y :: !next
+                end)
+              radj.(x)
+    done;
+    incr level
+  done;
+  let stages =
+    Array.init nsig (fun s ->
+        if dist.(snode s) = max_int then -1 else dist.(snode s))
+  in
+  let mem_stages =
+    Array.init nmem (fun m ->
+        if dist.(mnode m) = max_int then -1 else dist.(mnode m))
+  in
+  {
+    nsig;
+    stages;
+    mem_stages;
+    state_sig;
+    comb_sig;
+    self_read;
+    out_comb;
+    clock_comb;
+    nff;
+    ff_slot;
+    ff_words;
+    ff_reach;
+  }
+
+let observable t s = t.stages.(s) >= 0
+
+let reaches_ff t ~signal ~pid =
+  let k = t.ff_slot.(pid) in
+  k >= 0
+  && t.ff_reach.((signal * t.ff_words) + (k / bits_per_word))
+     land (1 lsl (k mod bits_per_word))
+     <> 0

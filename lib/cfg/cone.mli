@@ -1,0 +1,60 @@
+(** Static cone-of-influence analysis over the elaborated RTL graph.
+
+    Answers, per signal, two structural questions that the dynamic engines
+    cannot afford to rediscover per fault:
+
+    - can a value change on this signal ever reach an observation point
+      (a design output), through any mix of combinational logic, register
+      stages, memories and clock (edge-sensitivity) paths?
+    - how many register stages sit between the signal and its nearest
+      output (the minimum over all structural paths)?
+
+    The analysis is purely structural: it follows read/write edges of the
+    elaborated graph and never looks at values, so it is a sound
+    over-approximation — [observable c s = false] proves the signal can
+    never influence an output, while [true] only means a path exists.
+
+    It additionally classifies each signal for the refined activation rule
+    in {!Sim.Goodtrace}:
+
+    - [state_sig]: target of a nonblocking write (sequential state);
+    - [comb_sig]: driven by a continuous assign or combinational process;
+    - [out_comb]: combinationally reaches a design output (zero stages);
+    - [clock_comb]: combinationally reaches a signal used in an edge
+      sensitivity list (so a diff here can create or suppress clock edges);
+    - [reaches_ff]: combinationally reaches the read set of a given
+      edge-triggered process (so a diff here can be latched when that
+      process fires). *)
+
+type t = {
+  nsig : int;
+  stages : int array;
+      (** per signal: minimum register stages to the nearest design output,
+          0 for combinational paths; [-1] when no path exists at all *)
+  mem_stages : int array;  (** same, per memory (writes count one stage) *)
+  state_sig : bool array;  (** per signal: nonblocking-write target *)
+  comb_sig : bool array;  (** per signal: combinationally driven *)
+  self_read : bool array;
+      (** per signal: some combinational process both writes and reads it
+          (defaults-first idiom), so forcing an intermediate write can
+          steer the rest of that body *)
+  out_comb : bool array;  (** per signal: comb path to a design output *)
+  clock_comb : bool array;  (** per signal: comb path to a clock signal *)
+  nff : int;  (** number of edge-triggered processes *)
+  ff_slot : int array;  (** per proc id: dense ff index, or [-1] *)
+  ff_words : int;  (** words per [ff_reach] row *)
+  ff_reach : int array;
+      (** [nsig * ff_words] bitset: signal [s] comb-reaches the read set of
+          the ff with slot [k] iff bit [k] of row [s] is set *)
+}
+
+val build : Rtlir.Elaborate.t -> t
+
+(** [observable c s] — some structural path from signal [s] reaches a
+    design output. [false] proves the fault site statically undetectable. *)
+val observable : t -> int -> bool
+
+(** [reaches_ff c ~signal ~pid] — [signal] combinationally reaches the read
+    set (body reads, memory-read addresses or trigger clocks) of
+    edge-triggered process [pid]. *)
+val reaches_ff : t -> signal:int -> pid:int -> bool

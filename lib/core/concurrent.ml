@@ -404,9 +404,17 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
     let r = record.(pid) in
     Array.map (fun i -> r.(i)) (decision_ids_of pid)
   in
+  (* [record.(pid)] only reflects the good network's latest branch choices
+     once the proc has executed (or been replayed) in THIS run. A warm
+     start restores state from a snapshot without replaying history, so a
+     comb proc can become fault-dirty before its first replayed good
+     event: until then its record is unset and the implicit-redundancy
+     walk must not consult it. *)
+  let record_valid = Array.make nproc false in
   let restore_choices pid =
     let r = record.(pid) in
     let ids = decision_ids_of pid in
+    record_valid.(pid) <- true;
     fun k c -> r.(ids.(k)) <- c
   in
   let comb_kinds =
@@ -599,6 +607,7 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
                 if tracing then Obs.Trace.span_begin "good_sim" else 0
               in
               cap_ws := [];
+              record_valid.(p.pid) <- true;
               Compile.exec_i p.cp ~record:record.(p.pid) good_reader
                 comb_capture_writer;
               if tracing then Obs.Trace.span_end "good_sim" gs_t0;
@@ -609,6 +618,7 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
               let gs_t0 =
                 if tracing then Obs.Trace.span_begin "good_sim" else 0
               in
+              record_valid.(p.pid) <- true;
               Compile.exec_i p.cp ~record:record.(p.pid) good_reader
                 comb_good_writer;
               if tracing then Obs.Trace.span_end "good_sim" gs_t0
@@ -649,6 +659,7 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
                     &&
                     if
                       (not (site_on_target f))
+                      && record_valid.(p.pid)
                       && walk_redundant p.cp record.(p.pid)
                     then begin
                       incr implicit;
@@ -794,6 +805,7 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
                 let gs_t0 =
                   if tracing then Obs.Trace.span_begin "good_sim" else 0
                 in
+                record_valid.(pid) <- true;
                 Compile.exec_i cp ~record:record.(pid) good_reader
                   ff_good_writer;
                 if tracing then Obs.Trace.span_end "good_sim" gs_t0;
@@ -1010,13 +1022,18 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
   (* ---- initialisation ---- *)
   (if warm_start > 0 then begin
      (* Warm start: restore the good state from the snapshot and inject.
-        Every fault in this batch activates at or after [warm_start], so
-        the injections are provably no-ops — the forced values equal the
-        restored good values. The comb network is settled by construction
-        (the snapshot was taken at a cycle boundary), so the dirty flags
-        stay clean and no settle runs. Both guards below are internal
-        invariants of the activation computation; tripping one means the
-        caller batched a fault before its activation window. *)
+        Every fault in this batch activates at or after [warm_start].
+        Under the cone-refined activation rule that no longer means the
+        injections are no-ops: a combinationally recomputed site may
+        legitimately carry a live diff here (its forced bit differs from
+        the good value without having reached any register, memory or
+        output yet). [set_diff] marks the fault fanout dirty, so the
+        settle inside the first [step ()] rebuilds the downstream comb
+        diffs before any edge detection, latch or observation runs. What
+        MUST still be empty is every diff on a state-holding signal: a
+        diff there persists by itself, so one surviving the injection
+        means the caller batched a fault before its activation window.
+        The transient guard below is the same invariant for [Flip_at]. *)
      (match goodtrace with
      | Some { Goodtrace.trace; start } ->
          State.blit ~src:(Goodtrace.snapshot_at trace start) ~dst:st
@@ -1035,14 +1052,19 @@ let run_gmode ?(config = default_config) ?probe ?goodtrace ~capture_into
              set_diff f.signal f.fid
                (Fault.force_i64 f (State.get st f.signal)))
        faults;
+     let is_state = Array.make (Array.length diffs) false in
+     Array.iter
+       (fun pid ->
+         Array.iter (fun id -> is_state.(id) <- true) g.proc_nb_writes.(pid))
+       g.ff_procs;
      Array.iteri
        (fun id tbl ->
-         if not (Diffstore.is_empty tbl) then
+         if is_state.(id) && not (Diffstore.is_empty tbl) then
            raise
              (Goodtrace.Trace_mismatch
                 (Printf.sprintf
-                   "fault on signal %d active before warm-start cycle %d" id
-                   warm_start)))
+                   "state fault on signal %d active before warm-start cycle \
+                    %d" id warm_start)))
        diffs
    end
    else begin
@@ -1236,7 +1258,7 @@ let capture ?config ?snapshot_every ?instance:existing (g : Elaborate.t)
 (* Signals driven by the comb network (continuous assigns and comb-process
    blocking writes): their pristine zero values are swept during the init
    settle before any topo-later reader can observe them, which is what
-   makes the activation rule in {!Goodtrace.activations} sound. *)
+   makes the conservative rule in {!Goodtrace.first_divergence} sound. *)
 let comb_driven (g : Elaborate.t) =
   let driven = Array.make (Design.num_signals g.Elaborate.design) false in
   Array.iter
@@ -1244,19 +1266,30 @@ let comb_driven (g : Elaborate.t) =
     g.Elaborate.comb_writes;
   driven
 
-let activations trace (g : Elaborate.t) faults =
-  let sites =
-    Array.map
-      (fun (f : Fault.t) ->
-        {
-          Goodtrace.s_signal = f.signal;
-          s_bit = f.bit;
-          s_kind =
-            (match f.stuck with
-            | Fault.Stuck_at_0 -> Goodtrace.Stuck0
-            | Fault.Stuck_at_1 -> Goodtrace.Stuck1
-            | Fault.Flip_at c -> Goodtrace.Transient c);
-        })
-      faults
-  in
-  Goodtrace.activations trace ~comb_driven:(comb_driven g) sites
+let sites_of faults =
+  Array.map
+    (fun (f : Fault.t) ->
+      {
+        Goodtrace.s_signal = f.signal;
+        s_bit = f.bit;
+        s_kind =
+          (match f.stuck with
+          | Fault.Stuck_at_0 -> Goodtrace.Stuck0
+          | Fault.Stuck_at_1 -> Goodtrace.Stuck1
+          | Fault.Flip_at c -> Goodtrace.Transient c);
+      })
+    faults
+
+let legacy_activations trace (g : Elaborate.t) faults =
+  Goodtrace.first_divergence trace ~comb_driven:(comb_driven g)
+    (sites_of faults)
+
+let activations ?cone trace (g : Elaborate.t) faults =
+  let cone = match cone with Some c -> c | None -> Cone.build g in
+  Goodtrace.activations trace ~cone (sites_of faults)
+
+let statically_undetectable ?cone (g : Elaborate.t) faults =
+  let cone = match cone with Some c -> c | None -> Cone.build g in
+  Array.map
+    (fun (f : Fault.t) -> not (Cone.observable cone f.signal))
+    faults

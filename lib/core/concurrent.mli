@@ -144,9 +144,27 @@ val capture :
   Sim.Goodtrace.t
 
 (** [activations trace g faults] is each fault's activation window start:
-    the first cycle its injection can make the faulty network diverge from
-    the good one (see {!Sim.Goodtrace.activations}). A batch whose faults
-    all activate at or after cycle [a] can warm-start from
+    the first cycle its injection can make the faulty network persistently
+    or observably diverge from the good one, under the cone-refined rule
+    (see {!Sim.Goodtrace.activations} and {!Flow.Cone}). A batch whose
+    faults all activate at or after cycle [a] can warm-start from
     [Sim.Goodtrace.start_for trace ~activation:a] with verdicts provably
-    unchanged. *)
-val activations : Sim.Goodtrace.t -> Elaborate.t -> Fault.t array -> int array
+    unchanged. [?cone] reuses a prebuilt analysis instead of rebuilding
+    one per call. *)
+val activations :
+  ?cone:Flow.Cone.t -> Sim.Goodtrace.t -> Elaborate.t -> Fault.t array ->
+  int array
+
+(** The pre-cone conservative rule ({!Sim.Goodtrace.first_divergence}):
+    first cycle the forced bit differs from a recorded good value at all.
+    Kept as the baseline the activation bench compares against. *)
+val legacy_activations :
+  Sim.Goodtrace.t -> Elaborate.t -> Fault.t array -> int array
+
+(** [statically_undetectable g faults] flags faults whose site signal has
+    no structural path to any design output ({!Flow.Cone.observable} is
+    false): no input stimulus can ever expose them, so a campaign may
+    skip simulating them entirely and report the verdict (undetected)
+    without running a single cycle. *)
+val statically_undetectable :
+  ?cone:Flow.Cone.t -> Elaborate.t -> Fault.t array -> bool array

@@ -68,66 +68,13 @@ let constants (g : Elaborate.t) =
   done;
   consts
 
-(* Reverse reachability from the outputs over the structural dependency
-   graph. Nodes are signals plus memories (offset by the signal count). *)
+(* Reverse reachability from the outputs, delegated to the shared
+   cone-of-influence analysis: a signal is observable iff some structural
+   path (combinational logic, register stages, memories or clock
+   sensitivity) reaches a design output. *)
 let observable (g : Elaborate.t) =
-  let d = g.design in
-  let nsig = Design.num_signals d in
-  let nmem = Array.length d.mems in
-  let n = nsig + nmem in
-  (* deps.(x) = nodes that x structurally influences *)
-  let influences = Array.make n [] in
-  let add_edge src dst = influences.(src) <- dst :: influences.(src) in
-  Array.iter
-    (fun (a : Design.assign) ->
-      List.iter (fun r -> add_edge r a.target) (Expr.read_signals a.expr);
-      List.iter (fun m -> add_edge (nsig + m) a.target) (Expr.read_mems a.expr))
-    d.assigns;
-  Array.iter
-    (fun (p : Design.proc) ->
-      let srcs =
-        Stmt.read_signals p.body
-        @ (match p.trigger with
-          | Design.Comb -> []
-          | Design.Edges edges -> List.map snd edges)
-      in
-      let mem_srcs = Stmt.read_mems p.body in
-      let sig_dsts = Stmt.write_signals p.body in
-      let mem_dsts = List.map (fun m -> nsig + m) (Stmt.write_mems p.body) in
-      List.iter
-        (fun src ->
-          List.iter (add_edge src) sig_dsts;
-          List.iter (add_edge src) mem_dsts)
-        srcs;
-      List.iter
-        (fun m ->
-          List.iter (add_edge (nsig + m)) sig_dsts;
-          List.iter (add_edge (nsig + m)) mem_dsts)
-        mem_srcs)
-    d.procs;
-  (* backward BFS from outputs *)
-  let reaches_output = Array.make n false in
-  let preds = Array.make n [] in
-  Array.iteri
-    (fun src dsts -> List.iter (fun dst -> preds.(dst) <- src :: preds.(dst)) dsts)
-    influences;
-  let queue = Queue.create () in
-  List.iter
-    (fun o ->
-      reaches_output.(o) <- true;
-      Queue.push o queue)
-    d.outputs;
-  while not (Queue.is_empty queue) do
-    let x = Queue.pop queue in
-    List.iter
-      (fun p ->
-        if not reaches_output.(p) then begin
-          reaches_output.(p) <- true;
-          Queue.push p queue
-        end)
-      preds.(x)
-  done;
-  reaches_output
+  let cone = Flow.Cone.build g in
+  Array.init cone.Flow.Cone.nsig (Flow.Cone.observable cone)
 
 let classify (g : Elaborate.t) faults =
   let consts = constants g in

@@ -14,6 +14,7 @@ type t = {
   mutable rtl_fault_eval : int;
   mutable good_cycles_skipped : int;
   mutable goodtrace_captures : int;
+  mutable cone_pruned : int;
   mutable bn_seconds : float;
   mutable cpu_seconds : float;
   mutable total_seconds : float;
@@ -47,6 +48,7 @@ let create () =
     rtl_fault_eval = 0;
     good_cycles_skipped = 0;
     goodtrace_captures = 0;
+    cone_pruned = 0;
     bn_seconds = 0.0;
     cpu_seconds = 0.0;
     total_seconds = 0.0;
@@ -124,6 +126,7 @@ let add a b =
     rtl_fault_eval = a.rtl_fault_eval + b.rtl_fault_eval;
     good_cycles_skipped = a.good_cycles_skipped + b.good_cycles_skipped;
     goodtrace_captures = a.goodtrace_captures + b.goodtrace_captures;
+    cone_pruned = a.cone_pruned + b.cone_pruned;
     bn_seconds = a.bn_seconds +. b.bn_seconds;
     cpu_seconds = a.cpu_seconds +. b.cpu_seconds;
     total_seconds = Float.max a.total_seconds b.total_seconds;

@@ -31,6 +31,9 @@ type t = {
   mutable goodtrace_captures : int;
       (** good-trace capture runs behind this result (0 on the cold path;
           campaigns set 1 — the capture is shared by every batch) *)
+  mutable cone_pruned : int;
+      (** faults never simulated because the cone-of-influence analysis
+          proved their site has no structural path to any output *)
   mutable bn_seconds : float;
       (** CPU time inside behavioral execution, summed across workers
           (only when instrumented) *)

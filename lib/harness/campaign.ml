@@ -86,29 +86,41 @@ let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
     merge_chunks ~t0 ~n chunks results
   end
 
-(* Warm-started campaign: capture the good trace once, sort fault ids by
-   activation window so each chunk's faults share a dead prefix, and start
-   every chunk from the latest snapshot at or before its earliest
-   activation. Verdicts are identical to the cold run's — before its
-   activation cycle a fault's network is bit-identical to the good network
-   (see DESIGN.md section 13) — only the redundancy counters change
-   (bn_good and rtl_good_eval drop to zero for every batch). *)
-let run_warm ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+(* Warm-started campaign: capture the good trace once, compute the
+   cone-of-influence analysis, drop faults the cone proves statically
+   undetectable (their verdict — undetected — is known without simulating
+   a cycle), sort the remaining fault ids by activation window so each
+   chunk's faults share a dead prefix, and start every chunk from the
+   latest snapshot at or before its earliest activation. Verdicts are
+   identical to the cold run's — before its activation cycle a fault's
+   network is bit-identical to the good network (see DESIGN.md sections 13
+   and 14) — only the redundancy counters change (bn_good and
+   rtl_good_eval drop to zero for every batch, cone_pruned counts the
+   faults never simulated). *)
+let run_warm ~instrument ~jobs ?snapshot_every engine (g : Rtlir.Elaborate.t)
+    w faults =
   let open Faultsim in
   let t0 = Stats.now () in
   let n = Array.length faults in
   let config = config_of ~instrument engine in
-  let trace = Engine.Concurrent.capture ~config g w in
-  let acts = Engine.Concurrent.activations trace g faults in
-  let order = Array.init n (fun i -> i) in
+  let cone = Flow.Cone.build g in
+  let trace = Engine.Concurrent.capture ~config ?snapshot_every g w in
+  let acts = Engine.Concurrent.activations ~cone trace g faults in
+  let pruned = Engine.Concurrent.statically_undetectable ~cone g faults in
+  let order =
+    Array.of_list (List.filter (fun i -> not pruned.(i)) (List.init n Fun.id))
+  in
+  let npruned = n - Array.length order in
+  if npruned > 0 then Obs.Metrics.add "cone.pruned" npruned;
   Array.sort
     (fun a b ->
       match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
     order;
-  let k = min jobs n in
+  let nk = Array.length order in
+  let k = min jobs nk in
   let chunks =
     Array.init k (fun i ->
-        let lo = i * n / k and hi = (i + 1) * n / k in
+        let lo = i * nk / k and hi = (i + 1) * nk / k in
         Array.init (hi - lo) (fun j -> order.(lo + j)))
   in
   let warm_of ids =
@@ -130,23 +142,25 @@ let run_warm ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
           in
           Array.map Pool.await futures)
   in
+  (* pruned faults fall through to the merge defaults: undetected, -1 *)
   let r = merge_chunks ~t0 ~n chunks results in
   r.Fault.stats.Stats.goodtrace_captures <- 1;
+  r.Fault.stats.Stats.cone_pruned <- npruned;
   r
 
-let run ?(instrument = false) ?(jobs = 1) ?(warmstart = false) engine
-    (g : Rtlir.Elaborate.t) w faults =
+let run ?(instrument = false) ?(jobs = 1) ?(warmstart = false) ?snapshot_every
+    engine (g : Rtlir.Elaborate.t) w faults =
   if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
   match engine with
   | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
     when warmstart && Array.length faults > 0 ->
-      run_warm ~instrument ~jobs engine g w faults
+      run_warm ~instrument ~jobs ?snapshot_every engine g w faults
   | _ ->
       if jobs = 1 || Array.length faults = 0 then
         run_mono ~instrument engine g w faults
       else run_partitioned ~instrument ~jobs engine g w faults
 
-let run_circuit ?instrument ?jobs ?warmstart engine
+let run_circuit ?instrument ?jobs ?warmstart ?snapshot_every engine
     (c : Circuits.Bench_circuit.t) ~scale =
   let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
-  run ?instrument ?jobs ?warmstart engine g w faults
+  run ?instrument ?jobs ?warmstart ?snapshot_every engine g w faults

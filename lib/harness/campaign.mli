@@ -36,17 +36,22 @@ val concurrent_mode : engine -> Engine.Concurrent.mode
 
     [?warmstart] (default [false], concurrent engines only — the serial
     baselines ignore it) captures the good trace once
-    ({!Engine.Concurrent.capture}), sorts the fault list by activation
-    window ({!Engine.Concurrent.activations}) and warm-starts every chunk
-    from the latest good-state snapshot at or before its earliest
-    activation. Verdicts and detection cycles are identical to the cold
-    run for any [jobs]; [bn_good] and [rtl_good_eval] drop to zero for
-    every batch (the one capture run is counted in
-    [stats.goodtrace_captures]). *)
+    ({!Engine.Concurrent.capture}), drops faults the cone-of-influence
+    analysis proves statically undetectable (counted in
+    [stats.cone_pruned]; their verdict is reported undetected without
+    simulating them), sorts the remaining fault list by activation window
+    ({!Engine.Concurrent.activations}) and warm-starts every chunk from
+    the latest good-state snapshot at or before its earliest activation.
+    Verdicts and detection cycles are identical to the cold run for any
+    [jobs]; [bn_good] and [rtl_good_eval] drop to zero for every batch
+    (the one capture run is counted in [stats.goodtrace_captures]).
+    [?snapshot_every] overrides the capture's snapshot interval (see
+    {!Engine.Concurrent.capture}); it only affects warm-started runs. *)
 val run :
   ?instrument:bool ->
   ?jobs:int ->
   ?warmstart:bool ->
+  ?snapshot_every:int ->
   engine ->
   Rtlir.Elaborate.t ->
   Faultsim.Workload.t ->
@@ -58,6 +63,7 @@ val run_circuit :
   ?instrument:bool ->
   ?jobs:int ->
   ?warmstart:bool ->
+  ?snapshot_every:int ->
   engine ->
   Circuits.Bench_circuit.t ->
   scale:float ->

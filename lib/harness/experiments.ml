@@ -386,6 +386,127 @@ let warmstart_json ~scale rows =
       ("circuits", Jsonl.List (List.map row_json rows));
     ]
 
+type activation_row = {
+  act_name : string;
+  act_faults : int;
+  act_cycles : int;
+  act_batches : int;
+  act_pruned : int;
+  act_legacy_window_sum : int;
+  act_cone_window_sum : int;
+  act_legacy_skipped : int;
+  act_cone_skipped : int;
+  act_cold_wall : float;
+  act_cone_wall : float;
+  act_verdicts_equal : bool;
+}
+
+(* Comb-heavy circuits: the ones where the legacy first-divergence rule
+   pinned every comb-driven site to activation 0 and the cone-refined rule
+   has room to move windows later. *)
+let activation_names = [ "alu"; "fpu" ]
+
+(* Cone-refined activation benchmark (DESIGN.md §14): the same resilient
+   campaign cold and warm, plus an offline replay of the pre-cone (legacy
+   first-divergence) activation rule over the identical trace and batching
+   policy, so the JSON records exactly how many good-network prefix cycles
+   the cone analysis unlocked on top of what PR 6 could already skip. *)
+let activation ?(jobs = 4) ?(snapshot_every = 1) ~scale () =
+  List.map
+    (fun name ->
+      let c = Circuits.find name in
+      let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
+      let n = Array.length faults in
+      (* per-fault batches + a snapshot at every cycle: each fault then
+         skips exactly its own activation window, so the cone-vs-legacy
+         comparison is not flattened by batch minima or snapshot
+         alignment *)
+      let base =
+        {
+          Resilient.default_config with
+          Resilient.jobs;
+          batch_size = 1;
+          snapshot_every = Some snapshot_every;
+        }
+      in
+      let cold = Resilient.run ~config:base g w faults in
+      let warm =
+        Resilient.run ~config:{ base with Resilient.warmstart = true } g w
+          faults
+      in
+      (* offline replica of the runner's batching over a given activation
+         array: sort live ids by (window, id), cut into batch_size chunks,
+         and charge each chunk the snapshot-aligned prefix it replays past *)
+      let cone = Flow.Cone.build g in
+      let trace = Engine.Concurrent.capture ~snapshot_every g w in
+      let legacy = Engine.Concurrent.legacy_activations trace g faults in
+      let refined = Engine.Concurrent.activations ~cone trace g faults in
+      let skipped_under acts ids =
+        let order = Array.of_list ids in
+        Array.sort
+          (fun a b ->
+            match compare acts.(a) acts.(b) with 0 -> compare a b | d -> d)
+          order;
+        let nk = Array.length order in
+        let total = ref 0 in
+        let lo = ref 0 in
+        while !lo < nk do
+          let hi = min nk (!lo + base.Resilient.batch_size) in
+          let m = ref max_int in
+          for j = !lo to hi - 1 do
+            m := min !m acts.(order.(j))
+          done;
+          total := !total + Sim.Goodtrace.start_for trace ~activation:!m;
+          lo := hi
+        done;
+        !total
+      in
+      let all_ids = List.init n Fun.id in
+      let sum acts ids = List.fold_left (fun s i -> s + acts.(i)) 0 ids in
+      let cr = cold.Resilient.result and wr = warm.Resilient.result in
+      {
+        act_name = c.paper_name;
+        act_faults = n;
+        act_cycles = w.Workload.cycles;
+        act_batches = warm.Resilient.batches_total;
+        act_pruned = List.length warm.Resilient.pruned_faults;
+        act_legacy_window_sum = sum legacy all_ids;
+        act_cone_window_sum = sum refined all_ids;
+        act_legacy_skipped = skipped_under legacy all_ids;
+        act_cone_skipped = wr.Fault.stats.Stats.good_cycles_skipped;
+        act_cold_wall = cr.Fault.wall_time;
+        act_cone_wall = wr.Fault.wall_time;
+        act_verdicts_equal =
+          cr.Fault.detected = wr.Fault.detected
+          && cr.Fault.detection_cycle = wr.Fault.detection_cycle;
+      })
+    activation_names
+
+let activation_json ~scale rows =
+  let row_json r =
+    Jsonl.Obj
+      [
+        ("name", Jsonl.String r.act_name);
+        ("faults", Jsonl.Int r.act_faults);
+        ("cycles", Jsonl.Int r.act_cycles);
+        ("batches", Jsonl.Int r.act_batches);
+        ("statically_pruned", Jsonl.Int r.act_pruned);
+        ("legacy_window_sum", Jsonl.Int r.act_legacy_window_sum);
+        ("cone_window_sum", Jsonl.Int r.act_cone_window_sum);
+        ("legacy_cycles_skipped", Jsonl.Int r.act_legacy_skipped);
+        ("good_cycles_skipped", Jsonl.Int r.act_cone_skipped);
+        ("cold_wall_s", Jsonl.Float r.act_cold_wall);
+        ("cone_wall_s", Jsonl.Float r.act_cone_wall);
+        ("verdicts_equal", Jsonl.Bool r.act_verdicts_equal);
+      ]
+  in
+  Jsonl.Obj
+    [
+      ("experiment", Jsonl.String "activation");
+      ("scale", Jsonl.Float scale);
+      ("circuits", Jsonl.List (List.map row_json rows));
+    ]
+
 let mean_speedup rows ~num ~den =
   let log_sum, n =
     List.fold_left

@@ -138,6 +138,12 @@ let resilient ppf ~design ~engine ~faults ~verdicts (s : Resilient.summary) =
   Format.fprintf ppf "  \"batches\": %d,@." s.Resilient.batches_total;
   Format.fprintf ppf "  \"oracle_checked_batches\": %d,@."
     s.Resilient.oracle_checked;
+  (* emitted only when the cone analysis pruned something, so cold reports
+     keep their historical byte format (and cold-vs-resume stays
+     byte-identical: the pruned set is deterministic in the design) *)
+  if s.Resilient.pruned_faults <> [] then
+    Format.fprintf ppf "  \"statically_pruned\": %d,@."
+      (List.length s.Resilient.pruned_faults);
   Format.fprintf ppf
     "  \"stats\": { \"bn_good\": %d, \"bn_fault_exec\": %d, \
      \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \

@@ -164,6 +164,22 @@ let warmstart ppf rows =
         (if r.ws_verdicts_equal then "equal" else "DIFFER"))
     rows
 
+let activation ppf rows =
+  Format.fprintf ppf
+    "Cone activation: legacy vs cone-refined windows and skipped prefixes@.";
+  Format.fprintf ppf "  %-12s %7s %7s %8s %7s %10s %10s %9s %9s %8s@."
+    "Benchmark" "#Faults" "#Cycles" "#Batches" "pruned" "win(leg)" "win(cone)"
+    "skip(leg)" "skip(cone)" "verdicts";
+  List.iter
+    (fun (r : Experiments.activation_row) ->
+      Format.fprintf ppf
+        "  %-12s %7d %7d %8d %7d %10d %10d %9d %9d %8s@." r.act_name
+        r.act_faults r.act_cycles r.act_batches r.act_pruned
+        r.act_legacy_window_sum r.act_cone_window_sum r.act_legacy_skipped
+        r.act_cone_skipped
+        (if r.act_verdicts_equal then "equal" else "DIFFER"))
+    rows
+
 let resilience ppf rows =
   Format.fprintf ppf
     "Resilient runner: batched / resumed coverage parity and divergence \

@@ -101,6 +101,9 @@ type summary = {
   divergences : divergence list;
   quarantined : int list;
   failed_faults : int list;
+  pruned_faults : int list;
+      (* fault ids the cone analysis proved statically undetectable;
+         reported undetected without being simulated *)
   repros : string list;
   capture_bytes : int;
 }
@@ -136,9 +139,12 @@ let header_json ~design_name cfg (w : Workload.t) nfaults =
        ("sample_seed", Jsonl.String (Int64.to_string cfg.sample_seed));
      ]
     (* only present on warm campaigns: the batch decomposition is
-       activation-sorted there, so a warm journal must never be resumed by
-       a cold campaign (or vice versa) — the header mismatch catches it.
-       Cold journals keep their historical byte format. *)
+       activation-sorted there, so a warm journal is incompatible with a
+       cold campaign's decomposition (and vice versa). [run] reads this
+       flag back from an existing journal on resume and adopts it, so a
+       resume continues in the journal's own regime regardless of the
+       resuming invocation's [warmstart] flag. Cold journals keep their
+       historical byte format. *)
     @
     if cfg.warmstart then [ ("warmstart", Jsonl.Bool true) ] else [])
 
@@ -285,8 +291,12 @@ let empty_replay =
    collect the completed batch records. A torn final line and an
    unparseable final record (the crash window the journal exists to
    survive) are dropped; any other malformed line or a parameter mismatch
-   is a {!Journal_corrupt} error. *)
-let load_journal path ~expected_header ~expected_ids =
+   is a {!Journal_corrupt} error. [expected_pruned] is the
+   [{"type":"pruned",...}] record this campaign would write (None when it
+   prunes nothing): a journaled pruned record must match it exactly — the
+   cone analysis is a deterministic function of the design, so a mismatch
+   means the journal belongs to a different campaign. *)
+let load_journal path ~expected_header ~expected_pruned ~expected_ids =
   let { Jsonl.complete; torn = _ } = Jsonl.read_journal path in
   match complete with
   | [] -> empty_replay
@@ -333,6 +343,20 @@ let load_journal path ~expected_header ~expected_ids =
               | _ -> false) ->
               (* progress heartbeats are informational — replay ignores them *)
               ()
+          | j when
+              (match Jsonl.member "type" j with
+              | Some (Jsonl.String "pruned") -> true
+              | _ -> false) ->
+              (* the statically-undetectable verdicts journaled right after
+                 the header; replay only validates them (the resuming
+                 campaign recomputes the same set from the design) *)
+              if Some j <> expected_pruned then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf
+                        "record %d: pruned-fault record does not match this \
+                         campaign's cone analysis"
+                        record_no))
           | j when
               (match Jsonl.member "type" j with
               | Some (Jsonl.String "retry") -> true
@@ -463,10 +487,33 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     err
       (Bad_workload
          (Printf.sprintf "negative cycle count %d" w.Workload.cycles));
-  let n = Array.length faults in
-  let nbatches =
-    if n = 0 then 0 else (n + config.batch_size - 1) / config.batch_size
+  (* Resume adopts the journal's own regime: warm and cold campaigns use
+     different batch decompositions (activation-sorted vs contiguous), so
+     the journal records a ["warmstart"] header field and a resume must
+     continue in the regime the journal was written under — re-capturing
+     the good trace for a warm journal even when the resuming invocation
+     did not pass [warmstart], and running cold for a cold journal even
+     when it did. Only the flag is adopted; every other header parameter
+     is still validated strictly by [load_journal]. An unreadable header
+     falls through untouched and fails there with the proper error. *)
+  let config =
+    match config.journal with
+    | Some path when config.resume && Sys.file_exists path -> (
+        match (Jsonl.read_journal path).Jsonl.complete with
+        | header_line :: _ -> (
+            match Jsonl.parse header_line with
+            | exception Jsonl.Parse_error _ -> config
+            | j ->
+                let journal_warm =
+                  match Jsonl.member "warmstart" j with
+                  | Some (Jsonl.Bool b) -> b
+                  | _ -> false
+                in
+                { config with warmstart = journal_warm })
+        | [] -> config)
+    | _ -> config
   in
+  let n = Array.length faults in
   (* Per-worker engine instance: the compiled design is immutable once
      built, but each worker gets its own so instances are never shared
      across domains, and reuse across a worker's batches amortises
@@ -505,8 +552,31 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
               ~instance:(instance_for 0) g w
           with Workload.Invalid_workload msg -> err (Bad_workload msg)
         in
-        Some (trace, Engine.Concurrent.activations trace g faults)
+        let cone = Flow.Cone.build g in
+        Some (trace, Engine.Concurrent.activations ~cone trace g faults, cone)
     | _ -> None
+  in
+  (* Statically undetectable faults — sites with no structural path to any
+     output ({!Flow.Cone.observable} false) — are never simulated on a warm
+     campaign: their verdict (undetected) is known without running a cycle,
+     so they are excluded from the batch decomposition and journaled as one
+     typed [{"type":"pruned",...}] record instead. Disabled under
+     [inject_divergence] so the injected fault is guaranteed to execute. *)
+  let pruned =
+    match warm with
+    | Some (_, _, cone) when config.inject_divergence = None ->
+        Engine.Concurrent.statically_undetectable ~cone g faults
+    | _ -> Array.make n false
+  in
+  let live =
+    Array.of_list (List.filter (fun i -> not pruned.(i)) (List.init n Fun.id))
+  in
+  let nlive = Array.length live in
+  let npruned = n - nlive in
+  if npruned > 0 then Obs.Metrics.add "cone.pruned" npruned;
+  let nbatches =
+    if nlive = 0 then 0
+    else (nlive + config.batch_size - 1) / config.batch_size
   in
   let expected_ids =
     match warm with
@@ -515,16 +585,30 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
             let lo = i * config.batch_size in
             let hi = min n (lo + config.batch_size) in
             Array.init (hi - lo) (fun k -> lo + k))
-    | Some (_, acts) ->
-        let order = Array.init n (fun i -> i) in
+    | Some (_, acts, _) ->
+        let order = Array.copy live in
         Array.sort
           (fun a b ->
             match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
           order;
         Array.init nbatches (fun i ->
             let lo = i * config.batch_size in
-            let hi = min n (lo + config.batch_size) in
+            let hi = min nlive (lo + config.batch_size) in
             Array.sub order lo (hi - lo))
+  in
+  let pruned_record =
+    if npruned = 0 then None
+    else
+      Some
+        (Jsonl.Obj
+           [
+             ("type", Jsonl.String "pruned");
+             ( "ids",
+               Jsonl.List
+                 (List.filter_map
+                    (fun i -> if pruned.(i) then Some (Jsonl.Int i) else None)
+                    (List.init n Fun.id)) );
+           ])
   in
   (* Latest snapshot at or before a fault set's earliest activation — the
      warm-start cycle for any engine run over that set. Splits and
@@ -533,7 +617,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   let warm_for ids =
     match warm with
     | None -> None
-    | Some (trace, acts) ->
+    | Some (trace, acts, _) ->
         let a = Array.fold_left (fun m id -> min m acts.(id)) max_int ids in
         Some
           {
@@ -546,7 +630,8 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   let replay =
     match config.journal with
     | Some path when config.resume && Sys.file_exists path ->
-        load_journal path ~expected_header ~expected_ids
+        load_journal path ~expected_header ~expected_pruned:pruned_record
+          ~expected_ids
     | _ -> empty_replay
   in
   let resumed = replay.rp_outcomes in
@@ -557,9 +642,11 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     | None -> None
     | Some path ->
         if resumed = [] then begin
-          (* fresh journal: truncate any stale file and write the header *)
+          (* fresh journal: truncate any stale file and write the header,
+             followed by the statically-pruned verdicts when there are any *)
           let oc = open_out path in
           append_record oc expected_header;
+          Option.iter (append_record oc) pruned_record;
           Some oc
         end
         else begin
@@ -981,7 +1068,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   List.iter count_batch resumed;
   let hb =
     Option.map
-      (fun interval -> Obs.Heartbeat.create ~interval ~total:n ())
+      (fun interval -> Obs.Heartbeat.create ~interval ~total:nlive ())
       config.progress
   in
   (* The coordinator is the only domain that touches [outcomes] and the
@@ -1130,6 +1217,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   (match warm with
   | Some _ -> !stats.Stats.goodtrace_captures <- 1
   | None -> ());
+  !stats.Stats.cone_pruned <- npruned;
   let result =
     Fault.make_result ~detected ~detection_cycle ~stats:!stats
       ~wall_time:wall ()
@@ -1145,9 +1233,10 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     divergences = !divergences;
     quarantined = List.map (fun d -> d.div_fault) !divergences;
     failed_faults = List.rev !failed_faults;
+    pruned_faults = List.filter (fun i -> pruned.(i)) (List.init n Fun.id);
     repros = !repro_files;
     capture_bytes =
       (match warm with
-      | Some (t, _) -> t.Sim.Goodtrace.capture_bytes
+      | Some (t, _, _) -> t.Sim.Goodtrace.capture_bytes
       | None -> 0);
   }

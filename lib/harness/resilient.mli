@@ -136,11 +136,16 @@ type config = {
           network. Verdicts, detection cycles and the final report are
           byte-identical to a cold run at any [jobs]; only the redundancy
           counters change ([bn_good] drops to zero per batch,
-          [good_cycles_skipped] counts the skipped prefixes). Concurrent
-          engines only — [Ifsim]/[Vfsim] ignore the flag. A warm journal
-          records a ["warmstart"] header field, so it can never be resumed
-          by a cold campaign (the decompositions differ). Off by
-          default. *)
+          [good_cycles_skipped] counts the skipped prefixes,
+          [cone_pruned] counts the statically-undetectable faults the
+          cone analysis excluded from simulation — see
+          [summary.pruned_faults]). Concurrent engines only —
+          [Ifsim]/[Vfsim] ignore the flag. A warm journal records a
+          ["warmstart"] header field; on [resume] the runner adopts the
+          journal's flag (re-capturing the good trace for a warm journal,
+          running cold for a cold one) regardless of this field's value,
+          so a campaign always resumes in the regime it was started
+          under. Off by default. *)
   snapshot_every : int option;
       (** snapshot interval for the warm-start capture, in cycles
           ([None]: [max 8 (cycles / 16)]). Smaller intervals skip dead
@@ -167,6 +172,13 @@ type summary = {
   failed_faults : int list;
       (** fault ids abandoned by supervision; their verdicts read
           undetected in [result] and must not be trusted *)
+  pruned_faults : int list;
+      (** fault ids the cone-of-influence analysis proved statically
+          undetectable ({!Engine.Concurrent.statically_undetectable}):
+          reported undetected in [result] without being simulated, and
+          journaled as one [{"type":"pruned",...}] record right after the
+          header. Warm campaigns only; always empty under
+          [inject_divergence]. *)
   repros : string list;
       (** repro file names written into [repro_dir], in batch order *)
   capture_bytes : int;

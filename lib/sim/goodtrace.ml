@@ -320,16 +320,20 @@ type warm = { trace : t; start : int }
 type site_kind = Stuck0 | Stuck1 | Transient of int
 type site = { s_signal : int; s_bit : int; s_kind : site_kind }
 
-(* One linear pass over the event stream, calling [f cycle id v] for every
-   recorded good signal write (memory writes carry no fault sites). The
-   init-settle prefix is attributed to cycle 0. *)
-let scan_writes t f =
+(* One linear pass over the event stream. [on_write cycle id v] fires for
+   every recorded good signal write (memory writes carry no fault sites),
+   [on_ff cycle pid] when an edge-triggered process fires (before its
+   writes), and [on_boundary c] once cycle [c] is fully recorded — i.e. at
+   the exact point [observe c] ran during capture. The init-settle prefix
+   is attributed to cycle 0. *)
+let scan_events t ~on_write ~on_ff ~on_boundary =
   let code = t.code and vals = t.vals in
   let n = Array.length code in
   let i = ref 0 and vi = ref 0 in
   let k = ref 0 in
   let cycle_of idx =
     while !k < t.cycles && t.cycle_code.(!k + 1) <= idx do
+      on_boundary !k;
       incr k
     done;
     !k
@@ -338,17 +342,17 @@ let scan_writes t f =
     let cyc = cycle_of !i in
     match code.(!i) with
     | 0 ->
-        f cyc code.(!i + 1) (Bigarray.Array1.get vals !vi);
+        on_write cyc code.(!i + 1) (Bigarray.Array1.get vals !vi);
         i := !i + 2;
         incr vi
     | 1 ->
-        f cyc code.(!i + 2) (Bigarray.Array1.get vals !vi);
+        on_write cyc code.(!i + 2) (Bigarray.Array1.get vals !vi);
         i := !i + 3;
         incr vi
     | 2 ->
         let nw = code.(!i + 3) and nrec = code.(!i + 4) in
         for j = 0 to nw - 1 do
-          f cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
+          on_write cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
         done;
         i := !i + 5 + nw + nrec;
         vi := !vi + nw
@@ -356,16 +360,26 @@ let scan_writes t f =
         let nw = code.(!i + 2)
         and nmw = code.(!i + 3)
         and nrec = code.(!i + 4) in
+        on_ff cyc code.(!i + 1);
         for j = 0 to nw - 1 do
-          f cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
+          on_write cyc code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
         done;
         i := !i + 5 + nw + (2 * nmw) + nrec;
         vi := !vi + nw + nmw
     | 4 -> incr i
     | other -> mismatch "corrupt trace: opcode %d at offset %d" other !i
+  done;
+  for c = !k to t.cycles - 1 do
+    on_boundary c
   done
 
-let activations t ~comb_driven sites =
+let scan_writes t f =
+  scan_events t ~on_write:f ~on_ff:(fun _ _ -> ()) ~on_boundary:(fun _ -> ())
+
+let stuck_bit_of v bit =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical v bit) 1L)
+
+let first_divergence t ~comb_driven sites =
   let n = Array.length sites in
   let act = Array.make n t.cycles in
   let by_sig : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
@@ -394,12 +408,7 @@ let activations t ~comb_driven sites =
                 List.filter
                   (fun i ->
                     let s = sites.(i) in
-                    let bit =
-                      Int64.to_int
-                        (Int64.logand
-                           (Int64.shift_right_logical v s.s_bit)
-                           1L)
-                    in
+                    let bit = stuck_bit_of v s.s_bit in
                     let stuck =
                       match s.s_kind with Stuck1 -> 1 | _ -> 0
                     in
@@ -411,6 +420,116 @@ let activations t ~comb_driven sites =
                     else true)
                   !l;
               if !unresolved = 0 then raise Exit)
+    with Exit -> ());
+  act
+
+(* Cone-refined activation windows.
+
+   Stuck sites fall in two regimes:
+
+   - [Legacy] — state-holding signals (nonblocking targets), signals with
+     a combinational path into an edge sensitivity list, and signals a
+     comb process both writes and reads ([self_read], where forcing an
+     intermediate write can steer the rest of the body). A diff there
+     either persists across cycles by itself, can create/suppress clock
+     edges, or can diverge sibling writes even while the site's own final
+     value matches — so the only sound window is the conservative
+     first-divergence rule above (first recorded write whose bit differs;
+     activation 0 for a stuck-1 on a never-yet-written signal, whose
+     forced bit differs from the pristine zero state from the very first
+     settle).
+
+   - [Sampled] — everything else: combinationally recomputed signals (and
+     undriven inputs). A diff on such a site is memoryless — every good
+     write re-applies the forcing, so before the diff is *latched* by an
+     edge-triggered process that structurally reads it, or *observed* at a
+     cycle boundary with a comb path to an output, the fault network's
+     registers, memories and outputs are identical to the good network's.
+     The activation is therefore the first cycle where the forced bit
+     differs from the tracked good value at such a sampling moment: an ff
+     firing with [Cone.reaches_ff], or a cycle boundary with
+     [Cone.out_comb]. Sites that never hit a sampling moment keep
+     [t.cycles] (the fault can never be detected). *)
+let activations t ~(cone : Flow.Cone.t) sites =
+  let n = Array.length sites in
+  let act = Array.make n t.cycles in
+  let sampled = Array.make n false in
+  (* current good bit of a sampled site differs from the forced bit;
+     seeded against the pristine zero state *)
+  let differs = Array.make n false in
+  let by_sig : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  let pending = ref [] in
+  let unresolved = ref 0 in
+  let add_by_sig s i =
+    match Hashtbl.find_opt by_sig s with
+    | Some l -> l := i :: !l
+    | None -> Hashtbl.add by_sig s (ref [ i ])
+  in
+  Array.iteri
+    (fun i s ->
+      match s.s_kind with
+      | Transient c -> act.(i) <- (if c < 0 then 0 else min c t.cycles)
+      | (Stuck0 | Stuck1)
+        when cone.Flow.Cone.state_sig.(s.s_signal)
+             || cone.Flow.Cone.clock_comb.(s.s_signal)
+             || cone.Flow.Cone.self_read.(s.s_signal) ->
+          if s.s_kind = Stuck1 && not cone.Flow.Cone.comb_sig.(s.s_signal)
+          then act.(i) <- 0
+          else begin
+            incr unresolved;
+            add_by_sig s.s_signal i
+          end
+      | Stuck0 | Stuck1 ->
+          sampled.(i) <- true;
+          differs.(i) <- s.s_kind = Stuck1;
+          incr unresolved;
+          pending := i :: !pending;
+          add_by_sig s.s_signal i)
+    sites;
+  let stuck_of i = match sites.(i).s_kind with Stuck1 -> 1 | _ -> 0 in
+  let resolve cyc keep =
+    pending :=
+      List.filter
+        (fun i ->
+          if differs.(i) && keep i then begin
+            act.(i) <- cyc;
+            decr unresolved;
+            false
+          end
+          else true)
+        !pending;
+    if !unresolved = 0 then raise Exit
+  in
+  if !unresolved > 0 then (
+    try
+      scan_events t
+        ~on_write:(fun cyc id v ->
+          match Hashtbl.find_opt by_sig id with
+          | None -> ()
+          | Some l ->
+              l :=
+                List.filter
+                  (fun i ->
+                    let bit = stuck_bit_of v sites.(i).s_bit in
+                    if sampled.(i) then begin
+                      differs.(i) <- bit <> stuck_of i;
+                      true
+                    end
+                    else if bit <> stuck_of i then begin
+                      act.(i) <- cyc;
+                      decr unresolved;
+                      if !unresolved = 0 then raise Exit;
+                      false
+                    end
+                    else true)
+                  !l)
+        ~on_ff:(fun cyc pid ->
+          if !pending <> [] then
+            resolve cyc (fun i ->
+                Flow.Cone.reaches_ff cone ~signal:sites.(i).s_signal ~pid))
+        ~on_boundary:(fun cyc ->
+          if !pending <> [] then
+            resolve cyc (fun i -> cone.Flow.Cone.out_comb.(sites.(i).s_signal)))
     with Exit -> ());
   act
 

@@ -147,8 +147,17 @@ type warm = { trace : t; start : int }
 type site_kind = Stuck0 | Stuck1 | Transient of int
 type site = { s_signal : int; s_bit : int; s_kind : site_kind }
 
-(** [activations t ~comb_driven sites] is the first cycle each fault site
-    can diverge from the good network, from the recorded good writes:
+(** [scan_writes t f] calls [f cycle id v] for every recorded good signal
+    write, in stream order. Events in the init-settle prefix are
+    attributed to cycle 0; an event at [code] offset [i] belongs to cycle
+    [c] iff [cycle_code.(c) <= i < cycle_code.(c + 1)], so writes landing
+    on the last recorded cycle report [cycles - 1]. Exposed for tests. *)
+val scan_writes : t -> (int -> int -> int64 -> unit) -> unit
+
+(** [first_divergence t ~comb_driven sites] is the conservative activation
+    rule (pre-cone): the first cycle each fault site's forced bit differs
+    from a recorded good value at all, regardless of whether the diff can
+    propagate anywhere:
 
     - [Transient c] activates at [c] (or never, i.e. [t.cycles], when [c]
       is past the end);
@@ -159,10 +168,34 @@ type site = { s_signal : int; s_bit : int; s_kind : site_kind }
       write to its signal carries a bit value different from the stuck
       value (init-settle writes count as cycle 0), or never.
 
-    [comb_driven] is indexed by signal id. The result is a sound upper
-    bound on laziness: before its activation cycle a fault's network is
-    provably bit-identical to the good network. *)
-val activations : t -> comb_driven:bool array -> site array -> int array
+    [comb_driven] is indexed by signal id. Kept as the baseline the bench
+    compares the cone-refined rule against, and as the sound fallback for
+    state-holding sites inside {!activations}. *)
+val first_divergence : t -> comb_driven:bool array -> site array -> int array
+
+(** [activations t ~cone sites] is the cone-refined activation window: the
+    first cycle each fault site can *persistently or observably* diverge
+    from the good network.
+
+    Sites on state-holding signals (nonblocking targets), on signals with
+    a combinational path into an edge sensitivity list, and on wires a
+    comb process both writes and reads ([Cone.self_read]) get the
+    {!first_divergence} rule — a diff there survives on its own, can
+    create/suppress clock edges, or can steer sibling writes of the same
+    body, so first divergence is the only sound window. Every other stuck site is combinationally recomputed (or an
+    undriven input): its diff is memoryless, and the activation is the
+    first cycle the forced bit differs from the tracked good value at a
+    moment it can actually be captured — an edge-triggered process firing
+    whose read cone contains the signal ({!Flow.Cone.reaches_ff}), or a
+    cycle boundary when the signal combinationally reaches an output
+    ([out_comb]). Before that cycle the fault network's registers,
+    memories and outputs are provably bit-identical to the good network,
+    so a warm start from any snapshot [<= activation] reproduces the cold
+    verdict exactly.
+
+    Activations are pointwise [>=] {!first_divergence} on stuck sites, so
+    batch minima — and the dead prefix skipped — only grow. *)
+val activations : t -> cone:Flow.Cone.t -> site array -> int array
 
 (** The recorded output vector of one cycle (mostly for tests). *)
 val output_row : t -> int -> int64 array

@@ -23,4 +23,5 @@ let () =
       ("obs", Test_obs.suite);
       ("report", Test_report.suite);
       ("warmstart", Test_warmstart.suite);
+      ("activation", Test_activation.suite);
     ]

@@ -229,6 +229,161 @@ let test_read_journal_torn_tail () =
   check (Alcotest.list Alcotest.string) "empty file" [] j.H.Jsonl.complete;
   check (Alcotest.option Alcotest.string) "empty file tail" None j.H.Jsonl.torn
 
+(* ---- warm/cold resume adoption and static pruning ---- *)
+
+let test_resume_adopts_warm_journal () =
+  (* Regression: resuming a warm journal without [warmstart] used to be a
+     hard Journal_corrupt (header mismatch). The runner must read the
+     journal's warmstart flag, re-capture the good trace, rebuild the
+     activation-sorted decomposition, and continue warm. *)
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let warm_cfg =
+    {
+      R.default_config with
+      R.batch_size = 7;
+      journal = Some journal;
+      warmstart = true;
+    }
+  in
+  let warm = R.run ~config:warm_cfg g w faults in
+  crash_truncate journal;
+  let resumed =
+    R.run
+      ~config:{ warm_cfg with R.warmstart = false; resume = true }
+      g w faults
+  in
+  Sys.remove journal;
+  check bool_t "verdicts identical" true
+    (same_result warm.R.result resumed.R.result);
+  check bool_t "some batches replayed" true (resumed.R.batches_resumed > 0);
+  check bool_t "some batches re-executed" true
+    (resumed.R.batches_executed >= 2);
+  check int_t "all batches accounted for" warm.R.batches_total
+    (resumed.R.batches_resumed + resumed.R.batches_executed);
+  check bool_t "the resume re-captured the good trace" true
+    (resumed.R.capture_bytes > 0)
+
+let test_resume_adopts_cold_journal () =
+  (* the opposite direction: a cold journal resumed by an invocation that
+     asks for [warmstart] must run cold — contiguous batches, no capture *)
+  let _, g, w, faults = campaign "alu" in
+  let journal = temp_journal () in
+  let cold_cfg =
+    { R.default_config with R.batch_size = 7; journal = Some journal }
+  in
+  let cold = R.run ~config:cold_cfg g w faults in
+  crash_truncate journal;
+  let resumed =
+    R.run
+      ~config:{ cold_cfg with R.warmstart = true; resume = true }
+      g w faults
+  in
+  Sys.remove journal;
+  check bool_t "verdicts identical" true
+    (same_result cold.R.result resumed.R.result);
+  check bool_t "some batches replayed" true (resumed.R.batches_resumed > 0);
+  check int_t "no capture on a cold resume" 0 resumed.R.capture_bytes
+
+(* A design with a register no structural path connects to any output: its
+   stuck faults are statically undetectable and a warm campaign must prune
+   them — journaled as one typed record — without changing any verdict. *)
+let dead_end_design () =
+  let module B = Rtlir.Builder in
+  let open B.Ops in
+  let ctx = B.create "deadend" in
+  let clk = B.input ctx "clk" 1 in
+  let a = B.input ctx "a" 4 in
+  let q = B.reg ctx "q" 4 in
+  let dead = B.reg ctx "dead" 4 in
+  (* separate processes: the cone is process-granular, so co-hosting the
+     dead register with q would make it (correctly) observable *)
+  B.always_ff ctx ~clock:clk [ q <-- (q +: a) ];
+  B.always_ff ctx ~clock:clk [ dead <-- (dead +: B.const 4 1) ];
+  let o = B.output ctx "o" 4 in
+  B.assign ctx o q;
+  let d = B.finalize ctx in
+  let g = Rtlir.Elaborate.build d in
+  let a_id = Rtlir.Design.find_signal d "a" in
+  let w =
+    {
+      Workload.cycles = 40;
+      clock = Rtlir.Design.find_signal d "clk";
+      drive = (fun c -> [ (a_id, Rtlir.Bits.of_int 4 (c land 15)) ]);
+    }
+  in
+  (d, g, w)
+
+let test_static_pruning () =
+  let d, g, w = dead_end_design () in
+  let dead = Rtlir.Design.find_signal d "dead" in
+  let q = Rtlir.Design.find_signal d "q" in
+  let mk fid signal bit stuck = { Fault.fid; signal; bit; stuck } in
+  let faults =
+    [|
+      mk 0 q 0 Fault.Stuck_at_0;
+      mk 1 dead 0 Fault.Stuck_at_1;
+      mk 2 q 1 Fault.Stuck_at_1;
+      mk 3 dead 3 Fault.Stuck_at_0;
+    |]
+  in
+  let cold =
+    R.run ~config:{ R.default_config with R.batch_size = 2 } g w faults
+  in
+  check (Alcotest.list int_t) "cold campaign prunes nothing" []
+    cold.R.pruned_faults;
+  let journal = temp_journal () in
+  let cfg =
+    {
+      R.default_config with
+      R.batch_size = 2;
+      journal = Some journal;
+      warmstart = true;
+    }
+  in
+  let warm = R.run ~config:cfg g w faults in
+  check (Alcotest.list int_t) "dead-register faults pruned" [ 1; 3 ]
+    warm.R.pruned_faults;
+  check bool_t "verdicts identical to the cold run" true
+    (same_result cold.R.result warm.R.result);
+  check bool_t "pruned faults read undetected" true
+    ((not warm.R.result.Fault.detected.(1))
+    && not warm.R.result.Fault.detected.(3));
+  check int_t "pruned faults excluded from batching" 1 warm.R.batches_total;
+  check int_t "stats count the pruned faults" 2
+    warm.R.result.Fault.stats.Stats.cone_pruned;
+  let has_pruned_record =
+    List.exists
+      (fun l ->
+        match H.Jsonl.parse l with
+        | j -> (
+            match H.Jsonl.member "type" j with
+            | Some (H.Jsonl.String "pruned") -> true
+            | _ -> false)
+        | exception H.Jsonl.Parse_error _ -> false)
+      (journal_lines journal)
+  in
+  check bool_t "journal holds the typed pruned record" true has_pruned_record;
+  (* a resume revalidates the pruned record and replays everything *)
+  let resumed = R.run ~config:{ cfg with R.resume = true } g w faults in
+  check int_t "resume re-executes nothing" 0 resumed.R.batches_executed;
+  check bool_t "resumed verdicts identical" true
+    (same_result warm.R.result resumed.R.result);
+  check (Alcotest.list int_t) "pruned set recomputed on resume" [ 1; 3 ]
+    resumed.R.pruned_faults;
+  (* a tampered pruned record is a parameter mismatch, not silently used *)
+  (match journal_lines journal with
+  | header :: _pruned :: rest ->
+      write_file journal
+        (String.concat "\n"
+           ((header :: [ "{\"type\":\"pruned\",\"ids\":[0]}" ]) @ rest)
+        ^ "\n")
+  | _ -> Alcotest.fail "journal too short");
+  expect_error "tampered pruned record"
+    (function R.Journal_corrupt _ -> true | _ -> false)
+    (fun () -> R.run ~config:{ cfg with R.resume = true } g w faults);
+  Sys.remove journal
+
 (* ---- divergence quarantine ---- *)
 
 let test_divergence_quarantined () =
@@ -484,6 +639,12 @@ let suite =
       test_journal_overwritten_without_resume;
     Alcotest.test_case "torn tail survives double resume" `Quick
       test_torn_tail_double_resume;
+    Alcotest.test_case "resume adopts a warm journal" `Quick
+      test_resume_adopts_warm_journal;
+    Alcotest.test_case "resume adopts a cold journal" `Quick
+      test_resume_adopts_cold_journal;
+    Alcotest.test_case "statically undetectable faults pruned" `Quick
+      test_static_pruning;
     Alcotest.test_case "read_journal torn-tail unit" `Quick
       test_read_journal_torn_tail;
     Alcotest.test_case "injected divergence quarantined" `Quick
