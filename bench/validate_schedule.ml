@@ -1,0 +1,74 @@
+(* Validate a BENCH_schedule.json document (bench-smoke alias): parse it
+   back through Harness.Jsonl and check the schema plus the invariants the
+   schedule planner guarantees — all three policies present per circuit,
+   verdicts equal to the cold baseline under every policy, sane plan
+   shapes, finite timing fields, and the point of the adaptive policy: at
+   least one circuit where adaptive skips at least as many good cycles as
+   fixed, and skips some at all. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_schedule FILE"
+  in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "schedule" then
+    fail "%s: not a schedule document" path;
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  ignore (finite "scale" (J.get_float "scale" doc));
+  let circuits = J.get_list "circuits" doc in
+  if circuits = [] then fail "%s: no circuits" path;
+  let adaptive_pays = ref false in
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      if J.get_int "faults" c < 1 then fail "%s: no faults" name;
+      if J.get_int "cycles" c < 1 then fail "%s: no cycles" name;
+      if finite "cold_wall_s" (J.get_float "cold_wall_s" c) < 0.0 then
+        fail "%s: negative cold wall" name;
+      if finite "capture_wall_s" (J.get_float "capture_wall_s" c) < 0.0 then
+        fail "%s: negative capture wall" name;
+      let policies = J.get_list "policies" c in
+      if List.length policies <> 3 then
+        fail "%s: expected 3 policies, got %d" name (List.length policies);
+      let by pname =
+        match
+          List.find_opt (fun p -> J.get_string "policy" p = pname) policies
+        with
+        | Some p -> p
+        | None -> fail "%s: missing policy %S" name pname
+      in
+      List.iter
+        (fun p ->
+          let pol = J.get_string "policy" p in
+          if finite (pol ^ " wall_s") (J.get_float "wall_s" p) < 0.0 then
+            fail "%s/%s: negative wall" name pol;
+          if J.get_int "plan_batches" p < 1 then
+            fail "%s/%s: no planned batches" name pol;
+          if J.get_int "plan_snapshots" p < 1 then
+            fail "%s/%s: planned trace holds no snapshots" name pol;
+          if J.get_int "good_cycles_skipped" p < 0 then
+            fail "%s/%s: negative cycles skipped" name pol;
+          (* the planner's soundness gate: any policy, same verdicts *)
+          if not (J.get_bool "verdicts_equal" p) then
+            fail "%s/%s: verdicts differ from the cold baseline" name pol)
+        policies;
+      let skipped pname = J.get_int "good_cycles_skipped" (by pname) in
+      if skipped "adaptive" >= skipped "fixed" && skipped "adaptive" > 0 then
+        adaptive_pays := true)
+    circuits;
+  if not !adaptive_pays then
+    fail
+      "%s: adaptive never skipped more good cycles than fixed on any circuit"
+      path;
+  Printf.printf "bench-smoke: %s ok (%d circuits)\n" path
+    (List.length circuits)

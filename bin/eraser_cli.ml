@@ -182,6 +182,45 @@ let jobs_arg =
            engine instances; verdicts and reports are identical for any \
            $(docv).")
 
+let schedule_conv =
+  let parse s =
+    match H.Schedule.policy_of_string (String.lowercase_ascii s) with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown schedule policy %S (try: fixed, activation, adaptive)"
+                s))
+  in
+  Arg.conv (parse, fun ppf p ->
+      Format.pp_print_string ppf (H.Schedule.policy_name p))
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt (some schedule_conv) None
+    & info [ "schedule" ] ~docv:"POLICY"
+        ~doc:
+          "Fault-schedule planner policy: $(b,fixed) (ascending fault ids, \
+           capture-grid snapshots — reproduces the historical batching \
+           byte-for-byte), $(b,activation) (batches grouped by activation \
+           window, capture-grid snapshots), or $(b,adaptive) (activation \
+           batches plus replanned snapshot placement at each batch's exact \
+           activation boundary, within the capture's snapshot budget). \
+           Default: adaptive for $(b,--warmstart) runs, fixed cold. \
+           Verdicts are byte-identical across policies.")
+
+let capture_mem_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "capture-mem-limit" ] ~docv:"BYTES"
+        ~doc:
+          "Spill the $(b,--warmstart) good-trace capture to a disk-backed \
+           memory map when its in-memory footprint exceeds $(docv) bytes. \
+           Replay and reports are unchanged. Default: never spill.")
+
 let run_cmd =
   let engine_arg =
     Arg.(
@@ -236,7 +275,7 @@ let run_cmd =
              linear memory cost. Default: max(8, cycles/16).")
   in
   let run (c : Circuits.Bench_circuit.t) engine scale instrument verify json
-      jobs warmstart snapshot_every trace metrics =
+      jobs warmstart snapshot_every schedule capture_mem_limit trace metrics =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     if jobs < 1 then
@@ -249,8 +288,8 @@ let run_cmd =
       (H.Campaign.engine_name engine) c.name w.Workload.cycles
       (Array.length faults);
     let r =
-      H.Campaign.run ~instrument ~jobs ~warmstart ?snapshot_every engine g w
-        faults
+      H.Campaign.run ~instrument ~jobs ~warmstart ?snapshot_every ?schedule
+        ?capture_mem_limit engine g w faults
     in
     Format.printf "  coverage   %.2f%% (%d/%d)@." r.Fault.coverage_pct
       (Fault.count_detected r) (Array.length faults);
@@ -263,6 +302,9 @@ let run_cmd =
     if s.Stats.cone_pruned > 0 then
       Format.printf "  cone       %d fault(s) statically pruned@."
         s.Stats.cone_pruned;
+    if s.Stats.plan_batches > 0 then
+      Format.printf "  schedule   %d planned batch(es), %d snapshot(s)@."
+        s.Stats.plan_batches s.Stats.plan_snapshots;
     if instrument then
       Format.printf "  behavioral-node time %.0f%%@." (Stats.bn_time_pct s);
     let verdicts = Classify.classify g faults in
@@ -316,7 +358,7 @@ let run_cmd =
     Term.(
       const run $ circuit_arg $ engine_arg $ scale_arg $ instrument_arg
       $ verify_arg $ json_arg $ jobs_arg $ warmstart_arg $ snapshot_every_arg
-      $ trace_arg $ metrics_arg)
+      $ schedule_arg $ capture_mem_limit_arg $ trace_arg $ metrics_arg)
 
 (* --- campaign (resilient runner) --- *)
 
@@ -452,8 +494,8 @@ let campaign_cmd =
   in
   let run (c : Circuits.Bench_circuit.t) engine scale batch journal resume
       oracle_sample batch_timeout cycle_budget max_retries no_quarantine
-      inject json jobs warmstart snapshot_every verdicts_out trace metrics
-      progress supervise repro_dir =
+      inject json jobs warmstart snapshot_every schedule capture_mem_limit
+      verdicts_out trace metrics progress supervise repro_dir =
    guard @@ fun () ->
    with_obs ~trace ~metrics @@ fun () ->
     let design, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
@@ -477,6 +519,8 @@ let campaign_cmd =
         repro_meta = Some (c.name, scale);
         warmstart;
         snapshot_every;
+        schedule;
+        capture_mem_limit;
       }
     in
     Format.printf "resilient %s on %s: %d cycles, %d faults, batches of %d@."
@@ -525,6 +569,9 @@ let campaign_cmd =
     if r.Fault.stats.Stats.goodtrace_captures > 0 then
       Format.printf "  warm-start %d good cycle(s) skipped, capture %d B@."
         r.Fault.stats.Stats.good_cycles_skipped s.H.Resilient.capture_bytes;
+    if r.Fault.stats.Stats.plan_batches > 0 then
+      Format.printf "  schedule   %d planned batch(es), %d snapshot(s)@."
+        r.Fault.stats.Stats.plan_batches r.Fault.stats.Stats.plan_snapshots;
     (match json with
     | Some path ->
         let verdicts = Classify.classify g faults in
@@ -590,8 +637,8 @@ let campaign_cmd =
       $ journal_arg $ resume_arg $ oracle_sample_arg $ batch_timeout_arg
       $ cycle_budget_arg $ max_retries_arg $ no_quarantine_arg $ inject_arg
       $ json_arg $ jobs_arg $ warmstart_arg $ snapshot_every_arg
-      $ verdicts_arg $ trace_arg $ metrics_arg $ progress_arg $ supervise_arg
-      $ repro_dir_arg)
+      $ schedule_arg $ capture_mem_limit_arg $ verdicts_arg $ trace_arg
+      $ metrics_arg $ progress_arg $ supervise_arg $ repro_dir_arg)
 
 (* --- chaos --- *)
 

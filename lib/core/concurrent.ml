@@ -1235,13 +1235,15 @@ let run_batch ?config ?probe ?goodtrace ?instance:existing g w faults ~ids =
   in
   run_i ?config ?probe ?goodtrace inst w sub
 
+let default_snapshot_every ~cycles = max 8 (cycles / 16)
+
 let capture ?config ?snapshot_every ?instance:existing (g : Elaborate.t)
     (w : Workload.t) =
   let inst = match existing with Some i -> i | None -> instance g in
   let k =
     match snapshot_every with
     | Some k -> max 1 k
-    | None -> max 8 (w.Workload.cycles / 16)
+    | None -> default_snapshot_every ~cycles:w.Workload.cycles
   in
   let b =
     Goodtrace.builder ~cycles:w.Workload.cycles ~clock:w.Workload.clock

@@ -128,6 +128,12 @@ val run_batch :
   ids:int array ->
   Fault.result
 
+(** The fixed snapshot-interval heuristic, [max 8 (cycles / 16)] — the
+    default when [capture] is given no [?snapshot_every]. Exposed as the
+    single source of truth so the schedule planner can size its adaptive
+    snapshot budget from the same rule. *)
+val default_snapshot_every : cycles:int -> int
+
 (** [capture g w] runs the good network once — no faults — and records
     every good event (inputs, assign results, behavioral writes and branch
     choices), the per-cycle output vectors, and full {!Sim.State} snapshots

@@ -15,6 +15,8 @@ type t = {
   mutable good_cycles_skipped : int;
   mutable goodtrace_captures : int;
   mutable cone_pruned : int;
+  mutable plan_batches : int;
+  mutable plan_snapshots : int;
   mutable bn_seconds : float;
   mutable cpu_seconds : float;
   mutable total_seconds : float;
@@ -49,6 +51,8 @@ let create () =
     good_cycles_skipped = 0;
     goodtrace_captures = 0;
     cone_pruned = 0;
+    plan_batches = 0;
+    plan_snapshots = 0;
     bn_seconds = 0.0;
     cpu_seconds = 0.0;
     total_seconds = 0.0;
@@ -127,6 +131,9 @@ let add a b =
     good_cycles_skipped = a.good_cycles_skipped + b.good_cycles_skipped;
     goodtrace_captures = a.goodtrace_captures + b.goodtrace_captures;
     cone_pruned = a.cone_pruned + b.cone_pruned;
+    (* plan shape is coordinator-set, never per-batch: keep the larger *)
+    plan_batches = max a.plan_batches b.plan_batches;
+    plan_snapshots = max a.plan_snapshots b.plan_snapshots;
     bn_seconds = a.bn_seconds +. b.bn_seconds;
     cpu_seconds = a.cpu_seconds +. b.cpu_seconds;
     total_seconds = Float.max a.total_seconds b.total_seconds;

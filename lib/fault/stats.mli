@@ -34,6 +34,13 @@ type t = {
   mutable cone_pruned : int;
       (** faults never simulated because the cone-of-influence analysis
           proved their site has no structural path to any output *)
+  mutable plan_batches : int;
+      (** batches in the schedule plan the campaign executed.
+          Coordinator-set on warm planned runs (0 otherwise); {!add} keeps
+          the max, never a sum *)
+  mutable plan_snapshots : int;
+      (** snapshots held by the plan's (possibly re-planned) good trace;
+          coordinator-set like [plan_batches] *)
   mutable bn_seconds : float;
       (** CPU time inside behavioral execution, summed across workers
           (only when instrumented) *)

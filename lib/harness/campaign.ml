@@ -1,6 +1,3 @@
-
-
-
 type engine = Ifsim | Vfsim | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
 
 let engine_name = function
@@ -22,145 +19,138 @@ let concurrent_mode = function
 let config_of ~instrument engine =
   { Engine.Concurrent.default_config with mode = concurrent_mode engine; instrument }
 
-let run_mono ~instrument engine (g : Rtlir.Elaborate.t) w faults =
-  match engine with
-  | Ifsim -> Baselines.Serial.ifsim g w faults
-  | Vfsim -> Baselines.Serial.vfsim g w faults
-  | Z01x_proxy | Eraser_mm | Eraser_m | Eraser ->
-      Engine.Concurrent.run ~config:(config_of ~instrument engine) g w faults
+let renumber faults ids =
+  Array.mapi (fun i id -> { faults.(id) with Faultsim.Fault.fid = i }) ids
 
-(* Fault-partition parallel run: the fault list is cut into [jobs]
-   contiguous chunks, one per worker domain. Faulty networks never
-   interact, so each chunk's verdicts equal the monolithic run's; the merge
-   walks chunks in index order, so verdicts and merged stats are
-   deterministic whatever order the workers finish in. *)
-let merge_chunks ~t0 ~n chunks results =
+(* The one engine-dispatch point: every execution path — mono/partitioned
+   campaigns, resilient batches, retries, quarantine singletons — routes an
+   (engine, fault-id subset) through here. Serial baselines renumber the
+   subset themselves; concurrent engines go through [run_batch], whose
+   renumbering keeps verdict indexes aligned with [ids]. *)
+let dispatch ?(instrument = false) ?config ?probe ?goodtrace ?instance engine
+    (g : Rtlir.Elaborate.t) w faults ~ids =
+  match engine with
+  | Ifsim -> Baselines.Serial.ifsim g w (renumber faults ids)
+  | Vfsim -> Baselines.Serial.vfsim g w (renumber faults ids)
+  | e ->
+      let config =
+        match config with Some c -> c | None -> config_of ~instrument e
+      in
+      Engine.Concurrent.run_batch ~config ?probe ?goodtrace ?instance g w
+        faults ~ids
+
+(* Merge planned-batch results back into fault-id order. Faulty networks
+   never interact, so each batch's verdicts equal the monolithic run's; the
+   merge walks batches in plan order, so verdicts and merged stats are
+   deterministic whatever order the workers finish in. Pruned faults fall
+   through to the defaults: undetected, -1. *)
+let merge_batches ~t0 ~n batch_ids results =
   let open Faultsim in
   let detected = Array.make n false in
   let detection_cycle = Array.make n (-1) in
   let stats = ref (Stats.create ()) in
   Array.iteri
-    (fun ci (r : Fault.result) ->
+    (fun bi (r : Fault.result) ->
       Array.iteri
         (fun j id ->
           detected.(id) <- r.Fault.detected.(j);
           detection_cycle.(id) <- r.Fault.detection_cycle.(j))
-        chunks.(ci);
+        batch_ids.(bi);
       stats := Stats.add !stats r.Fault.stats)
     results;
   let wall = Stats.now () -. t0 in
   !stats.Stats.total_seconds <- wall;
   Fault.make_result ~detected ~detection_cycle ~stats:!stats ~wall_time:wall ()
 
-let run_partitioned ~instrument ~jobs engine (g : Rtlir.Elaborate.t) w faults =
+let run ?(instrument = false) ?(jobs = 1) ?(warmstart = false) ?snapshot_every
+    ?schedule ?capture_mem_limit engine (g : Rtlir.Elaborate.t) w faults =
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
   let open Faultsim in
-  let t0 = Stats.now () in
   let n = Array.length faults in
-  let k = min jobs n in
-  if k <= 1 then run_mono ~instrument engine g w faults
+  if n = 0 then dispatch ~instrument engine g w faults ~ids:[||]
   else begin
-    let chunks =
-      Array.init k (fun i ->
-          let lo = i * n / k and hi = (i + 1) * n / k in
-          Array.init (hi - lo) (fun j -> lo + j))
+    let t0 = Stats.now () in
+    let warm =
+      match engine with
+      | Z01x_proxy | Eraser_mm | Eraser_m | Eraser when warmstart ->
+          let config = config_of ~instrument engine in
+          let cone = Flow.Cone.build g in
+          let trace = Engine.Concurrent.capture ~config ?snapshot_every g w in
+          let acts = Engine.Concurrent.activations ~cone trace g faults in
+          let pruned =
+            Engine.Concurrent.statically_undetectable ~cone g faults
+          in
+          Some { Schedule.wi_trace = trace; wi_acts = acts; wi_pruned = pruned }
+      | _ -> None
     in
-    let renumber ids =
-      Array.mapi (fun i id -> { faults.(id) with Fault.fid = i }) ids
+    let policy =
+      match (schedule, warm) with
+      | Some p, _ -> p
+      | None, Some _ -> Schedule.Adaptive
+      | None, None -> Schedule.Fixed
+    in
+    let plan =
+      Schedule.plan ~policy ~granularity:(Schedule.Chunks jobs)
+        ?capture_mem_limit ?warm ~design:g ~n ()
+    in
+    let npruned = Array.length plan.Schedule.sp_pruned in
+    if npruned > 0 then Obs.Metrics.add "cone.pruned" npruned;
+    let batches = plan.Schedule.sp_batches in
+    let nb = Array.length batches in
+    let run_b (b : Schedule.batch) =
+      dispatch ~instrument
+        ?goodtrace:(Schedule.warm_for plan b.Schedule.sb_ids)
+        engine g w faults ~ids:b.Schedule.sb_ids
     in
     let results =
-      Pool.with_pool ~jobs:k (fun pool ->
-          let futures =
+      if jobs = 1 || nb <= 1 then Array.map run_b batches
+      else
+        Pool.with_pool ~jobs:(min jobs nb) (fun pool ->
+            (* submit costliest batches first so the long pole starts
+               immediately; await — and therefore merge — in plan order *)
+            let order = Array.init nb (fun i -> i) in
+            Array.sort
+              (fun a b ->
+                match
+                  compare batches.(b).Schedule.sb_cost
+                    batches.(a).Schedule.sb_cost
+                with
+                | 0 -> compare a b
+                | c -> c)
+              order;
+            let futures = Array.make nb None in
+            Array.iter
+              (fun i ->
+                futures.(i) <-
+                  Some
+                    (Pool.submit pool (fun (_ : Pool.ctx) ->
+                         run_b batches.(i))))
+              order;
             Array.map
-              (fun ids ->
-                Pool.submit pool (fun (_ : Pool.ctx) ->
-                    match engine with
-                    | Ifsim -> Baselines.Serial.ifsim g w (renumber ids)
-                    | Vfsim -> Baselines.Serial.vfsim g w (renumber ids)
-                    | e ->
-                        let config = config_of ~instrument e in
-                        Engine.Concurrent.run_batch ~config g w faults ~ids))
-              chunks
-          in
-          Array.map Pool.await futures)
+              (function Some f -> Pool.await f | None -> assert false)
+              futures)
     in
-    merge_chunks ~t0 ~n chunks results
+    let r =
+      merge_batches ~t0 ~n
+        (Array.map (fun b -> b.Schedule.sb_ids) batches)
+        results
+    in
+    (match warm with
+    | Some _ ->
+        let stats = r.Fault.stats in
+        stats.Stats.goodtrace_captures <- 1;
+        stats.Stats.cone_pruned <- npruned;
+        stats.Stats.plan_batches <- nb;
+        stats.Stats.plan_snapshots <-
+          (match plan.Schedule.sp_trace with
+          | Some t -> Array.length t.Sim.Goodtrace.snapshots
+          | None -> 0)
+    | None -> ());
+    r
   end
 
-(* Warm-started campaign: capture the good trace once, compute the
-   cone-of-influence analysis, drop faults the cone proves statically
-   undetectable (their verdict — undetected — is known without simulating
-   a cycle), sort the remaining fault ids by activation window so each
-   chunk's faults share a dead prefix, and start every chunk from the
-   latest snapshot at or before its earliest activation. Verdicts are
-   identical to the cold run's — before its activation cycle a fault's
-   network is bit-identical to the good network (see DESIGN.md sections 13
-   and 14) — only the redundancy counters change (bn_good and
-   rtl_good_eval drop to zero for every batch, cone_pruned counts the
-   faults never simulated). *)
-let run_warm ~instrument ~jobs ?snapshot_every engine (g : Rtlir.Elaborate.t)
-    w faults =
-  let open Faultsim in
-  let t0 = Stats.now () in
-  let n = Array.length faults in
-  let config = config_of ~instrument engine in
-  let cone = Flow.Cone.build g in
-  let trace = Engine.Concurrent.capture ~config ?snapshot_every g w in
-  let acts = Engine.Concurrent.activations ~cone trace g faults in
-  let pruned = Engine.Concurrent.statically_undetectable ~cone g faults in
-  let order =
-    Array.of_list (List.filter (fun i -> not pruned.(i)) (List.init n Fun.id))
-  in
-  let npruned = n - Array.length order in
-  if npruned > 0 then Obs.Metrics.add "cone.pruned" npruned;
-  Array.sort
-    (fun a b ->
-      match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
-    order;
-  let nk = Array.length order in
-  let k = min jobs nk in
-  let chunks =
-    Array.init k (fun i ->
-        let lo = i * nk / k and hi = (i + 1) * nk / k in
-        Array.init (hi - lo) (fun j -> order.(lo + j)))
-  in
-  let warm_of ids =
-    let a = Array.fold_left (fun m id -> min m acts.(id)) max_int ids in
-    { Sim.Goodtrace.trace; start = Sim.Goodtrace.start_for trace ~activation:a }
-  in
-  let run_chunk ids =
-    Engine.Concurrent.run_batch ~config ~goodtrace:(warm_of ids) g w faults
-      ~ids
-  in
-  let results =
-    if k <= 1 then Array.map run_chunk chunks
-    else
-      Pool.with_pool ~jobs:k (fun pool ->
-          let futures =
-            Array.map
-              (fun ids -> Pool.submit pool (fun (_ : Pool.ctx) -> run_chunk ids))
-              chunks
-          in
-          Array.map Pool.await futures)
-  in
-  (* pruned faults fall through to the merge defaults: undetected, -1 *)
-  let r = merge_chunks ~t0 ~n chunks results in
-  r.Fault.stats.Stats.goodtrace_captures <- 1;
-  r.Fault.stats.Stats.cone_pruned <- npruned;
-  r
-
-let run ?(instrument = false) ?(jobs = 1) ?(warmstart = false) ?snapshot_every
-    engine (g : Rtlir.Elaborate.t) w faults =
-  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
-  match engine with
-  | Z01x_proxy | Eraser_mm | Eraser_m | Eraser
-    when warmstart && Array.length faults > 0 ->
-      run_warm ~instrument ~jobs ?snapshot_every engine g w faults
-  | _ ->
-      if jobs = 1 || Array.length faults = 0 then
-        run_mono ~instrument engine g w faults
-      else run_partitioned ~instrument ~jobs engine g w faults
-
-let run_circuit ?instrument ?jobs ?warmstart ?snapshot_every engine
-    (c : Circuits.Bench_circuit.t) ~scale =
+let run_circuit ?instrument ?jobs ?warmstart ?snapshot_every ?schedule
+    ?capture_mem_limit engine (c : Circuits.Bench_circuit.t) ~scale =
   let _, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale in
-  run ?instrument ?jobs ?warmstart ?snapshot_every engine g w faults
+  run ?instrument ?jobs ?warmstart ?snapshot_every ?schedule ?capture_mem_limit
+    engine g w faults

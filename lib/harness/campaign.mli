@@ -24,6 +24,26 @@ val all_engines : engine list
     [Invalid_argument] for the serial baselines [Ifsim] and [Vfsim]. *)
 val concurrent_mode : engine -> Engine.Concurrent.mode
 
+(** The one engine-dispatch point: run [engine] over the fault-id subset
+    [ids]. The serial baselines get the subset renumbered; concurrent
+    engines go through {!Engine.Concurrent.run_batch} with the optional
+    config / divergence probe / warm-start trace / precompiled instance
+    passed straight through (all ignored by the serial baselines).
+    {!Resilient} and every planned batch here share this function — the
+    engine match must exist exactly once. *)
+val dispatch :
+  ?instrument:bool ->
+  ?config:Engine.Concurrent.config ->
+  ?probe:(int -> (int -> int -> Rtlir.Bits.t) -> (int -> int -> int -> Rtlir.Bits.t) -> unit) ->
+  ?goodtrace:Sim.Goodtrace.warm ->
+  ?instance:Engine.Concurrent.instance ->
+  engine ->
+  Rtlir.Elaborate.t ->
+  Faultsim.Workload.t ->
+  Faultsim.Fault.t array ->
+  ids:int array ->
+  Faultsim.Fault.result
+
 (** [run ?jobs engine g w faults] — with [jobs > 1] (default 1) the fault
     list is partitioned into [jobs] contiguous chunks simulated by a
     {!Pool} of worker domains. Verdicts and detection cycles are identical
@@ -46,12 +66,24 @@ val concurrent_mode : engine -> Engine.Concurrent.mode
     [jobs]; [bn_good] and [rtl_good_eval] drop to zero for every batch
     (the one capture run is counted in [stats.goodtrace_captures]).
     [?snapshot_every] overrides the capture's snapshot interval (see
-    {!Engine.Concurrent.capture}); it only affects warm-started runs. *)
+    {!Engine.Concurrent.capture}); it only affects warm-started runs.
+
+    Whatever the options, execution is "plan, then execute plan": the
+    fault set is decomposed by {!Schedule.plan} (granularity
+    [Chunks jobs]), every batch is dispatched through {!dispatch} with the
+    plan's warm start, and results merge in plan order. [?schedule] picks
+    the planner policy (default [Adaptive] for warm runs; cold runs always
+    degrade to [Fixed], which reproduces the historical contiguous-chunk
+    partition). [?capture_mem_limit] spills the planned trace to a
+    disk-backed mmap when [capture_bytes] exceeds it. Verdicts are
+    byte-identical across policies — batches never interact. *)
 val run :
   ?instrument:bool ->
   ?jobs:int ->
   ?warmstart:bool ->
   ?snapshot_every:int ->
+  ?schedule:Schedule.policy ->
+  ?capture_mem_limit:int ->
   engine ->
   Rtlir.Elaborate.t ->
   Faultsim.Workload.t ->
@@ -64,6 +96,8 @@ val run_circuit :
   ?jobs:int ->
   ?warmstart:bool ->
   ?snapshot_every:int ->
+  ?schedule:Schedule.policy ->
+  ?capture_mem_limit:int ->
   engine ->
   Circuits.Bench_circuit.t ->
   scale:float ->

@@ -52,12 +52,17 @@ let campaign ppf ~design ~engine ~faults ~verdicts (r : Fault.result) =
      \"bn_skipped_explicit\": %d, \"bn_skipped_implicit\": %d, \
      \"rtl_good_eval\": %d, \"rtl_fault_eval\": %d, \"eliminated\": %d, \
      \"explicit_pct\": %.4f, \"implicit_pct\": %.4f, \
-     \"good_cycles_skipped\": %d, \"goodtrace_captures\": %d, \
-     \"bn_seconds\": %.6f, \"cpu_seconds\": %.6f },@."
+     \"good_cycles_skipped\": %d, \"goodtrace_captures\": %d, "
     s.Stats.bn_good s.Stats.bn_fault_exec s.Stats.bn_skipped_explicit
     s.Stats.bn_skipped_implicit s.Stats.rtl_good_eval s.Stats.rtl_fault_eval
     (Stats.eliminated s) (Stats.explicit_pct s) (Stats.implicit_pct s)
-    s.Stats.good_cycles_skipped s.Stats.goodtrace_captures
+    s.Stats.good_cycles_skipped s.Stats.goodtrace_captures;
+  (* plan fields only when a schedule plan ran (warm campaigns), so cold
+     reports keep their historical byte format *)
+  if s.Stats.plan_batches > 0 then
+    Format.fprintf ppf "\"plan_batches\": %d, \"plan_snapshots\": %d, "
+      s.Stats.plan_batches s.Stats.plan_snapshots;
+  Format.fprintf ppf "\"bn_seconds\": %.6f, \"cpu_seconds\": %.6f },@."
     s.Stats.bn_seconds s.Stats.cpu_seconds;
   Format.fprintf ppf "  \"per_proc\": [@.";
   Array.iteri

@@ -66,6 +66,9 @@ type config = {
   repro_meta : (string * float) option;
   warmstart : bool;
   snapshot_every : int option;
+  schedule : Schedule.policy option;
+  capture : Sim.Goodtrace.t option;
+  capture_mem_limit : int option;
 }
 
 let default_config =
@@ -88,6 +91,9 @@ let default_config =
     repro_meta = None;
     warmstart = false;
     snapshot_every = None;
+    schedule = None;
+    capture = None;
+    capture_mem_limit = None;
   }
 
 type summary = {
@@ -124,7 +130,7 @@ type batch_outcome = {
   b_repros : string list;  (* repro files emitted for this batch *)
 }
 
-let header_json ~design_name cfg (w : Workload.t) nfaults =
+let header_json ~design_name ?schedule cfg (w : Workload.t) nfaults =
   Jsonl.Obj
     ([
        ("type", Jsonl.String "header");
@@ -139,14 +145,20 @@ let header_json ~design_name cfg (w : Workload.t) nfaults =
        ("sample_seed", Jsonl.String (Int64.to_string cfg.sample_seed));
      ]
     (* only present on warm campaigns: the batch decomposition is
-       activation-sorted there, so a warm journal is incompatible with a
-       cold campaign's decomposition (and vice versa). [run] reads this
-       flag back from an existing journal on resume and adopts it, so a
-       resume continues in the journal's own regime regardless of the
-       resuming invocation's [warmstart] flag. Cold journals keep their
-       historical byte format. *)
+       planner-ordered there, so a warm journal is incompatible with a
+       cold campaign's decomposition (and vice versa). [run] reads the
+       flag and the schedule policy back from an existing journal on
+       resume and adopts both, so a resume continues in the journal's own
+       regime regardless of the resuming invocation's flags. Cold
+       journals keep their historical byte format. *)
     @
-    if cfg.warmstart then [ ("warmstart", Jsonl.Bool true) ] else [])
+    if cfg.warmstart then
+      ("warmstart", Jsonl.Bool true)
+      ::
+      (match schedule with
+      | Some s -> [ ("schedule", Jsonl.String s) ]
+      | None -> [])
+    else [])
 
 let stats_to_json (s : Stats.t) =
   Jsonl.Obj
@@ -295,8 +307,12 @@ let empty_replay =
    [{"type":"pruned",...}] record this campaign would write (None when it
    prunes nothing): a journaled pruned record must match it exactly — the
    cone analysis is a deterministic function of the design, so a mismatch
-   means the journal belongs to a different campaign. *)
-let load_journal path ~expected_header ~expected_pruned ~expected_ids =
+   means the journal belongs to a different campaign. [expected_plan] is
+   the [{"type":"plan",...}] record likewise: the planner is
+   deterministic, so the journaled plan must equal the one this campaign
+   recomputed (batch id membership is validated per batch record). *)
+let load_journal path ~expected_header ~expected_pruned ~expected_plan
+    ~expected_ids =
   let { Jsonl.complete; torn = _ } = Jsonl.read_journal path in
   match complete with
   | [] -> empty_replay
@@ -356,6 +372,20 @@ let load_journal path ~expected_header ~expected_pruned ~expected_ids =
                      (Printf.sprintf
                         "record %d: pruned-fault record does not match this \
                          campaign's cone analysis"
+                        record_no))
+          | j when
+              (match Jsonl.member "type" j with
+              | Some (Jsonl.String "plan") -> true
+              | _ -> false) ->
+              (* the schedule plan journaled right after the header; replay
+                 only validates it (planning is deterministic, so the
+                 resuming campaign recomputes the identical plan) *)
+              if Some j <> expected_plan then
+                err
+                  (Journal_corrupt
+                     (Printf.sprintf
+                        "record %d: plan record does not match this \
+                         campaign's schedule"
                         record_no))
           | j when
               (match Jsonl.member "type" j with
@@ -488,14 +518,15 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
       (Bad_workload
          (Printf.sprintf "negative cycle count %d" w.Workload.cycles));
   (* Resume adopts the journal's own regime: warm and cold campaigns use
-     different batch decompositions (activation-sorted vs contiguous), so
-     the journal records a ["warmstart"] header field and a resume must
-     continue in the regime the journal was written under — re-capturing
-     the good trace for a warm journal even when the resuming invocation
-     did not pass [warmstart], and running cold for a cold journal even
-     when it did. Only the flag is adopted; every other header parameter
-     is still validated strictly by [load_journal]. An unreadable header
-     falls through untouched and fails there with the proper error. *)
+     different batch decompositions (planner-ordered vs contiguous), so
+     the journal records ["warmstart"] and ["schedule"] header fields and
+     a resume must continue in the regime the journal was written under —
+     re-capturing the good trace and re-planning under the journal's
+     policy even when the resuming invocation's flags differ, and running
+     cold for a cold journal even when they don't. Only those fields are
+     adopted; every other header parameter is still validated strictly by
+     [load_journal]. An unreadable header falls through untouched and
+     fails there with the proper error. *)
   let config =
     match config.journal with
     | Some path when config.resume && Sys.file_exists path -> (
@@ -509,7 +540,12 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
                   | Some (Jsonl.Bool b) -> b
                   | _ -> false
                 in
-                { config with warmstart = journal_warm })
+                let journal_sched =
+                  match Jsonl.member "schedule" j with
+                  | Some (Jsonl.String s) -> Schedule.policy_of_string s
+                  | _ -> None
+                in
+                { config with warmstart = journal_warm; schedule = journal_sched })
         | [] -> config)
     | _ -> config
   in
@@ -530,72 +566,62 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
         inst
   in
   (* Good-trace warm start: the coordinator captures the good network once
-     (before any worker starts — the finished trace is immutable and shared
-     read-only), computes each fault's activation window, and sorts the
-     fault list by (activation, id) so batches group faults with similar
-     dead prefixes. Serial engines have no replay seam and ignore the
-     flag. *)
-  let warm =
+     (before any worker starts — the finished trace is immutable and
+     shared read-only; a pre-captured trace supplied via [config.capture]
+     is reused instead, the bench sweeps' one-capture-many-runs seam) and
+     computes each fault's activation window and the cone's
+     statically-undetectable set. Pruning is disabled under
+     [inject_divergence] so the injected fault is guaranteed to execute.
+     Serial engines have no replay seam and ignore the flag. Everything
+     else — ordering, batch decomposition, snapshot placement, warm-start
+     cycles — is the planner's job. *)
+  let warm_input =
     match config.engine with
     | Campaign.Ifsim | Campaign.Vfsim -> None
     | e when config.warmstart && n > 0 ->
-        let cc =
-          {
-            Engine.Concurrent.default_config with
-            mode = Campaign.concurrent_mode e;
-          }
-        in
         let trace =
-          try
-            Engine.Concurrent.capture ~config:cc
-              ?snapshot_every:config.snapshot_every
-              ~instance:(instance_for 0) g w
-          with Workload.Invalid_workload msg -> err (Bad_workload msg)
+          match config.capture with
+          | Some t -> t
+          | None -> (
+              let cc =
+                {
+                  Engine.Concurrent.default_config with
+                  mode = Campaign.concurrent_mode e;
+                }
+              in
+              try
+                Engine.Concurrent.capture ~config:cc
+                  ?snapshot_every:config.snapshot_every
+                  ~instance:(instance_for 0) g w
+              with Workload.Invalid_workload msg -> err (Bad_workload msg))
         in
         let cone = Flow.Cone.build g in
-        Some (trace, Engine.Concurrent.activations ~cone trace g faults, cone)
+        let acts = Engine.Concurrent.activations ~cone trace g faults in
+        let pruned =
+          if config.inject_divergence = None then
+            Engine.Concurrent.statically_undetectable ~cone g faults
+          else Array.make n false
+        in
+        Some { Schedule.wi_trace = trace; wi_acts = acts; wi_pruned = pruned }
     | _ -> None
   in
-  (* Statically undetectable faults — sites with no structural path to any
-     output ({!Flow.Cone.observable} false) — are never simulated on a warm
-     campaign: their verdict (undetected) is known without running a cycle,
-     so they are excluded from the batch decomposition and journaled as one
-     typed [{"type":"pruned",...}] record instead. Disabled under
-     [inject_divergence] so the injected fault is guaranteed to execute. *)
-  let pruned =
-    match warm with
-    | Some (_, _, cone) when config.inject_divergence = None ->
-        Engine.Concurrent.statically_undetectable ~cone g faults
-    | _ -> Array.make n false
+  let policy =
+    match (config.schedule, warm_input) with
+    | Some p, _ -> p
+    | None, Some _ -> Schedule.Adaptive
+    | None, None -> Schedule.Fixed
   in
-  let live =
-    Array.of_list (List.filter (fun i -> not pruned.(i)) (List.init n Fun.id))
+  let plan =
+    Schedule.plan ~policy ~granularity:(Schedule.Size config.batch_size)
+      ?capture_mem_limit:config.capture_mem_limit ?warm:warm_input ~design:g
+      ~n ()
   in
-  let nlive = Array.length live in
-  let npruned = n - nlive in
+  let npruned = Array.length plan.Schedule.sp_pruned in
+  let nlive = n - npruned in
   if npruned > 0 then Obs.Metrics.add "cone.pruned" npruned;
-  let nbatches =
-    if nlive = 0 then 0
-    else (nlive + config.batch_size - 1) / config.batch_size
-  in
-  let expected_ids =
-    match warm with
-    | None ->
-        Array.init nbatches (fun i ->
-            let lo = i * config.batch_size in
-            let hi = min n (lo + config.batch_size) in
-            Array.init (hi - lo) (fun k -> lo + k))
-    | Some (_, acts, _) ->
-        let order = Array.copy live in
-        Array.sort
-          (fun a b ->
-            match compare acts.(a) acts.(b) with 0 -> compare a b | c -> c)
-          order;
-        Array.init nbatches (fun i ->
-            let lo = i * config.batch_size in
-            let hi = min nlive (lo + config.batch_size) in
-            Array.sub order lo (hi - lo))
-  in
+  let batches = plan.Schedule.sp_batches in
+  let nbatches = Array.length batches in
+  let expected_ids = Array.map (fun b -> b.Schedule.sb_ids) batches in
   let pruned_record =
     if npruned = 0 then None
     else
@@ -605,33 +631,32 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
              ("type", Jsonl.String "pruned");
              ( "ids",
                Jsonl.List
-                 (List.filter_map
-                    (fun i -> if pruned.(i) then Some (Jsonl.Int i) else None)
-                    (List.init n Fun.id)) );
+                 (Array.to_list
+                    (Array.map (fun i -> Jsonl.Int i) plan.Schedule.sp_pruned))
+             );
            ])
   in
-  (* Latest snapshot at or before a fault set's earliest activation — the
-     warm-start cycle for any engine run over that set. Splits and
-     per-fault quarantine recompute it on their subset, whose minimum can
-     only be later. *)
-  let warm_for ids =
-    match warm with
+  (* The plan itself is journaled on warm campaigns (cold journals keep
+     their historical byte format — a cold plan is the trivial contiguous
+     one and carries no information the header lacks). *)
+  let plan_record =
+    match warm_input with
+    | Some _ -> Some (Schedule.to_json plan)
     | None -> None
-    | Some (trace, acts, _) ->
-        let a = Array.fold_left (fun m id -> min m acts.(id)) max_int ids in
-        Some
-          {
-            Sim.Goodtrace.trace;
-            start = Sim.Goodtrace.start_for trace ~activation:a;
-          }
   in
   let design_name = g.Rtlir.Elaborate.design.Rtlir.Design.dname in
-  let expected_header = header_json ~design_name config w n in
+  let expected_header =
+    header_json ~design_name
+      ?schedule:
+        (if config.warmstart then Some (Schedule.policy_name plan.Schedule.sp_policy)
+         else None)
+      config w n
+  in
   let replay =
     match config.journal with
     | Some path when config.resume && Sys.file_exists path ->
         load_journal path ~expected_header ~expected_pruned:pruned_record
-          ~expected_ids
+          ~expected_plan:plan_record ~expected_ids
     | _ -> empty_replay
   in
   let resumed = replay.rp_outcomes in
@@ -647,6 +672,7 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
           let oc = open_out path in
           append_record oc expected_header;
           Option.iter (append_record oc) pruned_record;
+          Option.iter (append_record oc) plan_record;
           Some oc
         end
         else begin
@@ -670,32 +696,36 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
   in
   (* run the configured engine over [ids] with an explicit workload (the
      budget-wrapped one for batch execution, a narrowed window for shrinker
-     replays); [probe] reaches the concurrent engine only. Warm starts
-     apply only at the captured workload length — the shrinker's narrowed
-     windows run cold. *)
+     replays), through the one shared {!Campaign.dispatch} point; [probe]
+     reaches the concurrent engine only. Warm starts are the plan's — any
+     subset of a batch gets the latest snapshot at or before its own
+     earliest activation — and apply only at the captured workload length:
+     the shrinker's narrowed windows run cold. *)
   let engine_with ?probe ~worker wk ids =
-    match config.engine with
-    | Campaign.Ifsim -> Baselines.Serial.ifsim g wk (renumber faults ids)
-    | Campaign.Vfsim -> Baselines.Serial.vfsim g wk (renumber faults ids)
-    | e ->
-        let corrupt_verdict =
-          match config.inject_divergence with
-          | Some f -> index_of ids f
-          | None -> None
-        in
-        let cc =
-          {
-            Engine.Concurrent.default_config with
-            mode = Campaign.concurrent_mode e;
-            corrupt_verdict;
-          }
-        in
-        let goodtrace =
-          if wk.Workload.cycles = w.Workload.cycles then warm_for ids
-          else None
-        in
-        Engine.Concurrent.run_batch ~config:cc ?probe ?goodtrace
-          ~instance:(instance_for worker) g wk faults ~ids
+    let cc, inst =
+      match config.engine with
+      | Campaign.Ifsim | Campaign.Vfsim -> (None, None)
+      | e ->
+          let corrupt_verdict =
+            match config.inject_divergence with
+            | Some f -> index_of ids f
+            | None -> None
+          in
+          ( Some
+              {
+                Engine.Concurrent.default_config with
+                mode = Campaign.concurrent_mode e;
+                corrupt_verdict;
+              },
+            Some (instance_for worker) )
+    in
+    let goodtrace =
+      if wk.Workload.cycles = w.Workload.cycles then
+        Schedule.warm_for plan ids
+      else None
+    in
+    Campaign.dispatch ?config:cc ?probe ?goodtrace ?instance:inst
+      config.engine g wk faults ~ids
   in
   (* budget- and chaos-free engine entry for the shrinker: replays must be
      pure functions of (ids, cycles) *)
@@ -776,38 +806,39 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
      in [b_failed] — instead of looping or aborting the campaign. *)
   let quarantine_pieces ~worker ~events b_index ids =
     events := quarantine_event b_index ids :: !events;
-    Array.to_list ids
-    |> List.map (fun id ->
-           match engine_on ~worker ~batch:b_index [| id |] with
-           | r -> ([| id |], Some r)
-           | exception Workload.Budget_exceeded _ -> ([| id |], None)
+    Array.to_list (Schedule.singletons ids)
+    |> List.map (fun piece ->
+           match engine_on ~worker ~batch:b_index piece with
+           | r -> (piece, Some r)
+           | exception Workload.Budget_exceeded _ -> (piece, None)
            | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
            | exception e when not (fatal e) ->
                instances.(worker) <- None;
-               ([| id |], None))
+               (piece, None))
   in
-  (* Run one batch under the watchdog. A budget trip splits the batch in
-     half and retries both halves with a fresh budget, down to single-fault
-     batches or [max_retries] split generations — whichever comes first —
-     then reports a structured timeout (or, supervised, falls back to
-     per-fault quarantine). A crash inside the engine discards the worker's
-     instance so the retry runs on a freshly built one. *)
+  (* Run one batch under the watchdog. A budget trip refines the plan:
+     {!Schedule.halve} splits the batch into its two order-preserving
+     halves, each retried with a fresh budget (and, being a smaller fault
+     set, a warm start at or past the parent's), down to unsplittable
+     single-fault batches or [max_retries] split generations — whichever
+     comes first — then reports a structured timeout (or, supervised,
+     falls back to per-fault quarantine, the singleton refinement). A
+     crash inside the engine discards the worker's instance so the retry
+     runs on a freshly built one. *)
   let rec exec_pieces ~worker ~events b_index depth ids =
     match engine_on ~worker ~batch:b_index ids with
     | r -> [ (ids, Some r) ]
-    | exception Workload.Budget_exceeded { cycle; reason } ->
-        if Array.length ids > 1 && depth < config.max_retries then begin
-          Atomic.incr retries;
-          events := split_event b_index ids cycle reason :: !events;
-          let half = Array.length ids / 2 in
-          let left = Array.sub ids 0 half in
-          let right = Array.sub ids half (Array.length ids - half) in
-          exec_pieces ~worker ~events b_index (depth + 1) left
-          @ exec_pieces ~worker ~events b_index (depth + 1) right
-        end
-        else if config.supervise then
-          quarantine_pieces ~worker ~events b_index ids
-        else err (Batch_timeout { batch = b_index; ids; cycle; reason })
+    | exception Workload.Budget_exceeded { cycle; reason } -> (
+        match Schedule.halve ids with
+        | Some (left, right) when depth < config.max_retries ->
+            Atomic.incr retries;
+            events := split_event b_index ids cycle reason :: !events;
+            exec_pieces ~worker ~events b_index (depth + 1) left
+            @ exec_pieces ~worker ~events b_index (depth + 1) right
+        | _ ->
+            if config.supervise then
+              quarantine_pieces ~worker ~events b_index ids
+            else err (Batch_timeout { batch = b_index; ids; cycle; reason }))
     | exception Workload.Invalid_workload msg -> err (Bad_workload msg)
     | exception e when config.supervise && not (fatal e) ->
         instances.(worker) <- None;
@@ -930,7 +961,8 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
                     (out_name i, expected.(i), observed.(i)))
         in
         (match
-           Shrink.shrink ~run_engine ~run_oracle ~observe ~fault:d.div_fault
+           Shrink.shrink ~run_engine ~run_oracle ~refine:Schedule.halve
+             ~observe ~fault:d.div_fault
              ~ids ~cycles:w.Workload.cycles ()
          with
         | None -> None
@@ -1145,14 +1177,30 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
                   run_one_batch ~worker:ctx.Pool.worker ~events i
                     expected_ids.(i))
             in
-            let futures =
-              Array.init nbatches (fun i ->
-                  match outcomes.(i) with
-                  | Some _ -> None
-                  | None ->
-                      let events = ref [] in
-                      Some (events, submit events i))
-            in
+            (* Submit outstanding batches costliest-first (the plan's cost
+               hint) so the long pole starts before the pool fills with
+               short batches; await — and therefore journal and merge — in
+               batch-index order below, so reports and journals keep their
+               bytes for any submission order. *)
+            let futures = Array.make nbatches None in
+            let order = Array.init nbatches (fun i -> i) in
+            Array.sort
+              (fun a b ->
+                match
+                  compare batches.(b).Schedule.sb_cost
+                    batches.(a).Schedule.sb_cost
+                with
+                | 0 -> compare a b
+                | c -> c)
+              order;
+            Array.iter
+              (fun i ->
+                match outcomes.(i) with
+                | Some _ -> ()
+                | None ->
+                    let events = ref [] in
+                    futures.(i) <- Some (events, submit events i))
+              order;
             Array.iteri
               (fun i slot ->
                 match slot with
@@ -1214,8 +1262,16 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     outcomes;
   let wall = Stats.now () -. t0 in
   !stats.Stats.total_seconds <- wall;
-  (match warm with
-  | Some _ -> !stats.Stats.goodtrace_captures <- 1
+  (match warm_input with
+  | Some _ ->
+      (* one capture run behind this result, whether this invocation ran
+         it or reused a shared one via [config.capture] *)
+      !stats.Stats.goodtrace_captures <- 1;
+      !stats.Stats.plan_batches <- nbatches;
+      !stats.Stats.plan_snapshots <-
+        (match plan.Schedule.sp_trace with
+        | Some t -> Array.length t.Sim.Goodtrace.snapshots
+        | None -> 0)
   | None -> ());
   !stats.Stats.cone_pruned <- npruned;
   let result =
@@ -1233,10 +1289,10 @@ let run ?(config = default_config) (g : Rtlir.Elaborate.t) (w : Workload.t)
     divergences = !divergences;
     quarantined = List.map (fun d -> d.div_fault) !divergences;
     failed_faults = List.rev !failed_faults;
-    pruned_faults = List.filter (fun i -> pruned.(i)) (List.init n Fun.id);
+    pruned_faults = Array.to_list plan.Schedule.sp_pruned;
     repros = !repro_files;
     capture_bytes =
-      (match warm with
-      | Some (t, _, _) -> t.Sim.Goodtrace.capture_bytes
+      (match plan.Schedule.sp_trace with
+      | Some t -> t.Sim.Goodtrace.capture_bytes
       | None -> 0);
   }

@@ -149,7 +149,29 @@ type config = {
   snapshot_every : int option;
       (** snapshot interval for the warm-start capture, in cycles
           ([None]: [max 8 (cycles / 16)]). Smaller intervals skip dead
-          prefixes more precisely at a linear memory cost. *)
+          prefixes more precisely at a linear memory cost. The [Adaptive]
+          schedule replans snapshot placement after capture either way
+          (within the captured snapshot count as its budget). *)
+  schedule : Schedule.policy option;
+      (** planner policy for the batch decomposition ([None]: [Adaptive]
+          when warm, degrades to [Fixed] cold — which reproduces the
+          historical contiguous-chunk decomposition byte-for-byte).
+          Journaled in a warm header's ["schedule"] field and in the
+          typed [{"type":"plan",...}] record; on [resume] the journal's
+          policy is adopted like [warmstart]. Verdicts are byte-identical
+          across policies — batches never interact. *)
+  capture : Sim.Goodtrace.t option;
+      (** pre-captured good trace to plan from instead of capturing one
+          here ([warmstart] runs only). The capture runs zero faults, so
+          a trace is valid for every engine mode — this is how the bench
+          sweeps share one capture across engines, jobs and schedule
+          policies. [goodtrace_captures] still reports 1: one capture run
+          stands behind the result. *)
+  capture_mem_limit : int option;
+      (** spill the planned trace's int64 payloads to a disk-backed mmap
+          ({!Sim.Goodtrace.spill}) when its [capture_bytes] exceeds this
+          many bytes ([None]: never spill). Replay — and the report's
+          bytes — are unchanged. *)
 }
 
 (** Eraser engine, batches of 64, no watchdog, no journal, no sampling. *)

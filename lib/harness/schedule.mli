@@ -1,0 +1,115 @@
+(** The fault-schedule planner: one cost-model-driven batching layer shared
+    by every execution path ({!Campaign}, {!Resilient}, the pool workers,
+    and — through {!halve} — the retry/quarantine/shrink refinements).
+
+    A {!t} ("plan") fixes, before any fault simulation runs, how the fault
+    set is decomposed into ordered batches, which good-trace snapshot each
+    batch warm-starts from, and a relative cost hint per batch (used to
+    submit long batches to the pool first). Planning is deterministic: the
+    same inputs always produce the same plan, which is what lets
+    {!Resilient} journal the plan as a typed record and validate it on
+    resume, and what makes reports byte-identical across [--jobs] values.
+
+    Because batches never interact — each fault's verdict depends only on
+    its own injected run against the shared good network — any plan is
+    sound: stats-free verdict reports are byte-identical for {e any}
+    permutation partition of the fault set. Policies only trade how much
+    redundant good-network prefix the engine gets to skip. *)
+
+(** How faults are grouped and warm-started:
+
+    - [Fixed] — batches cut from ascending fault ids, snapshots on the
+      capture's fixed grid. On a cold run this reproduces the historical
+      contiguous-chunk decomposition byte-for-byte.
+    - [Activation] — faults sorted by activation window (ties by id) so
+      batches share dead prefixes; snapshots stay on the capture grid and
+      each batch starts from the latest grid snapshot at or before its
+      earliest activation.
+    - [Adaptive] — activation-sorted batches, but the snapshot set itself
+      is replanned: each batch's exact earliest-activation boundary is
+      reconstructed post hoc ({!Sim.Goodtrace.with_snapshots}) under a
+      budget of at most as many snapshots as the capture already held, so
+      the skipped prefix is maximal at unchanged snapshot memory. Densely
+      clustered activation boundaries are merged (closest pair first,
+      keeping the earlier — hence still sound — cycle) until the budget
+      holds.
+
+    Without a warm capture every policy degrades to [Fixed]. *)
+type policy = Fixed | Activation | Adaptive
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+(** Batch decomposition grain: [Size s] cuts batches of at most [s] faults
+    ({!Resilient}'s [batch_size] — independent of worker count, so plans
+    resume across [--jobs]); [Chunks k] cuts at most [k] near-equal chunks
+    ({!Campaign}'s one-chunk-per-job split). *)
+type granularity = Size of int | Chunks of int
+
+type batch = {
+  sb_index : int;  (** position in the plan; reports merge in this order *)
+  sb_ids : int array;  (** original fault ids, in planned execution order *)
+  sb_start : int;
+      (** warm-start snapshot cycle ([0] = cold start from reset) *)
+  sb_cost : float;
+      (** relative cost hint: live faults × good-trace events remaining
+          after [sb_start] (uniform per-fault on cold plans) *)
+}
+
+(** Everything the planner consumes about a warm capture. *)
+type warm_input = {
+  wi_trace : Sim.Goodtrace.t;
+  wi_acts : int array;  (** per fault id: activation window start *)
+  wi_pruned : bool array;  (** per fault id: statically undetectable *)
+}
+
+type t = {
+  sp_policy : policy;  (** effective policy ([Fixed] when planned cold) *)
+  sp_batches : batch array;
+  sp_pruned : int array;  (** ascending pruned fault ids (empty when cold) *)
+  sp_trace : Sim.Goodtrace.t option;
+      (** the trace consumers must replay from — under [Adaptive] this is
+          the re-snapshotted (and possibly spilled) trace, not the one
+          passed in via [warm_input] *)
+  sp_acts : int array option;
+      (** retained activation windows, so refinements of a batch can
+          recompute their own warm starts via {!warm_for} *)
+}
+
+(** [plan ~policy ~granularity ~design ~n ()] decomposes fault ids
+    [0..n-1] into a plan. With [?warm] absent the plan is cold: no
+    pruning, identity order, every batch starts at cycle 0. With [?warm]
+    present, statically-undetectable faults are pruned into [sp_pruned],
+    live faults are ordered per [policy], and each batch gets the best
+    warm start its policy allows. [?capture_mem_limit] spills the planned
+    trace to a disk-backed mmap ({!Sim.Goodtrace.spill}) when its
+    [capture_bytes] exceeds the limit. *)
+val plan :
+  policy:policy ->
+  granularity:granularity ->
+  ?capture_mem_limit:int ->
+  ?warm:warm_input ->
+  design:Rtlir.Elaborate.t ->
+  n:int ->
+  unit ->
+  t
+
+(** The warm start for any subset of a plan's fault ids (a whole planned
+    batch, or a refinement of one): latest snapshot at or before the
+    subset's earliest activation. [None] on cold plans. *)
+val warm_for : t -> int array -> Sim.Goodtrace.warm option
+
+(** Split a batch's id array into its two order-preserving halves — the
+    planner's refinement step, shared by retry-by-halving ({!Resilient})
+    and divergence shrinking ({!Shrink}). [None] when the batch cannot be
+    split further (fewer than two faults). *)
+val halve : int array -> (int array * int array) option
+
+(** Refine a batch into single-fault batches (quarantine grain). *)
+val singletons : int array -> int array array
+
+(** The typed journal record ([{"type":"plan",...}]) {!Resilient} writes
+    after the header and validates for exact equality on resume: policy,
+    batch count, and per-batch warm-start cycles. Batch id membership is
+    already validated per batch record, so ids are not repeated here. *)
+val to_json : t -> Jsonl.t

@@ -17,7 +17,7 @@ type outcome = {
    not stall the batch that found it. *)
 let max_attempts = 256
 
-let shrink ~run_engine ~run_oracle ?observe ~fault ~ids ~cycles () =
+let shrink ~run_engine ~run_oracle ?refine ?observe ~fault ~ids ~cycles () =
   let attempts = ref 0 in
   (* the oracle is per-fault and per-window only — cache by window *)
   let oracle_cache = Hashtbl.create 8 in
@@ -53,6 +53,33 @@ let shrink ~run_engine ~run_oracle ?observe ~fault ~ids ~cycles () =
   match diverges ids cycles with
   | None -> None
   | Some _ ->
+      (* Plan-refinement descent before ddmin: repeatedly split the id set
+         the way the campaign's planner would (e.g. {!Schedule.halve}),
+         keep the half holding the divergent fault while it still
+         reproduces. O(log n) probes that mirror the runner's own
+         retry-by-halving, so ddmin starts from a campaign-realistic
+         sub-batch instead of the full one. *)
+      let ids =
+        match refine with
+        | None -> ids
+        | Some split ->
+            let rec descend set =
+              if !attempts >= max_attempts then set
+              else
+                match split set with
+                | None -> set
+                | Some (l, r) ->
+                    let half =
+                      if Array.exists (fun id -> id = fault) l then l else r
+                    in
+                    if
+                      Array.length half < Array.length set
+                      && diverges half cycles <> None
+                    then descend half
+                    else set
+            in
+            descend ids
+      in
       let comp =
         ref
           (Array.of_seq

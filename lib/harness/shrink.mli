@@ -42,12 +42,17 @@ type outcome = {
     returns [None] when the divergence does not reproduce there (a flaky
     quarantine: better no reproducer than a wrong one). [run_engine] runs
     the campaign engine over a fault-id subset and window; [run_oracle]
-    runs the lone serial oracle for one fault. [?observe] captures the
-    expected-vs-observed output values of the final minimal reproducer.
-    Work is bounded: at most ~256 engine replays. *)
+    runs the lone serial oracle for one fault. [?refine] is a planner-style
+    splitter (e.g. {!Schedule.halve}): before ddmin, the id set is
+    repeatedly split and the half holding [fault] kept while the divergence
+    still reproduces — O(log n) probes that mirror the resilient runner's
+    retry-by-halving, so ddmin starts from a campaign-realistic sub-batch.
+    [?observe] captures the expected-vs-observed output values of the final
+    minimal reproducer. Work is bounded: at most ~256 engine replays. *)
 val shrink :
   run_engine:(ids:int array -> cycles:int -> Fault.result) ->
   run_oracle:(id:int -> cycles:int -> bool * int) ->
+  ?refine:(int array -> (int array * int array) option) ->
   ?observe:(ids:int array -> cycles:int -> (string * string * string) list) ->
   fault:int ->
   ids:int array ->

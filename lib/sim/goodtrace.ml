@@ -29,6 +29,7 @@ type t = {
   snapshots : (int * State.t) array;
   snapshot_every : int;
   capture_bytes : int;
+  spilled : bool;
 }
 
 exception Trace_mismatch of string
@@ -190,6 +191,7 @@ let finish b =
     snapshots;
     snapshot_every = b.b_k;
     capture_bytes;
+    spilled = false;
   }
 
 (* ---- replay ---- *)
@@ -314,6 +316,137 @@ let start_for t ~activation =
   !best
 
 type warm = { trace : t; start : int }
+
+(* ---- post-hoc snapshot placement ---- *)
+
+(* Apply every recorded state update in [code[!i, upto)] onto [st] —
+   signal writes AND ff memory writes. This is deliberately not
+   {!scan_events}: that walk skips memory payloads (memory words carry no
+   fault sites), while exact state reconstruction needs them. *)
+let apply_events t st ~upto i vi =
+  let code = t.code and vals = t.vals in
+  while !i < upto do
+    match code.(!i) with
+    | 0 ->
+        State.set st code.(!i + 1) (Bigarray.Array1.get vals !vi);
+        i := !i + 2;
+        incr vi
+    | 1 ->
+        State.set st code.(!i + 2) (Bigarray.Array1.get vals !vi);
+        i := !i + 3;
+        incr vi
+    | 2 ->
+        let nw = code.(!i + 3) and nrec = code.(!i + 4) in
+        for j = 0 to nw - 1 do
+          State.set st code.(!i + 5 + j) (Bigarray.Array1.get vals (!vi + j))
+        done;
+        i := !i + 5 + nw + nrec;
+        vi := !vi + nw
+    | 3 ->
+        let nw = code.(!i + 2)
+        and nmw = code.(!i + 3)
+        and nrec = code.(!i + 4) in
+        let wbase = !i + 5 in
+        let mbase = wbase + nw in
+        for j = 0 to nw - 1 do
+          State.set st code.(wbase + j) (Bigarray.Array1.get vals (!vi + j))
+        done;
+        for j = 0 to nmw - 1 do
+          State.set_mem st
+            code.(mbase + (2 * j))
+            code.(mbase + (2 * j) + 1)
+            (Bigarray.Array1.get vals (!vi + nw + j))
+        done;
+        i := !i + 5 + nw + (2 * nmw) + nrec;
+        vi := !vi + nw + nmw
+    | 4 -> incr i
+    | other -> mismatch "corrupt trace: opcode %d at offset %d" other !i
+  done
+
+let with_snapshots t ~base ~at =
+  let at =
+    List.sort_uniq compare (t.cycles :: at)
+    |> List.filter (fun c -> c >= 1 && c <= t.cycles)
+  in
+  if at = [] then t
+  else begin
+    (* The event stream is a complete state-update log, so replaying it
+       over a pristine base reconstructs the exact good state at any cycle
+       boundary. The clock signal is the one exception — its toggles are
+       step markers, not writes — but its boundary value is the same every
+       cycle, so it is borrowed from any existing snapshot. *)
+    let clock_v =
+      if Array.length t.snapshots > 0 then
+        Some (State.get (snd t.snapshots.(0)) t.clock)
+      else None
+    in
+    let st = base in
+    let i = ref 0 and vi = ref 0 in
+    let snaps =
+      List.map
+        (fun sc ->
+          apply_events t st ~upto:t.cycle_code.(sc) i vi;
+          (match clock_v with Some v -> State.set st t.clock v | None -> ());
+          (sc, State.copy st))
+        at
+    in
+    let snapshots = Array.of_list snaps in
+    let capture_bytes =
+      (8
+      * (Array.length t.code
+        + Bigarray.Array1.dim t.vals
+        + (t.cycles * t.nout)))
+      + (16 * (t.cycles + 1))
+      + Array.fold_left (fun acc (_, s) -> acc + state_bytes s) 0 snapshots
+    in
+    { t with snapshots; capture_bytes }
+  end
+
+(* ---- disk spill ---- *)
+
+let spill t =
+  if t.spilled then t
+  else begin
+    let vlen = Bigarray.Array1.dim t.vals in
+    let olen = Bigarray.Array1.dim t.outputs in
+    let snap_words =
+      Array.fold_left
+        (fun acc (_, s) -> acc + s.State.nsig + State.mem_words s)
+        0 t.snapshots
+    in
+    let total = vlen + olen + snap_words in
+    (* One mmap-backed slab in an unlinked temp file: the mapping keeps
+       the storage alive (and shareable across domains) until the trace is
+       collected, while the file itself never outlives the process. *)
+    let path = Filename.temp_file "eraser_goodtrace" ".bin" in
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+    (try Sys.remove path with Sys_error _ -> ());
+    let slab =
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.int64 Bigarray.c_layout true
+           [| max 1 total |])
+    in
+    Unix.close fd;
+    let off = ref 0 in
+    let carve n =
+      let v = Bigarray.Array1.sub slab !off n in
+      off := !off + n;
+      v
+    in
+    let vals = carve vlen in
+    Bigarray.Array1.blit t.vals vals;
+    let outputs = carve olen in
+    Bigarray.Array1.blit t.outputs outputs;
+    let snapshots =
+      Array.map
+        (fun (c, s) ->
+          let sig_v = carve s.State.nsig in
+          let mem_v = carve (State.mem_words s) in
+          (c, State.with_storage s ~sig_v ~mem_v))
+        t.snapshots
+    in
+    { t with vals; outputs; snapshots; spilled = true }
+  end
 
 (* ---- activation windows ---- *)
 

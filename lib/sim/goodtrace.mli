@@ -44,6 +44,9 @@ type t = {
           [cycles] (so a never-activating fault can skip the whole run). *)
   snapshot_every : int;
   capture_bytes : int;  (** approximate heap footprint of the capture *)
+  spilled : bool;
+      (** [true] when the int64 payloads ([vals], [outputs], snapshot
+          storage) live in a disk-backed mmap slab (see {!spill}). *)
 }
 
 exception Trace_mismatch of string
@@ -141,6 +144,28 @@ val start_for : t -> activation:int -> int
 
 (** A warm-start request: replay [trace] beginning at snapshot [start]. *)
 type warm = { trace : t; start : int }
+
+(** [with_snapshots t ~base ~at] is [t] with its snapshot set replaced by
+    exact post-hoc snapshots at the requested cycle boundaries (clamped to
+    [\[1, cycles\]], deduplicated; the final boundary [cycles] is always
+    kept so never-activating faults still skip the whole run). Because the
+    event stream is a complete state-update log, each snapshot is
+    reconstructed by replaying all recorded signal {e and memory} writes
+    over [base] — which must be a fresh [State.create] of the captured
+    design and is consumed (mutated) by the call. [capture_bytes] is
+    recomputed for the new snapshot set. This is the seam the schedule
+    planner's adaptive policy uses to move snapshots onto batch activation
+    boundaries without re-running the capture. *)
+val with_snapshots : t -> base:State.t -> at:int list -> t
+
+(** Move the trace's int64 payloads ([vals], [outputs], every snapshot's
+    signal/memory storage) into one disk-backed [Unix.map_file] slab over
+    an unlinked temp file, so million-cycle captures no longer hold the
+    delta stream in heap memory. The [int] arrays ([code], cycle indices)
+    stay on the heap — they are the smaller half and OCaml [int] arrays
+    cannot be mmap-backed. Replay is unchanged (same Bigarray access
+    path); idempotent on an already-spilled trace. *)
+val spill : t -> t
 
 (** {1 Activation windows} *)
 

@@ -24,4 +24,5 @@ let () =
       ("report", Test_report.suite);
       ("warmstart", Test_warmstart.suite);
       ("activation", Test_activation.suite);
+      ("schedule", Test_schedule.suite);
     ]
