@@ -1,0 +1,72 @@
+(* Validate a BENCH_lanes.json document (bench-smoke alias): parse it back
+   through Harness.Jsonl and check the schema plus the two claims the
+   lane-packed mode stands on — verdicts equal to the scalar run on every
+   circuit, and strictly fewer faulty behavior-network executions on every
+   circuit (identical-overlay lanes share one pass). Wall time is noisy at
+   smoke scale, so it is only gated where the effect is largest: the
+   packed run must beat the scalar run on sha256. *)
+module J = Harness.Jsonl
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_lanes FILE"
+  in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> fail "%s: empty" path in
+  close_in ic;
+  let doc = try J.parse line with J.Parse_error m -> fail "%s: %s" path m in
+  if J.get_string "experiment" doc <> "lanes" then
+    fail "%s: not a lanes document" path;
+  let finite what v =
+    if not (Float.is_finite v) then fail "%s: non-finite %s" path what;
+    v
+  in
+  ignore (finite "scale" (J.get_float "scale" doc));
+  let circuits = J.get_list "circuits" doc in
+  if List.length circuits <> 3 then
+    fail "%s: expected 3 circuits, got %d" path (List.length circuits);
+  let sha_beats_scalar = ref false in
+  List.iter
+    (fun c ->
+      let name = J.get_string "name" c in
+      let faults = J.get_int "faults" c in
+      if faults < 1 then fail "%s: no faults" name;
+      if J.get_int "cycles" c < 1 then fail "%s: no cycles" name;
+      let scalar_wall = finite "scalar_wall_s" (J.get_float "scalar_wall_s" c)
+      and packed_wall = finite "packed_wall_s" (J.get_float "packed_wall_s" c)
+      in
+      if scalar_wall < 0.0 || packed_wall < 0.0 then
+        fail "%s: negative wall time" name;
+      if finite "capture_wall_s" (J.get_float "capture_wall_s" c) < 0.0 then
+        fail "%s: negative capture wall" name;
+      let groups = J.get_int "lane_groups" c in
+      if groups < 1 then fail "%s: packed run reports no lane groups" name;
+      if groups > (faults + 63) / 64 then
+        fail "%s: more lane groups (%d) than %d faults can fill" name groups
+          faults;
+      let occ = finite "lane_occupancy_mean" (J.get_float "lane_occupancy_mean" c) in
+      if occ < 1.0 || occ > 64.0 then
+        fail "%s: lane occupancy mean %.2f outside [1, 64]" name occ;
+      let fb = J.get_int "scalar_fallbacks" c in
+      if fb < 0 || fb > faults then
+        fail "%s: scalar fallbacks %d outside the batch" name fb;
+      (* the mode's soundness gate: packing changes execution, not verdicts *)
+      if not (J.get_bool "verdicts_equal" c) then
+        fail "%s: lane-packed verdicts differ from scalar" name;
+      (* the mode's point: strictly fewer faulty behavior-network passes *)
+      let sbn = J.get_int "scalar_bn_fault_exec" c
+      and pbn = J.get_int "packed_bn_fault_exec" c in
+      if sbn < 1 then fail "%s: scalar run executed nothing" name;
+      if pbn >= sbn then
+        fail "%s: packing did not reduce bn_fault_exec (%d >= %d)" name pbn
+          sbn;
+      if String.length name >= 3 && String.sub name 0 3 = "SHA" then
+        sha_beats_scalar := packed_wall < scalar_wall)
+    circuits;
+  if not !sha_beats_scalar then
+    fail "%s: packed wall time did not beat scalar on sha256" path;
+  Printf.printf "bench-smoke: %s ok (%d circuits)\n" path
+    (List.length circuits)

@@ -1,0 +1,80 @@
+open Faultsim
+
+let width = 64
+let ngroups nfaults = (nfaults + width - 1) / width
+let group f = f lsr 6
+let lane f = f land 63
+let bit f = Int64.shift_left 1L (f land 63)
+
+(* Stuck-at faults pack: their divergence is a standing single-bit force
+   whose diffs the lane masks index exactly. Transients ([Flip_at]) fall
+   back to the scalar bookkeeping path: their injection is a cycle-stamped
+   state flip whose suppress/solo edge handling stays per-fault. *)
+let compatible (f : Fault.t) = not (Fault.is_transient f)
+
+type plan = {
+  nfaults : int;
+  groups : int;  (** lane groups covering ids [0 .. nfaults-1], 64 wide *)
+  packed : int64 array;  (** per group: lanes eligible for packed eval *)
+  live : int64 array;  (** per group: lanes holding a fault at all *)
+  packed_count : int;
+  fallback_count : int;
+}
+
+let plan faults =
+  let nfaults = Array.length faults in
+  let groups = ngroups nfaults in
+  let packed = Array.make (max groups 1) 0L in
+  let live = Array.make (max groups 1) 0L in
+  let packed_count = ref 0 in
+  Array.iteri
+    (fun f (fa : Fault.t) ->
+      live.(group f) <- Int64.logor live.(group f) (bit f);
+      if compatible fa then begin
+        incr packed_count;
+        packed.(group f) <- Int64.logor packed.(group f) (bit f)
+      end)
+    faults;
+  {
+    nfaults;
+    groups;
+    packed;
+    live;
+    packed_count = !packed_count;
+    fallback_count = nfaults - !packed_count;
+  }
+
+let popcount x =
+  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      (Int64.logand x 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+
+(* Index of the single set bit in a power of two (de Bruijn multiply). *)
+let debruijn = 0x03F79D71B4CB0A89L
+
+let tz_table =
+  let t = Array.make 64 0 in
+  for i = 0 to 63 do
+    t.(Int64.to_int
+         (Int64.shift_right_logical
+            (Int64.mul (Int64.shift_left 1L i) debruijn)
+            58))
+    <- i
+  done;
+  t
+
+let[@inline] bit_index b =
+  tz_table.(Int64.to_int (Int64.shift_right_logical (Int64.mul b debruijn) 58))
+
+let iter_lanes m f =
+  let m = ref m in
+  while !m <> 0L do
+    let b = Int64.logand !m (Int64.neg !m) in
+    f (bit_index b);
+    m := Int64.logxor !m b
+  done

@@ -1,0 +1,48 @@
+(** Lane packing for the concurrent engine: group a fault batch into
+    64-wide lane groups so one behavior-network pass can advance every
+    diverged lane of a group at once.
+
+    A fault's lane assignment is positional — fault id [f] occupies lane
+    [f land 63] of group [f lsr 6] — so lane-group membership never
+    reorders the batch and verdict demux is the identity. The planner
+    classifies each fault as {e packed} (eligible for the mask-driven
+    evaluation path, with its per-lane validity skip and identical-overlay
+    execution sharing) or {e scalar fallback} (transients, whose
+    cycle-stamped injection and suppress/solo edge handling stay strictly
+    per-fault). Every fault lands in exactly one group, and in exactly one
+    of the two classes. *)
+
+open Faultsim
+
+(** Lanes per group (the word width of the diff masks): 64. *)
+val width : int
+
+val ngroups : int -> int
+
+(** [group f] / [lane f] / [bit f] — positional lane assignment of fault
+    id [f]. *)
+val group : int -> int
+
+val lane : int -> int
+val bit : int -> int64
+
+(** A fault packs unless it is a transient ([Flip_at]). *)
+val compatible : Fault.t -> bool
+
+type plan = {
+  nfaults : int;
+  groups : int;  (** lane groups covering ids [0 .. nfaults-1], 64 wide *)
+  packed : int64 array;  (** per group: lanes eligible for packed eval *)
+  live : int64 array;  (** per group: lanes holding a fault at all *)
+  packed_count : int;
+  fallback_count : int;
+}
+
+val plan : Fault.t array -> plan
+
+(** Number of set bits. *)
+val popcount : int64 -> int
+
+(** [iter_lanes m f] calls [f] with the index of every set bit of [m], in
+    ascending order. *)
+val iter_lanes : int64 -> (int -> unit) -> unit

@@ -1,0 +1,267 @@
+(* Lane-packed fault batching regression suite.
+
+   The contract under test (DESIGN.md section 16): packing a batch into
+   64-wide lane groups changes how the concurrent engine enumerates and
+   executes candidates, never what it reports — verdicts reports are
+   byte-identical to scalar mode across engine styles, worker counts,
+   cold/warm starts, and torn-journal resume. The satellites riding along:
+   the Lanes planner's grouping soundness, per-lane convergence-rejoin vs
+   the serial oracle, and the journal heartbeat record shape. *)
+
+open Faultsim
+module H = Harness
+module J = H.Jsonl
+
+let render_verdicts ~design ~engine ~faults r =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.verdicts ppf ~design ~engine:(H.Campaign.engine_name engine)
+    ~faults r;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let render_resilient ~design ~engine ~faults ~verdicts s =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  H.Json_report.resilient ppf ~design ~engine:(H.Campaign.engine_name engine)
+    ~faults ~verdicts s;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* ---- lane-grouping soundness ---- *)
+
+(* On randomized designs (with transients mixed in so the scalar-fallback
+   class is populated): every fault occupies exactly one lane of exactly
+   one group, packed lanes are live lanes, a lane is packed iff its fault
+   is compatible, and the two classes partition the batch. *)
+let test_grouping_soundness () =
+  for seed = 1 to 25 do
+    let s =
+      H.Rand_design.generate ~cycles:40 ~max_faults:200
+        ~seed:(Int64.of_int (77_000 + seed))
+        ()
+    in
+    let faults =
+      Array.mapi
+        (fun i f ->
+          if i mod 5 = 3 then { f with Fault.stuck = Fault.Flip_at (i mod 17) }
+          else f)
+        s.H.Rand_design.faults
+    in
+    let n = Array.length faults in
+    let plan = Engine.Lanes.plan faults in
+    Alcotest.(check int)
+      "nfaults recorded" n plan.Engine.Lanes.nfaults;
+    Alcotest.(check int)
+      "groups cover the id range"
+      ((n + Engine.Lanes.width - 1) / Engine.Lanes.width)
+      plan.Engine.Lanes.groups;
+    Alcotest.(check int)
+      "classes partition the batch" n
+      (plan.Engine.Lanes.packed_count + plan.Engine.Lanes.fallback_count);
+    let live_total = ref 0 and packed_total = ref 0 in
+    Array.iteri
+      (fun grp live ->
+        live_total := !live_total + Engine.Lanes.popcount live;
+        let packed = plan.Engine.Lanes.packed.(grp) in
+        packed_total := !packed_total + Engine.Lanes.popcount packed;
+        if Int64.logand packed (Int64.lognot live) <> 0L then
+          Alcotest.failf "seed %d: packed lane not live in group %d" seed grp)
+      plan.Engine.Lanes.live;
+    Alcotest.(check int) "every fault in exactly one lane" n !live_total;
+    Alcotest.(check int)
+      "packed lanes count the compatible class" plan.Engine.Lanes.packed_count
+      !packed_total;
+    Array.iteri
+      (fun f (fa : Fault.t) ->
+        let grp = Engine.Lanes.group f and b = Engine.Lanes.bit f in
+        Alcotest.(check int)
+          "positional group" (f / Engine.Lanes.width) grp;
+        if Int64.logand plan.Engine.Lanes.live.(grp) b = 0L then
+          Alcotest.failf "seed %d: fault %d missing from its lane" seed f;
+        let packed = Int64.logand plan.Engine.Lanes.packed.(grp) b <> 0L in
+        Alcotest.(check bool)
+          "packed iff compatible" (Engine.Lanes.compatible fa) packed)
+      faults
+  done
+
+(* ---- byte-identical verdicts: engines x jobs x cold/warm ---- *)
+
+let test_lane_verdicts_byte_identical () =
+  let c = Circuits.find "alu" in
+  let d, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale:0.1 in
+  List.iter
+    (fun engine ->
+      let scalar = H.Campaign.run engine g w faults in
+      let scalar_s = render_verdicts ~design:d ~engine ~faults scalar in
+      List.iter
+        (fun warmstart ->
+          List.iter
+            (fun jobs ->
+              let packed =
+                H.Campaign.run ~lanes:true ~jobs ~warmstart engine g w faults
+              in
+              let packed_s = render_verdicts ~design:d ~engine ~faults packed in
+              if packed_s <> scalar_s then
+                Alcotest.failf "%s -j %d %s: lane verdicts differ"
+                  (H.Campaign.engine_name engine)
+                  jobs
+                  (if warmstart then "warm" else "cold"))
+            [ 1; 2; 4 ])
+        [ false; true ])
+    [
+      H.Campaign.Z01x_proxy; H.Campaign.Eraser_mm; H.Campaign.Eraser_m;
+      H.Campaign.Eraser;
+    ]
+
+(* ---- convergence-rejoin equivalence vs the serial oracle ---- *)
+
+(* Random designs exercise divergence that later collapses back to the
+   good values (the rejoin path removes the lane's diffs and its candidate
+   mask bits); the lane-packed verdict set must still match the serial
+   oracle's exactly. *)
+let test_lane_rejoin_matches_oracle () =
+  for seed = 1 to 20 do
+    let s =
+      H.Rand_design.generate ~cycles:100 ~max_faults:40
+        ~seed:(Int64.of_int (123_000 + seed))
+        ()
+    in
+    let g = s.H.Rand_design.graph in
+    let w = s.H.Rand_design.workload in
+    let faults = s.H.Rand_design.faults in
+    let oracle = Baselines.Serial.ifsim g w faults in
+    List.iter
+      (fun engine ->
+        let packed = H.Campaign.run ~lanes:true engine g w faults in
+        if not (Fault.same_verdict oracle packed) then
+          Alcotest.failf "seed %d: %s lane verdicts diverge from the oracle"
+            seed
+            (H.Campaign.engine_name engine))
+      [ H.Campaign.Eraser_mm; H.Campaign.Eraser_m; H.Campaign.Eraser ]
+  done
+
+(* ---- torn-journal resume of a lane-mode run ---- *)
+
+let drop_last_line path =
+  let ic = open_in_bin path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let kept = List.rev (match !lines with _ :: tl -> tl | [] -> []) in
+  let oc = open_out_bin path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    kept;
+  close_out oc
+
+(* A lane-mode journal records a "lanes" header field; a torn campaign
+   resumed WITHOUT the flag must adopt the journal's mode (like warmstart)
+   and replay to a byte-identical resilient report. *)
+let test_lane_journal_resumes () =
+  let c = Circuits.find "alu" in
+  let d, g, w, faults = Circuits.Bench_circuit.instantiate c ~scale:0.1 in
+  let engine = H.Campaign.Eraser in
+  let verdicts = Classify.classify g faults in
+  let journal = Filename.temp_file "eraser_lanes" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+    (fun () ->
+      let cfg =
+        {
+          H.Resilient.default_config with
+          H.Resilient.engine;
+          jobs = 1;
+          batch_size = 8;
+          journal = Some journal;
+          lanes = true;
+        }
+      in
+      let full = H.Resilient.run ~config:cfg g w faults in
+      let reference =
+        render_resilient ~design:d ~engine ~faults ~verdicts full
+      in
+      (* the journal header carries the mode *)
+      let header =
+        let ic = open_in journal in
+        let line = input_line ic in
+        close_in ic;
+        J.parse line
+      in
+      (match J.member "lanes" header with
+      | Some (J.Bool true) -> ()
+      | _ -> Alcotest.fail "lane-mode journal header lacks \"lanes\": true");
+      drop_last_line journal;
+      let resumed =
+        H.Resilient.run
+          ~config:{ cfg with H.Resilient.resume = true; jobs = 2; lanes = false }
+          g w faults
+      in
+      if resumed.H.Resilient.batches_resumed = 0 then
+        Alcotest.fail "resume replayed nothing from the journal";
+      Alcotest.(check string)
+        "resumed lane-mode resilient report byte-identical" reference
+        (render_resilient ~design:d ~engine ~faults ~verdicts resumed))
+
+(* ---- heartbeat record shape (satellite: faults/s progress) ---- *)
+
+(* The journal heartbeat record shape is a stability contract: resume
+   replay skips these records by field lookup, and the progress line is
+   denominated in faults/s in both modes. *)
+let test_heartbeat_shape_unchanged () =
+  let t = ref 0.0 in
+  let hb =
+    Obs.Heartbeat.create ~now:(fun () -> !t) ~interval:1.0 ~total:128 ()
+  in
+  t := 2.0;
+  match Obs.Heartbeat.update hb ~done_:64 ~detected:16 with
+  | None -> Alcotest.fail "tick expected"
+  | Some tick ->
+      let j = J.parse (Obs.Heartbeat.to_json hb tick) in
+      (match j with
+      | J.Obj kvs ->
+          Alcotest.(check (list string))
+            "heartbeat field set and order"
+            [
+              "type"; "done"; "total"; "detected"; "elapsed_s";
+              "faults_per_sec"; "eta_s";
+            ]
+            (List.map fst kvs)
+      | _ -> Alcotest.fail "heartbeat record is not an object");
+      Alcotest.(check string)
+        "record type" "heartbeat" (J.get_string "type" j);
+      Alcotest.(check int) "done" 64 (J.get_int "done" j);
+      (* rate is faults per second: 64 faults over 2 s *)
+      Alcotest.(check (float 1e-9))
+        "faults/s" 32.0
+        (J.get_float "faults_per_sec" j);
+      let line = Obs.Heartbeat.to_line hb tick in
+      let has_substr s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        "progress line is denominated in faults/s" true
+        (has_substr line "faults/s")
+
+let suite =
+  [
+    Alcotest.test_case "lane grouping soundness on random designs" `Quick
+      test_grouping_soundness;
+    Alcotest.test_case
+      "lane verdicts byte-identical to scalar (engines x jobs x cold/warm)"
+      `Slow test_lane_verdicts_byte_identical;
+    Alcotest.test_case "lane convergence-rejoin matches the serial oracle"
+      `Quick test_lane_rejoin_matches_oracle;
+    Alcotest.test_case "torn lane-mode journal resumes byte-identically"
+      `Quick test_lane_journal_resumes;
+    Alcotest.test_case "journal heartbeat record shape unchanged" `Quick
+      test_heartbeat_shape_unchanged;
+  ]

@@ -207,7 +207,7 @@ let test_snapshot_determinism_sha () = snapshot_determinism "sha256_hv"
 let test_diffstore_model () =
   let rng = Random.State.make [| 0x5eed; 42 |] in
   for trial = 1 to 20 do
-    let store = Engine.Diffstore.create ~expect:(1 + (trial mod 7)) in
+    let store = Engine.Diffstore.create ~expect:(1 + (trial mod 7)) () in
     let model : (int, int64) Hashtbl.t = Hashtbl.create 16 in
     for _ = 1 to 2000 do
       let key = Random.State.int rng 200 in
@@ -248,7 +248,7 @@ let test_diffstore_model () =
 let test_counts_model () =
   let rng = Random.State.make [| 0xc0; 7 |] in
   for trial = 1 to 20 do
-    let store = Engine.Diffstore.Counts.create ~expect:(1 + (trial mod 5)) in
+    let store = Engine.Diffstore.Counts.create ~expect:(1 + (trial mod 5)) () in
     let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
     let bump key delta =
       let c =
@@ -280,6 +280,43 @@ let test_counts_model () =
     check int_t "cleared" 0 (Engine.Diffstore.Counts.length store)
   done
 
+(* clear releases a grown slot array back to the creation-time size, but
+   only once the table has outgrown it by the documented factor (16) —
+   moderate growth must keep its capacity across rounds. *)
+let test_diffstore_shrink_on_clear () =
+  let store = Engine.Diffstore.create ~expect:4 () in
+  let base = Engine.Diffstore.capacity store in
+  for key = 0 to 4095 do
+    Engine.Diffstore.set store key (Int64.of_int key)
+  done;
+  check int_t "populated" 4096 (Engine.Diffstore.length store);
+  if Engine.Diffstore.capacity store <= 16 * base then
+    Alcotest.failf "giant batch did not grow past the shrink threshold (%d)"
+      (Engine.Diffstore.capacity store);
+  Engine.Diffstore.clear store;
+  check int_t "shrunk back to base capacity" base
+    (Engine.Diffstore.capacity store);
+  check int_t "cleared" 0 (Engine.Diffstore.length store);
+  (* still a working table after the reallocation *)
+  for key = 0 to 63 do
+    Engine.Diffstore.set store key (Int64.of_int (key * 3))
+  done;
+  check int_t "usable after shrink" 64 (Engine.Diffstore.length store);
+  check bool_t "lookup after shrink" true
+    (Engine.Diffstore.find store 21 ~default:(-1L) = 63L);
+  (* moderate growth (<= 16x) keeps its capacity across clear *)
+  Engine.Diffstore.clear store;
+  for key = 0 to (4 * base) - 1 do
+    Engine.Diffstore.set store key (Int64.of_int key)
+  done;
+  let grown = Engine.Diffstore.capacity store in
+  if grown > 16 * base then
+    Alcotest.failf "moderate growth unexpectedly passed the threshold (%d)"
+      grown;
+  Engine.Diffstore.clear store;
+  check int_t "moderate growth retained across clear" grown
+    (Engine.Diffstore.capacity store)
+
 let suite =
   [
     Alcotest.test_case "flat bytecode steady state allocates nothing (sha256)"
@@ -300,4 +337,6 @@ let suite =
       test_diffstore_model;
     Alcotest.test_case "counts store matches refcount model" `Quick
       test_counts_model;
+    Alcotest.test_case "diffstore clear shrinks a high-water slot array"
+      `Quick test_diffstore_shrink_on_clear;
   ]
